@@ -1,0 +1,95 @@
+"""E10 — checkpoint size and master-to-slave bandwidth sensitivity.
+
+The paper ships only master-modified values to bound checkpoint
+bandwidth; this experiment quantifies that design point on our machine:
+per workload, the mean checkpoint size (register file + dirty memory
+words) and the speedup as the per-word transfer cost rises from free to
+expensive.
+
+Expected shape: checkpoint sizes grow with how much memory the master
+dirties (store-heavy workloads like sort/treewalk ship more); speedup
+degrades smoothly with per-word cost, fastest for the large-checkpoint
+workloads.
+"""
+
+import dataclasses
+
+from repro.config import MsspConfig, TimingConfig
+from repro.mssp.trace import TaskAttemptRecord
+from repro.stats import Table, geomean, mean
+
+from benchmarks.common import SUITE, functional_run, report, run_once, timed_row
+
+WORD_COSTS = (0.0, 0.05, 0.2, 1.0)
+
+DELTA_MODE = MsspConfig(checkpoint_mode="delta")
+
+
+def _mean_checkpoint_words(result) -> float:
+    return mean(
+        [
+            r.checkpoint_words
+            for r in result.records
+            if isinstance(r, TaskAttemptRecord)
+        ]
+    )
+
+
+def run_e10():
+    table = Table(
+        ["benchmark", "cumul words", "delta words"]
+        + [f"cumul@{c:g}/w" for c in WORD_COSTS[1:]]
+        + [f"delta@{WORD_COSTS[-1]:g}/w"],
+        title="E10: checkpoint size and bandwidth sensitivity "
+              "(cumulative vs delta shipping)",
+    )
+    sizes, delta_sizes = {}, {}
+    series = {c: [] for c in WORD_COSTS}
+    delta_series = []
+    for name in SUITE:
+        _, result = functional_run(name)
+        _, delta_result = functional_run(name, None, None, DELTA_MODE)
+        sizes[name] = _mean_checkpoint_words(result)
+        delta_sizes[name] = _mean_checkpoint_words(delta_result)
+        speedups = []
+        for cost in WORD_COSTS:
+            config = dataclasses.replace(
+                TimingConfig(), checkpoint_word_latency=cost
+            )
+            row = timed_row(name, timing_config=config)
+            speedups.append(row.speedup)
+            series[cost].append(row.speedup)
+        worst_cost = dataclasses.replace(
+            TimingConfig(), checkpoint_word_latency=WORD_COSTS[-1]
+        )
+        delta_row = timed_row(
+            name, timing_config=worst_cost, mssp_config=DELTA_MODE
+        )
+        delta_series.append(delta_row.speedup)
+        table.add_row(
+            name, sizes[name], delta_sizes[name],
+            *speedups[1:], delta_row.speedup,
+        )
+    table.add_row(
+        "geomean", "", "",
+        *[geomean(series[c]) for c in WORD_COSTS[1:]],
+        geomean(delta_series),
+    )
+    return table, sizes, delta_sizes, series, delta_series
+
+
+def test_e10_bandwidth(benchmark):
+    table, sizes, delta_sizes, series, delta_series = run_once(
+        benchmark, run_e10
+    )
+    report("e10_bandwidth", table)
+    # Checkpoints always include the 32-register file.
+    assert min(sizes.values()) >= 32
+    # Delta shipping never sends more than cumulative.
+    for name in sizes:
+        assert delta_sizes[name] <= sizes[name] + 1e-9
+    # Speedup is monotone non-increasing in per-word cost.
+    means = [geomean(series[c]) for c in WORD_COSTS]
+    assert all(a >= b - 1e-9 for a, b in zip(means, means[1:]))
+    # At the harshest bandwidth, delta shipping beats cumulative.
+    assert geomean(delta_series) > means[-1]

@@ -1,0 +1,83 @@
+"""E11 — dual-mode throttling under degraded masters.
+
+The real MSSP machine can revert to plain sequential execution when
+speculation persistently fails (a capability the formal model
+deliberately omitted).  This experiment corrupts the distilled program
+at increasing severities and compares the engine with and without
+throttling: total machine cycles and the number of doomed task attempts.
+
+Expected shape: on a healthy master throttling is inert; as corruption
+grows, the throttled engine wastes far fewer attempts and finishes in
+fewer cycles, degrading toward (not below) sequential speed.
+"""
+
+import dataclasses
+
+from repro.config import MsspConfig, TimingConfig
+from repro.mssp import MsspEngine
+from repro.mssp.faults import corrupt_distilled
+from repro.stats import Table
+from repro.timing import simulate_mssp
+
+from benchmarks.common import bench_size, prepared, report, run_once
+
+WORKLOAD = "branchy"
+SEVERITIES = (0.0, 0.1, 0.3, 0.6)
+
+BOUNDED = MsspConfig(max_task_instrs=5_000, max_master_instrs_per_task=5_000)
+THROTTLED = dataclasses.replace(
+    BOUNDED, throttle_threshold=0.5, throttle_window=8, throttle_chunk=2_000
+)
+
+
+def run_e11():
+    ready = prepared(WORKLOAD, size=bench_size(WORKLOAD, scale=0.5))
+    program = ready.instance.program
+    table = Table(
+        ["corruption", "plain squashes", "throttled squashes",
+         "throttle episodes", "plain speedup", "throttled speedup"],
+        title="E11: dual-mode throttling vs master corruption",
+    )
+    rows = []
+    for severity in SEVERITIES:
+        distilled = corrupt_distilled(
+            ready.distillation.distilled, len(program.code),
+            seed=42, severity=severity,
+        )
+        bundle = (distilled, ready.distillation.pc_map)
+        plain = MsspEngine(program, bundle, BOUNDED).run()
+        throttled = MsspEngine(program, bundle, THROTTLED).run()
+        assert plain.final_state.diff(throttled.final_state) == []
+        plain_cycles = simulate_mssp(plain, TimingConfig()).total_cycles
+        throttled_cycles = simulate_mssp(
+            throttled, TimingConfig()
+        ).total_cycles
+        row = {
+            "severity": severity,
+            "plain_squashes": plain.counters.tasks_squashed,
+            "throttled_squashes": throttled.counters.tasks_squashed,
+            "episodes": throttled.counters.throttle_episodes,
+            "plain_speedup": ready.seq_instrs / plain_cycles,
+            "throttled_speedup": ready.seq_instrs / throttled_cycles,
+        }
+        rows.append(row)
+        table.add_row(
+            f"{severity:.0%}", row["plain_squashes"],
+            row["throttled_squashes"], row["episodes"],
+            row["plain_speedup"], row["throttled_speedup"],
+        )
+    return table, rows
+
+
+def test_e11_throttling(benchmark):
+    table, rows = run_once(benchmark, run_e11)
+    report("e11_throttling", table)
+    healthy = rows[0]
+    worst = rows[-1]
+    # Inert on a healthy master.
+    assert healthy["episodes"] == 0
+    assert healthy["plain_speedup"] == healthy["throttled_speedup"]
+    # Under heavy corruption, throttling engages and cuts wasted work.
+    assert worst["episodes"] > 0
+    assert worst["throttled_squashes"] < worst["plain_squashes"]
+    assert worst["throttled_speedup"] >= worst["plain_speedup"]

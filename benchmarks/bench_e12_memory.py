@@ -1,0 +1,87 @@
+"""E12 — memory-system sensitivity and the value of load removal.
+
+Under the uniform-CPI model a specialized load (``lw`` → ``li``) costs
+the master nothing, understating the paper's motivation for value
+specialization.  This experiment charges ``load_penalty`` extra cycles
+per memory load — on the master, the slaves, the recovery path *and*
+the baseline, so comparisons stay fair — and re-measures MSSP speedup
+with and without value specialization on the load-heavy workloads.
+
+Expected shape: speedup is roughly load-penalty-neutral when the
+distilled and original programs have similar load mixes, but the
+workloads whose hot-loop loads the distiller can specialize away (crc's
+polynomial) gain visibly as loads get more expensive — and lose that
+gain when value specialization is ablated.
+"""
+
+import dataclasses
+
+from repro.config import DistillConfig, SEQUENTIAL_BASELINE, TimingConfig
+from repro.stats import Table, geomean
+from repro.timing import baseline_cycles
+
+from benchmarks.common import bench_size, report, run_once, timed_row
+
+SUBJECTS = ("crc", "compress", "pointer_chase", "fib_memo")
+LOAD_PENALTIES = (0.0, 1.0, 3.0)
+SWEEP_SCALE = 0.5
+
+NO_VSPEC = DistillConfig().without_pass("value_spec")
+
+
+def _speedup(row, penalty: float) -> float:
+    baseline = dataclasses.replace(
+        SEQUENTIAL_BASELINE, load_penalty=penalty
+    )
+    return baseline_cycles(
+        row.seq_instrs, baseline, row.seq_loads
+    ) / row.breakdown.total_cycles
+
+
+def run_e12():
+    table = Table(
+        ["benchmark"]
+        + [f"full@{p:g}" for p in LOAD_PENALTIES]
+        + [f"no-vspec@{LOAD_PENALTIES[-1]:g}"],
+        title="E12: speedup vs load penalty (memory-system sensitivity)",
+    )
+    full_series = {p: [] for p in LOAD_PENALTIES}
+    ablated_series = []
+    for name in SUBJECTS:
+        size = bench_size(name, scale=SWEEP_SCALE)
+        speedups = []
+        for penalty in LOAD_PENALTIES:
+            timing = dataclasses.replace(
+                TimingConfig(), load_penalty=penalty
+            )
+            row = timed_row(name, timing_config=timing, size=size)
+            speedups.append(_speedup(row, penalty))
+            full_series[penalty].append(speedups[-1])
+        worst = dataclasses.replace(
+            TimingConfig(), load_penalty=LOAD_PENALTIES[-1]
+        )
+        ablated_row = timed_row(
+            name, timing_config=worst, size=size, distill_config=NO_VSPEC
+        )
+        ablated = _speedup(ablated_row, LOAD_PENALTIES[-1])
+        ablated_series.append(ablated)
+        table.add_row(name, *speedups, ablated)
+    table.add_row(
+        "geomean",
+        *[geomean(full_series[p]) for p in LOAD_PENALTIES],
+        geomean(ablated_series),
+    )
+    return table, full_series, ablated_series
+
+
+def test_e12_memory(benchmark):
+    table, full_series, ablated_series = run_once(benchmark, run_e12)
+    report("e12_memory", table)
+    worst = LOAD_PENALTIES[-1]
+    # With expensive loads, the full distiller beats the no-value-spec
+    # ablation (it removed hot-loop loads the ablation kept).
+    assert geomean(full_series[worst]) > geomean(ablated_series)
+    # And crc — the flagship specialization target — gains from load
+    # penalties relative to its ablated self by a visible margin.
+    crc_index = SUBJECTS.index("crc")
+    assert full_series[worst][crc_index] > ablated_series[crc_index] * 1.03

@@ -1,0 +1,44 @@
+"""E1 — headline speedup figure.
+
+Reproduces the MICRO-2002 evaluation's main result: MSSP speedup per
+benchmark on the default machine (1 master + 8 slaves), against both the
+1-wide in-order baseline and the idealized 4-wide OOO core the paper
+compares with, with a geometric-mean summary row.
+
+Expected shape: geomean > 1 against both baselines; distillable
+workloads (compress, pointer_chase, branchy, ...) lead; regular kernels
+(matmul, sort) trail.
+"""
+
+from repro.config import OOO_BASELINE, SEQUENTIAL_BASELINE
+from repro.stats import Table, geomean
+from repro.timing import baseline_cycles
+
+from benchmarks.common import SUITE, report, run_once, timed_row
+
+
+def run_e1():
+    table = Table(
+        ["benchmark", "seq instrs", "mssp cycles", "speedup vs in-order",
+         "speedup vs ooo-4wide"],
+        title="E1: MSSP speedup, 8 slaves (paper: headline figure)",
+    )
+    inorder, ooo = [], []
+    for name in SUITE:
+        row = timed_row(name)
+        cycles = row.breakdown.total_cycles
+        s_inorder = baseline_cycles(row.seq_instrs, SEQUENTIAL_BASELINE) / cycles
+        s_ooo = baseline_cycles(row.seq_instrs, OOO_BASELINE) / cycles
+        inorder.append(s_inorder)
+        ooo.append(s_ooo)
+        table.add_row(name, row.seq_instrs, cycles, s_inorder, s_ooo)
+    table.add_row("geomean", "", "", geomean(inorder), geomean(ooo))
+    return table, geomean(inorder), geomean(ooo)
+
+
+def test_e1_speedup(benchmark):
+    table, g_inorder, g_ooo = run_once(benchmark, run_e1)
+    report("e1_speedup", table)
+    # Shape: MSSP wins on average against both baselines.
+    assert g_inorder > 1.5
+    assert g_ooo > 1.0

@@ -1,0 +1,41 @@
+"""E2 — distilled-program effectiveness.
+
+Reproduces the paper's distillation table: the distilled program's
+dynamic path length as a fraction of the original program's, plus the
+static code-size ratio and the passes' contributions.
+
+Expected shape: most workloads land well below 1.0 (the paper reports
+roughly a quarter to a half); the regular kernels (matmul, sort) stay
+near or above 1.0 — distillation has nothing to remove there and the
+fork machinery costs a little.
+"""
+
+from repro.stats import Table, mean
+
+from benchmarks.common import SUITE, prepared, report, run_once
+
+
+def run_e2():
+    table = Table(
+        ["benchmark", "orig dyn", "distilled dyn", "dyn ratio",
+         "static ratio", "anchors"],
+        title="E2: distillation effectiveness (paper: distilled size table)",
+    )
+    ratios = []
+    for name in SUITE:
+        ready = prepared(name)
+        rep = ready.distillation.report
+        ratios.append(ready.distillation_ratio)
+        table.add_row(
+            name, ready.seq_instrs, ready.distilled_instrs,
+            ready.distillation_ratio, rep.static_ratio, len(rep.anchors),
+        )
+    table.add_row("mean", "", "", mean(ratios), "", "")
+    return table, ratios
+
+
+def test_e2_distillation(benchmark):
+    table, ratios = run_once(benchmark, run_e2)
+    report("e2_distillation", table)
+    assert mean(ratios) < 0.95
+    assert min(ratios) < 0.6  # the most distillable workload

@@ -1,0 +1,45 @@
+"""E3 — live-in prediction accuracy and task squash rate.
+
+Reproduces the paper's verification-success data: per benchmark, the
+fraction of live-in values the master predicted correctly, the fraction
+of task attempts squashed, and where progress came from (speculative
+coverage).  Training and evaluation inputs differ (train vs. ref), so
+residual mispredictions are real, not simulated noise.
+
+Expected shape: live-in accuracy >= ~95% everywhere and squash rates in
+the low percent — MSSP only wins because verification almost always
+succeeds, which is exactly the paper's observation.
+"""
+
+from repro.stats import Table, mean
+
+from benchmarks.common import SUITE, functional_run, report, run_once
+
+
+def run_e3():
+    table = Table(
+        ["benchmark", "tasks", "squashed", "squash rate", "live-in acc",
+         "spec coverage", "restarts"],
+        title="E3: live-in prediction accuracy / squash rates",
+    )
+    accuracies, squash_rates = [], []
+    for name in SUITE:
+        _, result = functional_run(name)
+        c = result.counters
+        accuracies.append(c.live_in_accuracy)
+        squash_rates.append(c.squash_rate)
+        table.add_row(
+            name, c.task_attempts, c.tasks_squashed, c.squash_rate,
+            c.live_in_accuracy, c.speculative_coverage, c.restarts,
+        )
+    table.add_row(
+        "mean", "", "", mean(squash_rates), mean(accuracies), "", "",
+    )
+    return table, accuracies, squash_rates
+
+
+def test_e3_accuracy(benchmark):
+    table, accuracies, squash_rates = run_once(benchmark, run_e3)
+    report("e3_accuracy", table)
+    assert min(accuracies) > 0.95
+    assert mean(squash_rates) < 0.10

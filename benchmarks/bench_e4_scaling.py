@@ -1,0 +1,49 @@
+"""E4 — scalability with slave-processor count.
+
+Reproduces the paper's processor-count sensitivity figure: speedup of
+the representative workloads at 1, 2, 4, 8 and 16 slaves (same
+functional run replayed through the timing model, since commit order —
+and therefore the trace — is independent of timing).
+
+Expected shape: monotone non-decreasing in slave count, with saturating
+returns once slaves keep pace with the master's fork rate.
+"""
+
+import dataclasses
+
+from repro.config import TimingConfig
+from repro.stats import Table, geomean
+
+from benchmarks.common import SWEEP_SUITE, report, run_once, timed_row
+
+SLAVE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run_e4():
+    table = Table(
+        ["benchmark"] + [f"{n} slaves" for n in SLAVE_COUNTS],
+        title="E4: speedup vs slave count (paper: scalability figure)",
+    )
+    series = {n: [] for n in SLAVE_COUNTS}
+    for name in SWEEP_SUITE:
+        speedups = []
+        for n in SLAVE_COUNTS:
+            config = dataclasses.replace(TimingConfig(), n_slaves=n)
+            row = timed_row(name, timing_config=config)
+            speedups.append(row.speedup)
+            series[n].append(row.speedup)
+        table.add_row(name, *speedups)
+    table.add_row("geomean", *[geomean(series[n]) for n in SLAVE_COUNTS])
+    return table, series
+
+
+def test_e4_scaling(benchmark):
+    table, series = run_once(benchmark, run_e4)
+    report("e4_scaling", table)
+    means = [geomean(series[n]) for n in SLAVE_COUNTS]
+    # Monotone non-decreasing...
+    assert all(b >= a - 1e-9 for a, b in zip(means, means[1:]))
+    # ...with saturating returns: the 8->16 step is smaller than 1->2.
+    assert (means[-1] - means[-2]) < (means[1] - means[0])
+    # Single-slave MSSP cannot beat the sequential core by much.
+    assert means[0] < 1.2

@@ -1,0 +1,47 @@
+"""E6 — sensitivity to interconnect / checkpoint latency.
+
+Reproduces the paper's communication-latency study: all MSSP-specific
+latencies (checkpoint spawn, commit, squash, restart) scale together
+from 0x to 8x of the default, replaying the same functional traces.
+
+Expected shape: graceful degradation as latency grows, steeper for the
+workloads with smaller tasks (overheads amortize over fewer
+instructions).
+"""
+
+from repro.config import TimingConfig
+from repro.stats import Table, geomean
+
+from benchmarks.common import SWEEP_SUITE, report, run_once, timed_row
+
+LATENCY_SCALES = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def run_e6():
+    table = Table(
+        ["benchmark"] + [f"{s:g}x latency" for s in LATENCY_SCALES],
+        title="E6: speedup vs interconnect latency (paper: latency study)",
+    )
+    series = {s: [] for s in LATENCY_SCALES}
+    for name in SWEEP_SUITE:
+        speedups = []
+        for scale in LATENCY_SCALES:
+            config = TimingConfig().scaled_latencies(scale)
+            row = timed_row(name, timing_config=config)
+            speedups.append(row.speedup)
+            series[scale].append(row.speedup)
+        table.add_row(name, *speedups)
+    table.add_row(
+        "geomean", *[geomean(series[s]) for s in LATENCY_SCALES]
+    )
+    return table, series
+
+
+def test_e6_latency(benchmark):
+    table, series = run_once(benchmark, run_e6)
+    report("e6_latency", table)
+    means = [geomean(series[s]) for s in LATENCY_SCALES]
+    # Monotone non-increasing in latency.
+    assert all(a >= b - 1e-9 for a, b in zip(means, means[1:]))
+    # Zero-latency MSSP is strictly better than 8x-latency MSSP.
+    assert means[0] > means[-1]

@@ -1,0 +1,54 @@
+"""E7 — execution-time breakdown.
+
+Reproduces the paper's where-does-the-time-go analysis: per benchmark,
+whether task completion was limited by the master (fork rate), the
+slaves (task execution), or commit serialization, plus cycles lost to
+squash overhead and non-speculative recovery, and the master's stall
+time waiting for free slaves.
+
+Expected shape: distillable workloads are slave- or commit-limited (the
+master runs well ahead — the design goal); squash/recovery cycles are a
+small fraction everywhere at default distillation settings.
+"""
+
+from repro.stats import Table
+
+from benchmarks.common import SUITE, report, run_once, timed_row
+
+
+def run_e7():
+    table = Table(
+        ["benchmark", "cycles", "master-bnd", "slave-bnd", "commit-bnd",
+         "stall cyc", "squash cyc", "recovery cyc"],
+        title="E7: execution-time breakdown (paper: bottleneck analysis)",
+    )
+    rows = {}
+    for name in SUITE:
+        row = timed_row(name)
+        b = row.breakdown
+        rows[name] = b
+        table.add_row(
+            name, b.total_cycles, b.master_bound_tasks, b.slave_bound_tasks,
+            b.commit_bound_tasks, b.master_stall_cycles,
+            b.squash_overhead_cycles, b.recovery_cycles,
+        )
+    return table, rows
+
+
+def test_e7_breakdown(benchmark):
+    table, rows = run_once(benchmark, run_e7)
+    report("e7_breakdown", table)
+    for name, b in rows.items():
+        total_tasks = (
+            b.master_bound_tasks + b.slave_bound_tasks + b.commit_bound_tasks
+        )
+        assert total_tasks > 0, name
+        # Recovery is a small fraction of total time at default settings.
+        assert b.recovery_cycles < 0.25 * b.total_cycles, name
+    # The design goal: the master is NOT the bottleneck for the majority
+    # of tasks in the majority of workloads.
+    slave_side = sum(
+        1 for b in rows.values()
+        if b.slave_bound_tasks + b.commit_bound_tasks > b.master_bound_tasks
+    )
+    assert slave_side >= len(rows) // 2

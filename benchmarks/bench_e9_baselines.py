@@ -1,0 +1,49 @@
+"""E9 — baseline comparison.
+
+Reproduces the paper's machine-comparison context: the full suite
+against (a) the 1-wide in-order core, (b) the idealized 4-wide OOO core
+(the class of machine the paper's baseline superscalar represents), and
+(c) MSSP with its master slowed to slave speed — isolating how much of
+MSSP's win comes from the fast master vs. from task parallelism.
+
+Expected shape: MSSP beats the OOO baseline on distillable workloads;
+the slow-master variant gives up a large share of the win, confirming
+that the master's shortened program is the enabling mechanism.
+"""
+
+import dataclasses
+
+from repro.config import OOO_BASELINE, SEQUENTIAL_BASELINE, TimingConfig
+from repro.stats import Table, geomean
+from repro.timing import baseline_cycles
+
+from benchmarks.common import SUITE, report, run_once, timed_row
+
+
+def run_e9():
+    table = Table(
+        ["benchmark", "vs in-order", "vs ooo-4wide", "slow-master speedup"],
+        title="E9: baseline comparison and master-speed isolation",
+    )
+    inorder, ooo, slow = [], [], []
+    slow_master = dataclasses.replace(TimingConfig(), master_cpi=1.0)
+    for name in SUITE:
+        fast = timed_row(name)
+        cycles = fast.breakdown.total_cycles
+        s_in = baseline_cycles(fast.seq_instrs, SEQUENTIAL_BASELINE) / cycles
+        s_ooo = baseline_cycles(fast.seq_instrs, OOO_BASELINE) / cycles
+        slow_row = timed_row(name, timing_config=slow_master)
+        inorder.append(s_in)
+        ooo.append(s_ooo)
+        slow.append(slow_row.speedup)
+        table.add_row(name, s_in, s_ooo, slow_row.speedup)
+    table.add_row("geomean", geomean(inorder), geomean(ooo), geomean(slow))
+    return table, geomean(inorder), geomean(ooo), geomean(slow)
+
+
+def test_e9_baselines(benchmark):
+    table, g_in, g_ooo, g_slow = run_once(benchmark, run_e9)
+    report("e9_baselines", table)
+    assert g_in > g_ooo > 0.8  # OOO baseline is a harder comparison
+    # A slower master costs real speedup: the fast path is load-bearing.
+    assert g_slow < g_in

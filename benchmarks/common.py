@@ -1,0 +1,111 @@
+"""Shared infrastructure for the experiment benchmarks (E1-E9).
+
+Conventions:
+
+* each ``bench_eN_*.py`` module reproduces one table/figure of the
+  (reconstructed) MICRO-2002 evaluation and prints the same rows the
+  paper reports;
+* expensive pipeline stages are cached per (workload, size, distiller
+  config) so that timing-only sweeps (slave count, latency, baselines)
+  replay one functional run many times instead of re-simulating;
+* every table is also written to ``benchmarks/out/<experiment>.txt`` so
+  results survive pytest's output capturing.
+
+Scale: set the ``REPRO_BENCH_SCALE`` environment variable (a float,
+default 1.0) to shrink or grow workload sizes uniformly.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.config import DistillConfig, MsspConfig, TimingConfig
+from repro.experiments.harness import (
+    EvaluationRow,
+    PreparedWorkload,
+    evaluate,
+    prepare,
+)
+from repro.mssp.engine import MsspResult
+from repro.stats import Table
+from repro.timing import simulate_mssp
+from repro.workloads import REPRESENTATIVE, WORKLOADS, get_workload
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: All suite workloads in registry order.
+SUITE = tuple(WORKLOADS)
+
+#: The sweep subset (see repro.workloads.registry.REPRESENTATIVE).
+SWEEP_SUITE = REPRESENTATIVE
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_size(name: str, scale: Optional[float] = None) -> int:
+    """Workload size used by the benchmarks (scaled default)."""
+    scale = bench_scale() if scale is None else scale
+    return max(4, int(get_workload(name).default_size * scale))
+
+
+@lru_cache(maxsize=None)
+def prepared(
+    name: str,
+    size: Optional[int] = None,
+    distill_config: Optional[DistillConfig] = None,
+) -> PreparedWorkload:
+    """Cached profile+distill for one workload configuration."""
+    return prepare(
+        get_workload(name),
+        size=size if size is not None else bench_size(name),
+        distill_config=distill_config,
+    )
+
+
+@lru_cache(maxsize=None)
+def functional_run(
+    name: str,
+    size: Optional[int] = None,
+    distill_config: Optional[DistillConfig] = None,
+    mssp_config: Optional[MsspConfig] = None,
+) -> Tuple[PreparedWorkload, MsspResult]:
+    """Cached equivalence-checked MSSP run (the expensive stage)."""
+    ready = prepared(name, size, distill_config)
+    row = evaluate(ready, mssp_config=mssp_config)
+    return ready, row.mssp
+
+
+def timed_row(
+    name: str,
+    timing_config: Optional[TimingConfig] = None,
+    size: Optional[int] = None,
+    distill_config: Optional[DistillConfig] = None,
+    mssp_config: Optional[MsspConfig] = None,
+) -> EvaluationRow:
+    """One workload under one machine configuration (cheap replays)."""
+    ready, result = functional_run(name, size, distill_config, mssp_config)
+    breakdown = simulate_mssp(result, timing_config)
+    return EvaluationRow(
+        name=name, seq_instrs=ready.seq_instrs, mssp=result,
+        breakdown=breakdown, seq_loads=ready.seq_loads,
+    )
+
+
+def report(experiment: str, table: Table) -> str:
+    """Print the table and persist it under ``benchmarks/out/``."""
+    rendered = table.render()
+    print()
+    print(rendered)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUT_DIR / f"{experiment}.txt").write_text(rendered + "\n")
+    return rendered
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Distillation tour: what each pass contributes, on a real workload.
+
+Takes the ``compress`` workload, profiles its training inputs, and runs
+the distiller repeatedly — first with everything off, then enabling one
+pass at a time — printing the static and dynamic program sizes after
+each step, plus the final distilled listing next to the original.
+
+Run with:  python examples/distillation_tour.py
+"""
+
+from repro.config import DistillConfig
+from repro.distill import Distiller
+from repro.experiments.harness import distilled_dynamic_length
+from repro.isa import disassemble
+from repro.machine import count_dynamic_instructions
+from repro.profiling import profile_program
+from repro.stats import Table
+from repro.workloads import get_workload
+
+#: Passes in pipeline order, with the config flag that enables each.
+STAGES = [
+    ("baseline (forks only)", []),
+    ("+ value specialization", ["value_spec"]),
+    ("+ branch assertion", ["value_spec", "branch_removal"]),
+    ("+ cold-code elimination",
+     ["value_spec", "branch_removal", "cold_code"]),
+    ("+ dead-code elimination",
+     ["value_spec", "branch_removal", "cold_code", "dce"]),
+]
+
+ALL_PASSES = ["value_spec", "branch_removal", "cold_code", "dce",
+              "jump_threading"]
+
+
+def config_with(enabled) -> DistillConfig:
+    config = DistillConfig()
+    for name in ALL_PASSES:
+        if name not in enabled and name != "jump_threading":
+            config = config.without_pass(name)
+    return config
+
+
+def main() -> None:
+    instance = get_workload("compress").instance(1500)
+    profile = profile_program(instance.train_programs[0])
+    original_dyn = count_dynamic_instructions(instance.program)
+
+    print(f"workload: {instance.name}  "
+          f"(static {len(instance.program.code)}, dynamic {original_dyn})\n")
+
+    table = Table(
+        ["stage", "static", "static ratio", "dynamic", "dyn ratio"],
+        title="distillation pipeline, one pass at a time",
+    )
+    final = None
+    for label, enabled in STAGES:
+        result = Distiller(config_with(enabled)).distill(
+            instance.program, profile
+        )
+        dynamic = distilled_dynamic_length(result, instance.program)
+        table.add_row(
+            label, result.report.distilled_static,
+            result.report.static_ratio, dynamic, dynamic / original_dyn,
+        )
+        final = result
+    print(table.render())
+
+    print("\n== original (code section) ==")
+    print(disassemble(instance.program).split("        .data")[0])
+    print("== fully distilled ==")
+    print(disassemble(final.distilled).split("        .data")[0])
+    print("anchors (original pc -> master resume pc):")
+    for anchor, resume in sorted(final.pc_map.resume.items()):
+        print(f"  {anchor:4d} -> {resume}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fault injection: an arbitrarily wrong master cannot corrupt results.
+
+The MSSP correctness claim — the one the companion formal paper proves —
+is that *nothing* the fast path does can affect architected state.  This
+example attacks the claim empirically: it takes a correctly distilled
+program and injects increasingly severe faults into it (wrong constants,
+retargeted forks, deleted instructions, and finally a completely random
+byte-salad master), running each variant and checking bit-exact
+equivalence with sequential execution every time.
+
+Performance degrades with fault severity; correctness never does.
+
+Run with:  python examples/fault_injection.py
+"""
+
+from repro.config import MsspConfig, TimingConfig
+from repro.experiments import prepare
+from repro.machine import run_to_halt
+from repro.mssp import MsspEngine
+from repro.mssp.faults import corrupt_distilled, random_garbage_master
+from repro.stats import Table
+from repro.timing import simulate_mssp
+from repro.workloads import get_workload
+
+FAST = MsspConfig(max_task_instrs=5_000, max_master_instrs_per_task=5_000)
+
+
+def main() -> None:
+    prepared = prepare(get_workload("branchy"), size=1200)
+    program = prepared.instance.program
+    reference = run_to_halt(program)
+    print(f"workload: branchy, {reference.steps} sequential instructions\n")
+
+    table = Table(
+        ["master variant", "equivalent?", "squash rate", "spec coverage",
+         "speedup"],
+        title="fault injection: correctness is invariant, speed is not",
+    )
+    severities = [0.0, 0.05, 0.2, 0.5]
+    for severity in severities:
+        distilled = corrupt_distilled(
+            prepared.distillation.distilled, len(program.code),
+            seed=2002, severity=severity,
+        )
+        engine = MsspEngine(
+            program, (distilled, prepared.distillation.pc_map), FAST
+        )
+        result = engine.run()
+        equivalent = result.final_state.diff(reference.state) == []
+        breakdown = simulate_mssp(result, TimingConfig())
+        table.add_row(
+            f"{severity:.0%} corrupted", "yes" if equivalent else "NO!",
+            result.counters.squash_rate,
+            result.counters.speculative_coverage,
+            reference.steps / breakdown.total_cycles,
+        )
+        assert equivalent, "MSSP produced a wrong result — impossible!"
+
+    # The ultimate master: random garbage with a random pc map.
+    garbage, pc_map = random_garbage_master(program, seed=2002)
+    result = MsspEngine(program, (garbage, pc_map), FAST).run()
+    equivalent = result.final_state.diff(reference.state) == []
+    breakdown = simulate_mssp(result, TimingConfig())
+    table.add_row(
+        "random garbage", "yes" if equivalent else "NO!",
+        result.counters.squash_rate,
+        result.counters.speculative_coverage,
+        reference.steps / breakdown.total_cycles,
+    )
+    assert equivalent
+
+    print(table.render())
+    print(
+        "\nEvery variant produced the exact sequential result; only the\n"
+        "speedup collapsed. The verify/commit unit is the single point\n"
+        "of trust — the paper's performance/correctness decoupling."
+    )
+
+
+if __name__ == "__main__":
+    main()

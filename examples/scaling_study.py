@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scaling study: how MSSP speedup responds to machine parameters.
+
+Runs three workloads once through the functional engine, then replays
+the traces through the timing model across a grid of slave counts and
+master speeds — demonstrating the two-level simulation design: the
+functional outcome is timing-independent (in-order commit), so machine
+sweeps cost milliseconds each.
+
+Run with:  python examples/scaling_study.py
+"""
+
+import dataclasses
+
+from repro.config import TimingConfig
+from repro.experiments import evaluate, prepare
+from repro.stats import Table
+from repro.timing import simulate_mssp
+from repro.workloads import get_workload
+
+WORKLOADS = ("compress", "pointer_chase", "matmul")
+SLAVES = (1, 2, 4, 8, 16)
+MASTER_CPIS = (0.25, 0.5, 1.0)
+
+
+def main() -> None:
+    runs = {}
+    for name in WORKLOADS:
+        prepared = prepare(get_workload(name), size=None)
+        row = evaluate(prepared)  # checks equivalence as it runs
+        runs[name] = row
+        print(
+            f"{name}: {prepared.seq_instrs} instrs, "
+            f"distillation ratio {prepared.distillation_ratio:.2f}, "
+            f"squash rate {row.counters.squash_rate:.3f}"
+        )
+
+    for master_cpi in MASTER_CPIS:
+        table = Table(
+            ["benchmark"] + [f"{n} slaves" for n in SLAVES],
+            title=f"\nspeedup vs in-order, master CPI = {master_cpi}",
+        )
+        for name, row in runs.items():
+            speedups = []
+            for n_slaves in SLAVES:
+                config = dataclasses.replace(
+                    TimingConfig(), n_slaves=n_slaves, master_cpi=master_cpi
+                )
+                breakdown = simulate_mssp(row.mssp, config)
+                speedups.append(row.seq_instrs / breakdown.total_cycles)
+            table.add_row(name, *speedups)
+        print(table.render())
+
+    print(
+        "\nReading: speedup saturates where slave throughput meets the\n"
+        "master's fork rate; a slower master (higher CPI) pulls the\n"
+        "whole curve down — the fast path sets the machine's ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of Master/Slave Speculative Parallelization (MSSP).
+
+Reproduces the system of Zilles & Sohi, "Master/Slave Speculative
+Parallelization", MICRO-35, 2002: a master processor executes a distilled
+(approximate) program to predict task live-ins for slave processors that
+execute the original program speculatively in parallel, with a
+verify/commit unit guaranteeing sequential semantics.
+
+Top-level convenience imports cover the quickstart path::
+
+    from repro import assemble, run_sequential, distill_program, run_mssp
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.isa import Program, ProgramBuilder, assemble, disassemble
+from repro.machine import ArchState, run_to_halt as run_sequential
+
+__version__ = "1.0.0"
+
+
+def distill_program(program, profile=None, config=None):
+    """Profile (if needed) and distill ``program``.
+
+    Convenience wrapper over :class:`repro.distill.Distiller`; see that
+    class for the full API.  Returns a
+    :class:`~repro.distill.distiller.DistillationResult`.
+    """
+    from repro.distill import Distiller
+    from repro.profiling import profile_program
+
+    if profile is None:
+        profile = profile_program(program)
+    return Distiller(config).distill(program, profile)
+
+
+def run_mssp(program, distilled=None, config=None):
+    """Run ``program`` under MSSP and return the engine result.
+
+    ``distilled`` defaults to distilling with default settings.  Returns a
+    :class:`~repro.mssp.engine.MsspResult` whose ``final_state`` is
+    guaranteed to equal sequential execution's final state.
+    """
+    from repro.mssp import MsspEngine
+
+    if distilled is None:
+        distilled = distill_program(program)
+    return MsspEngine(program, distilled, config=config).run()
+
+
+__all__ = [
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "disassemble",
+    "ArchState",
+    "run_sequential",
+    "distill_program",
+    "run_mssp",
+    "__version__",
+]

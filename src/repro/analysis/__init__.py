@@ -1,0 +1,20 @@
+"""Static analyses over Z-ISA programs: CFG, dominators, loops, liveness."""
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.dominators import DominatorTree, build_dominator_tree
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.loops import Loop, LoopForest, analyze_loops, find_loops
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "DominatorTree",
+    "build_dominator_tree",
+    "LivenessInfo",
+    "compute_liveness",
+    "Loop",
+    "LoopForest",
+    "analyze_loops",
+    "find_loops",
+]

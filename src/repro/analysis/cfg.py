@@ -1,0 +1,187 @@
+"""Control-flow graph construction for Z-ISA programs.
+
+Blocks are maximal straight-line instruction runs; edges come from branch
+targets, fall-through, jumps, calls (``jal``) and returns (``jr``).
+
+Indirect-jump caveat: the Z-ISA's only indirect control transfer is
+``jr``.  The CFG assumes the call/return discipline the workload suite
+follows — ``jr`` is only used to return from a ``jal`` — and therefore
+gives every ``jr`` block edges to all *return sites* (the instruction
+after each ``jal``).  This is conservative for the distiller's purposes
+(it never removes a block some ``jr`` might reach) but would be unsound
+for arbitrary computed jumps; the profiler's dynamic edge counts are used
+to cross-check it in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import AnalysisError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal single-entry straight-line run of instructions.
+
+    ``start`` is the pc of the first instruction; ``end`` is one past the
+    pc of the last.  The block's instructions are ``program.code[start:end]``.
+    """
+
+    index: int
+    start: int
+    end: int
+    instructions: Tuple[Instruction, ...]
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def terminator(self) -> Instruction:
+        """The last instruction (which may or may not be a real terminator)."""
+        return self.instructions[-1]
+
+    @property
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock(#{self.index} [{self.start}, {self.end}))"
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks plus successor/predecessor edge maps (by block index)."""
+
+    program: Program
+    blocks: List[BasicBlock]
+    successors: Dict[int, List[int]] = field(default_factory=dict)
+    predecessors: Dict[int, List[int]] = field(default_factory=dict)
+    #: Block index containing each pc.
+    block_of_pc: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        return self.blocks[self.block_of_pc[self.program.entry]]
+
+    def block_at(self, pc: int) -> BasicBlock:
+        """The block containing ``pc``."""
+        return self.blocks[self.block_of_pc[pc]]
+
+    def block_starting_at(self, pc: int) -> Optional[BasicBlock]:
+        """The block whose first instruction is at ``pc``, if any."""
+        block = self.blocks[self.block_of_pc[pc]] if pc in self.block_of_pc else None
+        return block if block is not None and block.start == pc else None
+
+    def succ_blocks(self, block: BasicBlock) -> List[BasicBlock]:
+        return [self.blocks[i] for i in self.successors[block.index]]
+
+    def pred_blocks(self, block: BasicBlock) -> List[BasicBlock]:
+        return [self.blocks[i] for i in self.predecessors[block.index]]
+
+    def reachable_from_entry(self) -> FrozenSet[int]:
+        """Indices of blocks reachable from the entry block."""
+        seen: Set[int] = set()
+        stack = [self.entry_block.index]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            stack.extend(self.successors[index])
+        return frozenset(seen)
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """All (source block, target block) edges, sorted."""
+        return sorted(
+            (src, dst)
+            for src, dsts in self.successors.items()
+            for dst in dsts
+        )
+
+
+def _find_leaders(program: Program) -> Set[int]:
+    leaders: Set[int] = {0, program.entry}
+    for pc, instr in enumerate(program.code):
+        if instr.op is Opcode.FORK:
+            continue  # fork targets point into a *different* program
+        if isinstance(instr.target, int):
+            leaders.add(instr.target)
+        if instr.is_terminator and pc + 1 < len(program.code):
+            leaders.add(pc + 1)
+        if instr.op is Opcode.JAL and pc + 1 < len(program.code):
+            leaders.add(pc + 1)  # return site
+    return leaders
+
+
+def _return_sites(program: Program) -> List[int]:
+    return [
+        pc + 1
+        for pc, instr in enumerate(program.code)
+        if instr.op is Opcode.JAL and pc + 1 < len(program.code)
+    ]
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Build the control-flow graph of ``program``."""
+    leaders = sorted(_find_leaders(program))
+    size = len(program.code)
+    blocks: List[BasicBlock] = []
+    block_of_pc: Dict[int, int] = {}
+    boundaries = leaders + [size]
+    for index, start in enumerate(leaders):
+        end = boundaries[index + 1]
+        if end <= start:
+            raise AnalysisError(f"empty block at pc {start}")
+        block = BasicBlock(
+            index=index, start=start, end=end,
+            instructions=tuple(program.code[start:end]),
+        )
+        blocks.append(block)
+        for pc in block.pcs:
+            block_of_pc[pc] = index
+
+    return_sites = _return_sites(program)
+    successors: Dict[int, List[int]] = {}
+    predecessors: Dict[int, List[int]] = {b.index: [] for b in blocks}
+    for block in blocks:
+        succ_pcs = _successor_pcs(block, size, return_sites)
+        indices: List[int] = []
+        for pc in succ_pcs:
+            if pc not in block_of_pc:
+                raise AnalysisError(
+                    f"block #{block.index} targets pc {pc} outside program"
+                )
+            target_index = block_of_pc[pc]
+            if target_index not in indices:
+                indices.append(target_index)
+        successors[block.index] = indices
+        for target_index in indices:
+            predecessors[target_index].append(block.index)
+    return ControlFlowGraph(
+        program=program, blocks=blocks, successors=successors,
+        predecessors=predecessors, block_of_pc=block_of_pc,
+    )
+
+
+def _successor_pcs(
+    block: BasicBlock, program_size: int, return_sites: List[int]
+) -> List[int]:
+    last = block.terminator
+    last_pc = block.end - 1
+    if last.op is Opcode.HALT:
+        return []
+    if last.is_branch:
+        fall = [last_pc + 1] if last_pc + 1 < program_size else []
+        return fall + [int(last.target)]
+    if last.op is Opcode.J:
+        return [int(last.target)]
+    if last.op is Opcode.JAL:
+        return [int(last.target)]
+    if last.op is Opcode.JR:
+        return list(return_sites)
+    # Fall-through into the next leader.
+    return [last_pc + 1] if last_pc + 1 < program_size else []

@@ -1,0 +1,97 @@
+"""Backward register-liveness analysis.
+
+Computes live-in/live-out register sets per basic block by the standard
+iterative backward dataflow, then lets the distiller query per-instruction
+liveness while sweeping a block bottom-up (dead-code elimination removes a
+pure instruction whose destination is dead at that point).
+
+Conservatism notes:
+
+* ``jr`` blocks inherit the CFG's return-site edges, so liveness across
+  returns is conservative in the same way the CFG is.
+* ``r0`` is never live (it is architecturally constant).
+* The analysis is intraprocedural over the whole-program CFG; the halt
+  block's live-out is empty — the ISA has no post-halt observer of
+  registers (final register values *are* compared in tests, so the
+  distiller never applies register-DCE to the original program, only to
+  the distilled one, whose register file is merely a prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph
+from repro.isa.registers import ZERO
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block live-in/live-out register sets."""
+
+    live_in: Dict[int, FrozenSet[int]]
+    live_out: Dict[int, FrozenSet[int]]
+
+    def live_after_each(
+        self, block: BasicBlock
+    ) -> List[FrozenSet[int]]:
+        """Live register set *after* each instruction in ``block``.
+
+        Element ``i`` is the set of registers live immediately after
+        ``block.instructions[i]``; the last element equals the block's
+        live-out.
+        """
+        result: List[FrozenSet[int]] = [frozenset()] * len(block.instructions)
+        live: Set[int] = set(self.live_out[block.index])
+        for offset in range(len(block.instructions) - 1, -1, -1):
+            result[offset] = frozenset(live)
+            instr = block.instructions[offset]
+            live -= instr.defs()
+            live |= {r for r in instr.uses() if r != ZERO}
+        return result
+
+
+def compute_liveness(
+    cfg: ControlFlowGraph, exit_live: FrozenSet[int] = frozenset()
+) -> LivenessInfo:
+    """Iterate backward dataflow to a fixed point.
+
+    ``exit_live`` is the register set considered live at program exit
+    (empty by default; callers that care about final register values pass
+    the registers they will inspect).
+    """
+    gen: Dict[int, Set[int]] = {}
+    kill: Dict[int, Set[int]] = {}
+    for block in cfg.blocks:
+        used: Set[int] = set()
+        defined: Set[int] = set()
+        for instr in block.instructions:
+            used |= {r for r in instr.uses() if r != ZERO and r not in defined}
+            defined |= instr.defs()
+        gen[block.index] = used
+        kill[block.index] = defined
+
+    live_in: Dict[int, Set[int]] = {b.index: set() for b in cfg.blocks}
+    live_out: Dict[int, Set[int]] = {b.index: set() for b in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            index = block.index
+            out: Set[int] = set()
+            successors = cfg.successors[index]
+            if successors:
+                for succ in successors:
+                    out |= live_in[succ]
+            else:
+                out |= exit_live
+            new_in = gen[index] | (out - kill[index])
+            if out != live_out[index] or new_in != live_in[index]:
+                live_out[index] = out
+                live_in[index] = new_in
+                changed = True
+    return LivenessInfo(
+        live_in={i: frozenset(s) for i, s in live_in.items()},
+        live_out={i: frozenset(s) for i, s in live_out.items()},
+    )

@@ -1,0 +1,118 @@
+"""Natural-loop detection.
+
+A back edge is a CFG edge ``u -> h`` whose target ``h`` dominates its
+source ``u``; the natural loop of that edge is ``h`` plus every block that
+can reach ``u`` without passing through ``h``.  Loops sharing a header are
+merged.  Nesting depth is derived by containment.
+
+The distiller uses loop headers as fork-point candidates (task boundaries
+at loop iterations are what make MSSP tasks regular), so this analysis is
+on the distillation critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.dominators import DominatorTree
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop: its header block and full body (header included)."""
+
+    header: int
+    body: FrozenSet[int]
+    back_edges: Tuple[Tuple[int, int], ...]
+    depth: int = 1
+
+    def __contains__(self, block_index: int) -> bool:
+        return block_index in self.body
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+
+@dataclass
+class LoopForest:
+    """All natural loops of a CFG, with nesting depths."""
+
+    loops: List[Loop] = field(default_factory=list)
+
+    @property
+    def headers(self) -> List[int]:
+        return [loop.header for loop in self.loops]
+
+    def loop_with_header(self, header: int) -> Loop:
+        for loop in self.loops:
+            if loop.header == header:
+                return loop
+        raise KeyError(header)
+
+    def depth_of_block(self, block_index: int) -> int:
+        """Nesting depth of a block (0 = not in any loop)."""
+        return max(
+            (loop.depth for loop in self.loops if block_index in loop),
+            default=0,
+        )
+
+    def innermost_loop_of(self, block_index: int) -> Loop:
+        candidates = [loop for loop in self.loops if block_index in loop]
+        if not candidates:
+            raise KeyError(block_index)
+        return max(candidates, key=lambda loop: loop.depth)
+
+
+def find_loops(cfg: ControlFlowGraph, domtree: DominatorTree) -> LoopForest:
+    """Compute the natural-loop forest of ``cfg``."""
+    reachable = set(domtree.reachable)
+    back_edges: List[Tuple[int, int]] = []
+    for src in reachable:
+        for dst in cfg.successors[src]:
+            if dst in reachable and domtree.dominates(dst, src):
+                back_edges.append((src, dst))
+
+    bodies: Dict[int, Set[int]] = {}
+    edges_by_header: Dict[int, List[Tuple[int, int]]] = {}
+    for src, header in back_edges:
+        body = bodies.setdefault(header, {header})
+        edges_by_header.setdefault(header, []).append((src, header))
+        _grow_loop_body(cfg, header, src, body)
+
+    loops: List[Loop] = []
+    for header, body in bodies.items():
+        depth = sum(
+            1
+            for other_header, other_body in bodies.items()
+            if header in other_body
+        )
+        loops.append(
+            Loop(
+                header=header,
+                body=frozenset(body),
+                back_edges=tuple(sorted(edges_by_header[header])),
+                depth=depth,
+            )
+        )
+    loops.sort(key=lambda loop: (loop.depth, loop.header))
+    return LoopForest(loops=loops)
+
+
+def _grow_loop_body(
+    cfg: ControlFlowGraph, header: int, latch: int, body: Set[int]
+) -> None:
+    """Add every block reaching ``latch`` without passing ``header``."""
+    stack = [latch]
+    while stack:
+        block = stack.pop()
+        if block in body:
+            continue
+        body.add(block)
+        stack.extend(cfg.predecessors[block])
+
+
+def analyze_loops(cfg: ControlFlowGraph) -> LoopForest:
+    """Build dominators and loops in one call."""
+    return find_loops(cfg, DominatorTree(cfg))

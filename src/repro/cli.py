@@ -1,0 +1,239 @@
+"""Command-line interface: ``mssp-repro`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``list``
+    Show the workload suite.
+``seq <workload>``
+    Run a workload sequentially and print its result cells.
+``distill <workload>``
+    Profile + distill; print the distillation report (and, with
+    ``--show-asm``, the distilled listing).
+``run <workload>``
+    Full pipeline: profile, distill, MSSP with equivalence check,
+    timing; print the statistics row.
+``suite``
+    The E1-style table over every workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.config import DistillConfig, TimingConfig
+from repro.stats import Table, geomean
+from repro.workloads import RESULT_BASE, WORKLOADS, get_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mssp-repro",
+        description="Master/Slave Speculative Parallelization reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite")
+
+    seq = sub.add_parser("seq", help="run a workload sequentially")
+    _add_workload_args(seq)
+
+    distill = sub.add_parser("distill", help="profile and distill a workload")
+    _add_workload_args(distill)
+    distill.add_argument(
+        "--show-asm", action="store_true",
+        help="print the distilled program listing",
+    )
+    distill.add_argument(
+        "--task-size", type=int, default=None,
+        help="target dynamic instructions per task",
+    )
+
+    run = sub.add_parser("run", help="run a workload under MSSP")
+    _add_workload_args(run)
+    run.add_argument("--slaves", type=int, default=8)
+    run.add_argument(
+        "--task-size", type=int, default=None,
+        help="target dynamic instructions per task",
+    )
+
+    timeline = sub.add_parser(
+        "timeline", help="render an ASCII execution timeline"
+    )
+    _add_workload_args(timeline)
+    timeline.add_argument("--slaves", type=int, default=8)
+    timeline.add_argument("--width", type=int, default=96)
+    timeline.add_argument(
+        "--cycles", type=float, default=2500.0,
+        help="window length in cycles (0 = whole run)",
+    )
+
+    sub.add_parser("suite", help="run the whole suite (E1-style table)")
+
+    report = sub.add_parser(
+        "report", help="write a markdown report of a suite run"
+    )
+    report.add_argument(
+        "--output", default="REPORT.md", help="output file path"
+    )
+    report.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload size scale factor",
+    )
+    report.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="subset of workloads (default: all)",
+    )
+    return parser
+
+
+def _add_workload_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("workload", choices=sorted(WORKLOADS))
+    sub.add_argument("--size", type=int, default=None)
+
+
+def _distill_config(args) -> Optional[DistillConfig]:
+    task_size = getattr(args, "task_size", None)
+    if task_size is None:
+        return None
+    return dataclasses.replace(DistillConfig(), target_task_size=task_size)
+
+
+def cmd_list(_args) -> int:
+    table = Table(["workload", "default size", "description"])
+    for spec in WORKLOADS.values():
+        table.add_row(spec.name, spec.default_size, spec.description)
+    print(table.render())
+    return 0
+
+
+def cmd_seq(args) -> int:
+    from repro.machine import run_to_halt
+
+    instance = get_workload(args.workload).instance(args.size)
+    result = run_to_halt(instance.program)
+    print(f"{instance.name}: halted after {result.steps} instructions")
+    for offset in range(4):
+        value = result.state.load(RESULT_BASE + offset)
+        if value:
+            print(f"  result[{offset}] = {value}")
+    return 0
+
+
+def cmd_distill(args) -> int:
+    from repro.experiments.harness import distilled_dynamic_length, prepare
+
+    prepared = prepare(
+        get_workload(args.workload), size=args.size,
+        distill_config=_distill_config(args),
+    )
+    print(prepared.distillation.report.describe())
+    print(f"dynamic: {prepared.seq_instrs} -> {prepared.distilled_instrs} "
+          f"({prepared.distillation_ratio:.2f}x)")
+    if args.show_asm:
+        from repro.isa import disassemble
+
+        listing = disassemble(prepared.distillation.distilled)
+        print(listing.split("        .data")[0])
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.experiments import evaluate, prepare
+
+    prepared = prepare(
+        get_workload(args.workload), size=args.size,
+        distill_config=_distill_config(args),
+    )
+    timing = dataclasses.replace(TimingConfig(), n_slaves=args.slaves)
+    row = evaluate(prepared, timing_config=timing)
+    counters = row.counters
+    print(f"{row.name}: equivalent to SEQ (checked)")
+    print(f"  sequential instructions: {row.seq_instrs}")
+    print(f"  distillation ratio:      {prepared.distillation_ratio:.2f}")
+    print(f"  tasks committed/squashed: "
+          f"{counters.tasks_committed}/{counters.tasks_squashed}")
+    print(f"  live-in accuracy:        {counters.live_in_accuracy:.3f}")
+    print(f"  MSSP cycles:             {row.breakdown.total_cycles:.0f}")
+    print(f"  speedup vs in-order:     {row.speedup:.2f}x "
+          f"({args.slaves} slaves)")
+    return 0
+
+
+def cmd_suite(_args) -> int:
+    from repro.experiments import evaluate, prepare
+
+    table = Table(
+        ["benchmark", "ratio", "squash", "speedup"],
+        title="MSSP suite summary (8 slaves, default configuration)",
+    )
+    speedups: List[float] = []
+    for name in WORKLOADS:
+        prepared = prepare(get_workload(name))
+        row = evaluate(prepared)
+        speedups.append(row.speedup)
+        table.add_row(
+            name, prepared.distillation_ratio,
+            row.counters.squash_rate, row.speedup,
+        )
+        print(f"  {name}: done", file=sys.stderr)
+    table.add_row("geomean", "", "", geomean(speedups))
+    print(table.render())
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.experiments import evaluate, prepare
+    from repro.timing import render_timeline, simulate_mssp, utilization
+
+    prepared = prepare(get_workload(args.workload), size=args.size)
+    row = evaluate(prepared)
+    timing = dataclasses.replace(TimingConfig(), n_slaves=args.slaves)
+    breakdown = simulate_mssp(row.mssp, timing, schedule=True)
+    window = breakdown.total_cycles
+    if args.cycles > 0:
+        window = min(window, args.cycles)
+    busy = utilization(breakdown, args.slaves)
+    print(
+        f"{args.workload}: {breakdown.total_cycles:.0f} cycles, "
+        f"slave utilization {busy:.0%}"
+    )
+    print(render_timeline(breakdown, width=args.width, end=window))
+    print("legend: ==== master   #### committed   xxxx squashed   "
+          "C commit   rrrr recovery")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(
+        workload_names=args.workloads, size_scale=args.scale
+    )
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "seq": cmd_seq,
+    "distill": cmd_distill,
+    "run": cmd_run,
+    "timeline": cmd_timeline,
+    "suite": cmd_suite,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

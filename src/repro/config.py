@@ -1,0 +1,218 @@
+"""Configuration dataclasses for the distiller, the MSSP engine and the
+timing model.
+
+Defaults are chosen to land in the regimes the MICRO 2002 evaluation
+explores: tasks of a few hundred dynamic instructions, distillation
+aggressive enough to remove most cold/biased code but conservative enough
+to keep live-in misprediction rates low, and a CMP with one fast master
+plus several slower slaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.errors import DistillError, TimingError
+
+
+@dataclass(frozen=True)
+class DistillConfig:
+    """Knobs of the offline distiller.
+
+    ``branch_bias_threshold`` — a conditional branch is converted to an
+    assertion (removed or made unconditional) when its dominant direction
+    accounts for at least this fraction of its executions.
+
+    ``cold_threshold`` — blocks whose execution share of the training run
+    is at most this fraction are deleted from the distilled program
+    (0.0 deletes only never-executed blocks).
+
+    ``target_task_size`` — desired dynamic instructions per task; fork
+    placement selects anchors so the expected inter-fork distance
+    approximates it.
+    """
+
+    target_task_size: int = 150
+    max_anchors: int = 64
+    branch_bias_threshold: float = 0.995
+    min_branch_count: int = 16
+    cold_threshold: float = 0.0
+    value_spec_min_count: int = 8
+    value_spec_min_share: float = 1.0
+    store_elim_min_count: int = 4
+    enable_branch_removal: bool = True
+    enable_cold_code: bool = True
+    enable_value_spec: bool = True
+    enable_store_elim: bool = True
+    enable_dce: bool = True
+    enable_jump_threading: bool = True
+
+    def __post_init__(self) -> None:
+        if self.target_task_size < 2:
+            raise DistillError("target_task_size must be at least 2")
+        if not 0.5 <= self.branch_bias_threshold <= 1.0:
+            raise DistillError("branch_bias_threshold must be in [0.5, 1.0]")
+        if not 0.0 <= self.cold_threshold < 1.0:
+            raise DistillError("cold_threshold must be in [0.0, 1.0)")
+        if self.max_anchors < 1:
+            raise DistillError("max_anchors must be at least 1")
+
+    def without_pass(self, name: str) -> "DistillConfig":
+        """A copy with one pass disabled (for ablation studies).
+
+        ``name`` is one of ``branch_removal``, ``cold_code``,
+        ``value_spec``, ``dce``, ``jump_threading``.
+        """
+        flag = f"enable_{name}"
+        if not hasattr(self, flag):
+            raise DistillError(f"unknown distillation pass {name!r}")
+        return replace(self, **{flag: False})
+
+
+@dataclass(frozen=True)
+class MsspConfig:
+    """Knobs of the (functional) MSSP engine.
+
+    These bound speculation so that arbitrary master misbehaviour —
+    including infinite loops in the distilled program — cannot prevent
+    forward progress: exceeding any bound is treated as a misspeculation
+    and triggers non-speculative recovery.
+
+    ``protected_regions`` marks half-open address ranges ``[start, end)``
+    as non-idempotent (memory-mapped I/O): speculative execution aborts
+    before touching them, and only non-speculative recovery may access
+    them — exactly once each, in program order.
+    """
+
+    #: Hard cap on one task's dynamic length at a slave.
+    max_task_instrs: int = 20_000
+    #: Non-idempotent address ranges; see class docstring.
+    protected_regions: Tuple[Tuple[int, int], ...] = ()
+    #: Dual-mode throttling: when the squash fraction over the last
+    #: ``throttle_window`` tasks reaches ``throttle_threshold``, the
+    #: engine reverts to sequential execution for ``throttle_chunk``
+    #: instructions before re-enabling speculation.  ``None`` disables
+    #: throttling (the formal model's pure-speculation behaviour).
+    throttle_threshold: Optional[float] = None
+    throttle_window: int = 16
+    throttle_chunk: int = 2_000
+    #: What the master ships with each fork:
+    #: ``"cumulative"`` — every memory value it has written since its
+    #: last restart (the conservative reading of the paper: "values
+    #: modified by the master"); ``"delta"`` — only values written since
+    #: the previous fork, relying on slaves reading older values from
+    #: architected state (the paper's bandwidth-saving refinement).
+    checkpoint_mode: str = "cumulative"
+    #: Hard cap on master instructions between two forks.
+    max_master_instrs_per_task: int = 20_000
+    #: Hard cap on tasks the master may run ahead (checkpoint buffer size).
+    max_inflight_tasks: int = 64
+    #: Upper bound on one recovery episode (safety net only).
+    recovery_max_instrs: int = 1_000_000
+    #: Global safety valve on total committed instructions.
+    max_total_instrs: int = 200_000_000
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_task_instrs", "max_master_instrs_per_task",
+            "max_inflight_tasks", "recovery_max_instrs", "max_total_instrs",
+            "throttle_window", "throttle_chunk",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        if self.throttle_threshold is not None and not (
+            0.0 < self.throttle_threshold <= 1.0
+        ):
+            raise ValueError("throttle_threshold must be in (0, 1]")
+        if self.checkpoint_mode not in ("cumulative", "delta"):
+            raise ValueError(
+                "checkpoint_mode must be 'cumulative' or 'delta'"
+            )
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Parameters of the task-level timing model.
+
+    Cycle accounting is abstract (repro band: toy fidelity): each core
+    retires instructions at a fixed CPI, and the MSSP-specific overheads
+    are flat latencies.  ``master_cpi`` defaults below ``slave_cpi``
+    because the paper's master is the wide complex core while slaves are
+    simple cores.
+    """
+
+    n_slaves: int = 8
+    master_cpi: float = 0.5
+    slave_cpi: float = 1.0
+    #: Extra cycles per memory load, charged to master, slaves and
+    #: recovery alike.  0.0 (the default) is the uniform-CPI model; the
+    #: memory-sensitivity experiment (E12) raises it to expose the value
+    #: of distillation passes that remove loads (value specialization).
+    load_penalty: float = 0.0
+    #: Checkpoint-buffer depth: the master may run at most this many
+    #: uncommitted tasks ahead of the verify/commit unit.  ``None``
+    #: leaves run-ahead bounded only by slave availability.
+    max_inflight: Optional[int] = None
+    #: Checkpoint construction + transfer to a slave (cycles, flat part).
+    spawn_latency: float = 30.0
+    #: Additional transfer cost per checkpoint word (registers + dirty
+    #: memory), modelling master-to-slave bandwidth.
+    checkpoint_word_latency: float = 0.0
+    #: Verify + atomic commit of one task (cycles, serialized in order).
+    commit_latency: float = 10.0
+    #: Squash detection + master restart penalty (cycles).
+    squash_penalty: float = 60.0
+    #: Seeding a processor from architected state after squash (cycles).
+    restart_latency: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.n_slaves < 1:
+            raise TimingError("n_slaves must be at least 1")
+        for name in ("master_cpi", "slave_cpi"):
+            if getattr(self, name) <= 0:
+                raise TimingError(f"{name} must be positive")
+        for name in (
+            "spawn_latency", "commit_latency", "squash_penalty",
+            "restart_latency", "checkpoint_word_latency", "load_penalty",
+        ):
+            if getattr(self, name) < 0:
+                raise TimingError(f"{name} must be non-negative")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise TimingError("max_inflight must be positive (or None)")
+
+    def scaled_latencies(self, factor: float) -> "TimingConfig":
+        """A copy with all interconnect latencies scaled by ``factor``."""
+        if factor < 0:
+            raise TimingError("latency scale factor must be non-negative")
+        return replace(
+            self,
+            spawn_latency=self.spawn_latency * factor,
+            commit_latency=self.commit_latency * factor,
+            squash_penalty=self.squash_penalty * factor,
+            restart_latency=self.restart_latency * factor,
+            checkpoint_word_latency=self.checkpoint_word_latency * factor,
+        )
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """A non-MSSP reference machine for speedup denominators."""
+
+    name: str = "in-order"
+    cpi: float = 1.0
+    #: Extra cycles per memory load (see TimingConfig.load_penalty).
+    load_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpi <= 0:
+            raise TimingError("cpi must be positive")
+        if self.load_penalty < 0:
+            raise TimingError("load_penalty must be non-negative")
+
+
+#: The paper-style single in-order core all speedups are measured against.
+SEQUENTIAL_BASELINE = BaselineConfig(name="in-order", cpi=1.0)
+
+#: An idealized wider out-of-order core (E9's comparison point).
+OOO_BASELINE = BaselineConfig(name="ooo-4wide", cpi=0.45)

@@ -1,0 +1,30 @@
+"""Profile-guided distillation: the construction of approximate programs.
+
+This package implements the offline half of MSSP: turning the original
+binary plus a training profile into the *distilled program* the master
+executes, along with the pc map that relates the two at task boundaries.
+"""
+
+from repro.distill.distiller import (
+    DistillationResult,
+    Distiller,
+    DistillReport,
+    distill_with_default_profile,
+)
+from repro.distill.ir import TRAP_BLOCK, DBlock, DInstr, DistillIR, lift_to_ir
+from repro.distill.layout import layout_ir
+from repro.distill.pc_map import PcMap
+
+__all__ = [
+    "DistillationResult",
+    "Distiller",
+    "DistillReport",
+    "distill_with_default_profile",
+    "TRAP_BLOCK",
+    "DBlock",
+    "DInstr",
+    "DistillIR",
+    "lift_to_ir",
+    "layout_ir",
+    "PcMap",
+]

@@ -1,0 +1,141 @@
+"""The distiller: original program + profile → distilled program + pc map.
+
+Pass pipeline (order matters and is fixed):
+
+1. **value specialization** — needs original ``orig_pc`` provenance intact;
+2. **store elimination** — deletes stores whose targets are never read
+   (write-only output buffers);
+3. **branch assertion** — turns biased branches unconditional, creating
+   dead condition code and unreachable cold paths;
+4. **cold-code elimination** — deletes never/rarely executed blocks,
+   retargeting stray edges at the trap;
+5. **fork placement** — chooses anchors among the *surviving* blocks and
+   inserts fork instructions carrying original-liveness use sets;
+6. **dead-code elimination** — removes everything the previous passes
+   orphaned, while keeping anchor-live registers alive;
+7. **layout** — re-materializes a flat program, threads jumps, and emits
+   the :class:`~repro.distill.pc_map.PcMap`.
+
+The distilled program is an ordinary runnable Z-ISA program (``fork``
+executes as a no-op sequentially), which is how the distillation-ratio
+experiment measures its dynamic path length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import find_loops
+from repro.config import DistillConfig
+from repro.distill.ir import lift_to_ir
+from repro.distill.layout import layout_ir
+from repro.distill.passes.branch_removal import run_branch_removal
+from repro.distill.passes.cold_code import run_cold_code
+from repro.distill.passes.dce import run_dce
+from repro.distill.passes.fork_placement import run_fork_placement
+from repro.distill.passes.store_elim import run_store_elim
+from repro.distill.passes.value_spec import run_value_spec
+from repro.distill.pc_map import PcMap
+from repro.isa.program import Program
+from repro.profiling.profile_data import Profile
+
+
+@dataclass
+class DistillReport:
+    """Static accounting of one distillation."""
+
+    original_static: int
+    distilled_static: int
+    anchors: List[int] = field(default_factory=list)
+    expected_task_size: float = 0.0
+    pass_stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def static_ratio(self) -> float:
+        """Distilled static size as a fraction of the original."""
+        return self.distilled_static / self.original_static
+
+    def describe(self) -> str:
+        lines = [
+            f"static: {self.original_static} -> {self.distilled_static} "
+            f"({self.static_ratio:.2f}x)",
+            f"anchors: {len(self.anchors)} "
+            f"(expected task size {self.expected_task_size:.0f})",
+        ]
+        for name, stats in self.pass_stats.items():
+            lines.append(f"{name}: {stats}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DistillationResult:
+    """Everything the MSSP engine needs from the distiller."""
+
+    original: Program
+    distilled: Program
+    pc_map: PcMap
+    report: DistillReport
+
+
+class Distiller:
+    """Profile-guided program distiller."""
+
+    def __init__(self, config: Optional[DistillConfig] = None):
+        self.config = config or DistillConfig()
+
+    def distill(self, program: Program, profile: Profile) -> DistillationResult:
+        """Distill ``program`` using the training ``profile``."""
+        config = self.config
+        cfg = build_cfg(program)
+        domtree = DominatorTree(cfg)
+        loops = find_loops(cfg, domtree)
+        liveness = compute_liveness(cfg)
+        ir = lift_to_ir(program, cfg)
+        original_static = len(program.code)
+        pass_stats: Dict[str, object] = {}
+
+        if config.enable_value_spec:
+            pass_stats["value_spec"] = run_value_spec(ir, profile, config)
+        if config.enable_store_elim:
+            pass_stats["store_elim"] = run_store_elim(ir, profile, config)
+        if config.enable_branch_removal:
+            pass_stats["branch_removal"] = run_branch_removal(
+                ir, profile, cfg, domtree, loops, config
+            )
+        if config.enable_cold_code:
+            pass_stats["cold_code"] = run_cold_code(ir, profile, config)
+        fork_stats = run_fork_placement(
+            ir, profile, cfg, loops, liveness, config
+        )
+        pass_stats["fork_placement"] = fork_stats
+        if config.enable_dce:
+            pass_stats["dce"] = run_dce(ir, config)
+
+        distilled, pc_map = layout_ir(
+            ir, jump_threading=config.enable_jump_threading
+        )
+        report = DistillReport(
+            original_static=original_static,
+            distilled_static=len(distilled.code),
+            anchors=list(fork_stats.anchors),
+            expected_task_size=fork_stats.expected_task_size,
+            pass_stats=pass_stats,
+        )
+        return DistillationResult(
+            original=program, distilled=distilled, pc_map=pc_map,
+            report=report,
+        )
+
+
+def distill_with_default_profile(
+    program: Program, config: Optional[DistillConfig] = None
+) -> DistillationResult:
+    """Profile on the program's own data image, then distill."""
+    from repro.profiling.profiler import profile_program
+
+    profile = profile_program(program)
+    return Distiller(config).distill(program, profile)

@@ -1,0 +1,134 @@
+"""Final code layout: IR blocks back to a flat, executable Program.
+
+Blocks are placed in original-program order (synthesized blocks such as
+the trap at the end), symbolic targets are patched to pcs, fall-through
+edges whose successor is not physically next get an explicit ``j``
+re-materialized, and jumps to the physically-next block are elided
+(jump threading).  ``jal`` adjacency requirements are verified — a call's
+return site must land at ``call pc + 1`` for the link-register arithmetic
+to remain valid.
+
+Layout also produces the :class:`~repro.distill.pc_map.PcMap` by locating
+every ``fork`` instruction it placed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.distill.ir import DBlock, DInstr, DistillIR, TRAP_BLOCK
+from repro.distill.pc_map import PcMap
+from repro.errors import DistillError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+def layout_ir(
+    ir: DistillIR, name: Optional[str] = None, jump_threading: bool = True
+) -> Tuple[Program, PcMap]:
+    """Materialize ``ir`` into a distilled :class:`Program` plus its PcMap."""
+    ordered = _order_blocks(ir)
+    placed: List[Tuple[DBlock, List[DInstr]]] = []
+    for position, block in enumerate(ordered):
+        next_name = ordered[position + 1].name if position + 1 < len(ordered) else None
+        instrs = list(block.instrs)
+        if block.fallthrough is not None and block.fallthrough != next_name:
+            if block.requires_adjacent_fallthrough:
+                raise DistillError(
+                    f"jal block {block.name}: return site "
+                    f"{block.fallthrough} not physically adjacent"
+                )
+            instrs.append(
+                DInstr(Instruction(op=Opcode.J, target=block.fallthrough))
+            )
+        elif (
+            jump_threading
+            and instrs
+            and instrs[-1].instr.op is Opcode.J
+            and instrs[-1].instr.target == next_name
+        ):
+            instrs = instrs[:-1]
+        placed.append((block, instrs))
+
+    # Assign pcs.
+    starts: Dict[str, int] = {}
+    pc = 0
+    for block, instrs in placed:
+        starts[block.name] = pc
+        pc += len(instrs)
+    total = pc
+
+    # Patch symbolic targets and flatten.
+    code: List[Instruction] = []
+    # (distilled fork pc, orig anchor pc, distilled anchor-block start)
+    fork_sites: List[Tuple[int, int, int]] = []
+    for block, instrs in placed:
+        for dinstr in instrs:
+            instr = dinstr.instr
+            if isinstance(instr.target, str):
+                target_name = instr.target
+                if target_name not in starts:
+                    raise DistillError(
+                        f"{block.name}: unresolved target {target_name!r}"
+                    )
+                instr = instr.with_target(starts[target_name])
+            if instr.op is Opcode.FORK:
+                fork_sites.append(
+                    (len(code), int(instr.target), starts[block.name])
+                )
+            code.append(instr)
+
+    if not code:
+        raise DistillError("layout produced an empty program")
+    if not any(instr.op is Opcode.HALT for instr in code):
+        # A distilled program that runs off its end would fault the master;
+        # terminate it explicitly instead (treated as a master trap).
+        code.append(Instruction(op=Opcode.HALT))
+        total += 1
+
+    entry_pc = starts[ir.entry_name]
+    symbols = {
+        block.name: starts[block.name] for block, _ in placed
+    }
+    distilled = Program(
+        code=tuple(code),
+        memory=ir.program.memory,
+        entry=entry_pc,
+        symbols=symbols,
+        name=name or f"{ir.program.name}.distilled",
+    )
+
+    resume: Dict[int, int] = {}
+    arrival: Dict[int, int] = {}
+    for distilled_pc, orig_pc, block_start in fork_sites:
+        if orig_pc in resume:
+            raise DistillError(f"duplicate fork anchor for original pc {orig_pc}")
+        resume[orig_pc] = distilled_pc + 1
+        arrival[orig_pc] = block_start
+    orig_entry = ir.program.entry
+    if orig_entry not in resume:
+        resume[orig_entry] = entry_pc
+    jr_table = {
+        return_pc: starts[name]
+        for return_pc in ir.call_return_pcs
+        for name in (f"B{return_pc}",)
+        if name in starts
+    }
+    pc_map = PcMap(
+        resume=resume, entry_orig=orig_entry, arrival=arrival,
+        jr_table=jr_table,
+    )
+    return distilled, pc_map
+
+
+def _order_blocks(ir: DistillIR) -> List[DBlock]:
+    """Original-pc order; synthesized blocks (trap) go last."""
+
+    def key(block: DBlock) -> Tuple[int, int, str]:
+        if block.name == TRAP_BLOCK:
+            return (2, 0, block.name)
+        if block.orig_start_pc is None:
+            return (1, 0, block.name)
+        return (0, block.orig_start_pc, block.name)
+
+    return sorted(ir.blocks, key=key)

@@ -1,0 +1,26 @@
+"""Individual distillation passes (one module per pass)."""
+
+from repro.distill.passes.branch_removal import (
+    BranchRemovalStats,
+    run_branch_removal,
+)
+from repro.distill.passes.cold_code import ColdCodeStats, run_cold_code
+from repro.distill.passes.dce import DceStats, run_dce
+from repro.distill.passes.fork_placement import (
+    ForkPlacementStats,
+    run_fork_placement,
+)
+from repro.distill.passes.value_spec import ValueSpecStats, run_value_spec
+
+__all__ = [
+    "BranchRemovalStats",
+    "run_branch_removal",
+    "ColdCodeStats",
+    "run_cold_code",
+    "DceStats",
+    "run_dce",
+    "ForkPlacementStats",
+    "run_fork_placement",
+    "ValueSpecStats",
+    "run_value_spec",
+]

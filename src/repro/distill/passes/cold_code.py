@@ -1,0 +1,79 @@
+"""Cold-code elimination pass.
+
+Blocks whose training-run execution share is at most ``cold_threshold``
+(0.0 = never executed) are deleted from the distilled program.  Any
+surviving control transfer into deleted code is retargeted at a
+synthesized *trap* block — a lone ``halt`` — so a master that does reach
+the supposedly-cold path stops immediately and the MSSP engine recovers
+non-speculatively.  This is the mechanism by which "the master need not
+be correct" becomes concrete: deleting reachable code is *allowed*.
+
+Protected blocks (never deleted): the entry block, and ``jal`` return
+sites whose call survives (layout requires them physically adjacent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.config import DistillConfig
+from repro.distill.ir import DistillIR
+from repro.profiling.profile_data import Profile
+
+
+@dataclass
+class ColdCodeStats:
+    """What the pass did (for the distillation report)."""
+
+    blocks_removed: int = 0
+    instrs_removed: int = 0
+    unreachable_removed: int = 0
+
+
+def run_cold_code(
+    ir: DistillIR, profile: Profile, config: DistillConfig
+) -> ColdCodeStats:
+    """Delete cold blocks, in place."""
+    stats = ColdCodeStats()
+    protected: Set[str] = {ir.entry_name}
+    protected.update(name for name in ir.return_site_names() if name)
+    removable: Set[str] = set()
+    for block in ir.blocks:
+        if block.name in protected or block.orig_start_pc is None:
+            continue
+        if profile.is_cold(block.orig_start_pc, config.cold_threshold):
+            removable.add(block.name)
+            stats.blocks_removed += 1
+            stats.instrs_removed += len(block.instrs)
+    if removable:
+        ir.remove_blocks(removable)
+    stats.unreachable_removed = prune_unreachable(ir)
+    return stats
+
+
+def prune_unreachable(ir: DistillIR) -> int:
+    """Delete blocks no longer reachable in the distilled control flow.
+
+    Branch assertion routinely strands the rare-path blocks it bypassed;
+    they carry no trap retargeting concerns (nothing reaches them), so
+    they are simply dropped.  Protected return sites are kept — the IR
+    reachability already includes every surviving ``jr``'s return-site
+    edges, so anything this prunes is dead even under the conservative
+    call/return approximation.
+    """
+    removed = 0
+    while True:
+        reachable = ir.reachable_names()
+        protected = {name for name in ir.return_site_names() if name}
+        stale = {
+            block.name
+            for block in ir.blocks
+            if block.name not in reachable
+            and block.name != ir.entry_name
+            and block.name not in protected
+        }
+        if not stale:
+            return removed
+        removed += len(stale)
+        ir.remove_blocks(stale)

@@ -1,0 +1,56 @@
+"""Dead-store elimination pass.
+
+A store whose profiled target addresses are never loaded — anywhere, by
+any training run — does not feed the master's own computation and does
+not need to appear in checkpoints: slaves that (unexpectedly) read such
+an address fall through the checkpoint to architected state, which holds
+the *committed* (exact) value, so correctness is untouched and even the
+squash rate cannot rise.  What elimination buys is a shorter distilled
+program and smaller checkpoints (the typical win is write-only output
+buffers, e.g. a copy destination).
+
+Conservatism: stores with unknown (polymorphic) target sets, or any
+profiled overlap with loaded addresses, are kept — eliminating those
+would starve the master's own later loads and turn into squash storms.
+
+After elimination the store's address computation often dies; DCE (which
+runs later) collects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DistillConfig
+from repro.distill.ir import DistillIR
+from repro.isa.instructions import Opcode
+from repro.profiling.profile_data import Profile
+
+
+@dataclass
+class StoreElimStats:
+    """What the pass did (for the distillation report)."""
+
+    candidates: int = 0
+    eliminated: int = 0
+
+
+def run_store_elim(
+    ir: DistillIR, profile: Profile, config: DistillConfig
+) -> StoreElimStats:
+    """Delete provably-unread stores from the distilled IR, in place."""
+    stats = StoreElimStats()
+    for block in ir.blocks:
+        survivors = []
+        for dinstr in block.instrs:
+            if dinstr.instr.op is Opcode.SW and dinstr.orig_pc is not None:
+                stats.candidates += 1
+                dead = profile.dead_store_addresses(
+                    dinstr.orig_pc, min_count=config.store_elim_min_count
+                )
+                if dead is not None:
+                    stats.eliminated += 1
+                    continue
+            survivors.append(dinstr)
+        block.instrs = survivors
+    return stats

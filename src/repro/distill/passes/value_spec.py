@@ -1,0 +1,51 @@
+"""Load-value specialization pass.
+
+Loads whose profiled behaviour is provably stable — a single value, from
+addresses never stored to anywhere in the training runs — are replaced by
+``li rd, value``.  This is the distilled program trading generality for
+speed: the master no longer touches memory for these reads.  If the
+evaluation input violates the assumption, the master's predictions go
+wrong and verification squashes the affected tasks; correctness is never
+at risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DistillConfig
+from repro.distill.ir import DistillIR
+from repro.isa.instructions import Instruction, Opcode
+from repro.profiling.profile_data import Profile
+
+
+@dataclass
+class ValueSpecStats:
+    """What the pass did (for the distillation report)."""
+
+    candidates: int = 0
+    specialized: int = 0
+
+
+def run_value_spec(
+    ir: DistillIR, profile: Profile, config: DistillConfig
+) -> ValueSpecStats:
+    """Replace provably-stable loads with immediates, in place."""
+    stats = ValueSpecStats()
+    for block in ir.blocks:
+        for dinstr in block.instrs:
+            if dinstr.instr.op is not Opcode.LW or dinstr.orig_pc is None:
+                continue
+            stats.candidates += 1
+            value = profile.stable_load_value(
+                dinstr.orig_pc,
+                min_count=config.value_spec_min_count,
+                min_share=config.value_spec_min_share,
+            )
+            if value is None:
+                continue
+            dinstr.instr = Instruction(
+                op=Opcode.LI, rd=dinstr.instr.rd, imm=value
+            )
+            stats.specialized += 1
+    return stats

@@ -1,0 +1,73 @@
+"""The original↔distilled pc correspondence.
+
+MSSP needs exactly one mapping at run time: given an *anchor* — an
+original-program pc at which tasks may begin — where should the master
+(re)start executing the distilled program?  The distiller answers with a
+:class:`PcMap`:
+
+* every anchor carries a ``resume`` pc, the distilled location immediately
+  *after* that anchor's ``fork`` instruction (so a restarted master does
+  not immediately re-fork the task the engine has already opened);
+* the anchor set also tells non-speculative recovery where it may stop
+  and hand control back to speculative execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+from repro.errors import DistillError
+
+
+@dataclass(frozen=True)
+class PcMap:
+    """Anchor pcs in the original program and their master resume pcs."""
+
+    #: original anchor pc -> distilled pc the master resumes at.
+    resume: Dict[int, int] = field(default_factory=dict)
+    #: The original program's entry pc (always an anchor).
+    entry_orig: int = 0
+    #: original anchor pc -> distilled pc whose execution counts as one
+    #: *arrival* at the anchor (the anchor block's first instruction).
+    #: Strided forks make the master pass an anchor several times before
+    #: forking; the master counts arrivals at these pcs so each fork can
+    #: tell its slave how many end-pc arrivals the task spans.
+    arrival: Dict[int, int] = field(default_factory=dict)
+    #: original return pc -> distilled return pc.  Distilled calls load
+    #: *original* return addresses (so checkpointed ``ra`` values verify
+    #: against architected state); the master translates ``jr`` targets
+    #: through this table.  A miss is a master trap (recovered from).
+    jr_table: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "resume", dict(self.resume))
+        object.__setattr__(self, "arrival", dict(self.arrival))
+        object.__setattr__(self, "jr_table", dict(self.jr_table))
+        if self.entry_orig not in self.resume:
+            raise DistillError("pc map must cover the original entry pc")
+
+    @property
+    def anchors(self) -> FrozenSet[int]:
+        """All original pcs at which tasks may begin."""
+        return frozenset(self.resume)
+
+    def is_anchor(self, orig_pc: int) -> bool:
+        return orig_pc in self.resume
+
+    def resume_pc(self, orig_pc: int) -> int:
+        """Distilled pc for a master restart at original pc ``orig_pc``."""
+        try:
+            return self.resume[orig_pc]
+        except KeyError:
+            raise DistillError(
+                f"original pc {orig_pc} is not an anchor; master cannot "
+                "restart there"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.resume)
+
+    def arrival_pcs(self) -> Dict[int, int]:
+        """Map of distilled arrival-counting pc -> original anchor pc."""
+        return {distilled: orig for orig, distilled in self.arrival.items()}

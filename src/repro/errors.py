@@ -1,0 +1,85 @@
+"""Exception hierarchy for the MSSP reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class IsaError(ReproError):
+    """Malformed instruction, operand, or encoding."""
+
+
+class AssemblerError(ReproError):
+    """Syntax or semantic error while assembling a program.
+
+    Carries the 1-based source line number when it is known.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class ExecutionError(ReproError):
+    """Runtime fault in the sequential interpreter."""
+
+
+class InvalidPcError(ExecutionError):
+    """The program counter left the program's text section."""
+
+    def __init__(self, pc: int, text_size: int):
+        super().__init__(f"pc {pc} outside program text [0, {text_size})")
+        self.pc = pc
+        self.text_size = text_size
+
+
+class StepLimitExceeded(ExecutionError):
+    """A bounded run exhausted its instruction budget without halting."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"execution exceeded the step limit of {limit} instructions")
+        self.limit = limit
+
+
+class AnalysisError(ReproError):
+    """Control-flow or dataflow analysis could not be completed."""
+
+
+class DistillError(ReproError):
+    """The distiller could not produce a distilled program."""
+
+
+class MsspError(ReproError):
+    """Violation of an internal invariant of the MSSP engine."""
+
+
+class ProtectedAccessError(ReproError):
+    """A speculative execution touched a protected (non-idempotent) region.
+
+    Raised by the slave's memory view *before* the access is performed;
+    the engine converts it into a task abort followed by non-speculative
+    recovery, which performs the access exactly once.
+    """
+
+    def __init__(self, address: int, is_store: bool):
+        kind = "store to" if is_store else "load from"
+        super().__init__(f"speculative {kind} protected address {address}")
+        self.address = address
+        self.is_store = is_store
+
+
+class TimingError(ReproError):
+    """Inconsistent timing-model configuration or trace."""
+
+
+class WorkloadError(ReproError):
+    """Unknown workload or invalid workload parameters."""

@@ -1,0 +1,10 @@
+"""The reconstructed MICRO-2002 evaluation: harness + experiment drivers."""
+
+from repro.experiments.harness import (
+    EvaluationRow,
+    PreparedWorkload,
+    evaluate,
+    prepare,
+)
+
+__all__ = ["EvaluationRow", "PreparedWorkload", "evaluate", "prepare"]

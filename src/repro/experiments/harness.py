@@ -1,0 +1,203 @@
+"""Experiment harness: the full MSSP evaluation pipeline for one workload.
+
+The pipeline mirrors the paper's methodology:
+
+1. run the workload's *training* inputs under the profiler;
+2. distill the program with the merged training profile;
+3. run the *evaluation* input (a different seed) under the MSSP engine,
+   checking equivalence against sequential execution as we go;
+4. replay the trace through the timing model and compute speedups.
+
+:func:`prepare` does steps 1-2 (the expensive, reusable part);
+:func:`evaluate` does steps 3-4 for a given machine configuration.
+Benchmarks sweep configurations by calling :func:`evaluate` repeatedly
+on one prepared workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import (
+    BaselineConfig,
+    DistillConfig,
+    MsspConfig,
+    SEQUENTIAL_BASELINE,
+    TimingConfig,
+)
+from repro.distill import DistillationResult, Distiller
+from repro.errors import MsspError
+from repro.formal.refinement import assert_jumping_refinement
+from repro.machine.interpreter import count_instructions_and_loads
+from repro.mssp import MsspEngine, MsspResult
+from repro.profiling import Profile
+from repro.timing import TimingBreakdown, baseline_cycles, simulate_mssp
+from repro.workloads.base import WorkloadInstance, WorkloadSpec
+
+#: Step budget for workload-scale runs.
+RUN_LIMIT = 20_000_000
+
+
+@dataclass
+class PreparedWorkload:
+    """A workload after profiling and distillation (steps 1-2)."""
+
+    instance: WorkloadInstance
+    profile: Profile
+    distillation: DistillationResult
+    #: Dynamic length of the evaluation input under the original program.
+    seq_instrs: int
+    #: Memory loads in the sequential evaluation run (for memory-aware
+    #: baseline cycle accounting).
+    seq_loads: int
+    #: Dynamic length of the *distilled* program on the evaluation input
+    #: (fork executes as nop), the paper's distillation-effectiveness
+    #: numerator.
+    distilled_instrs: int
+
+    @property
+    def name(self) -> str:
+        return self.instance.name
+
+    @property
+    def distillation_ratio(self) -> float:
+        """Dynamic distilled / original instructions (lower = better)."""
+        return self.distilled_instrs / self.seq_instrs
+
+
+@dataclass
+class EvaluationRow:
+    """One workload × one machine configuration."""
+
+    name: str
+    seq_instrs: int
+    mssp: MsspResult
+    breakdown: TimingBreakdown
+    baseline: BaselineConfig = SEQUENTIAL_BASELINE
+    seq_loads: int = 0
+
+    @property
+    def baseline_cycles(self) -> float:
+        return baseline_cycles(self.seq_instrs, self.baseline, self.seq_loads)
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.breakdown.total_cycles
+
+    @property
+    def counters(self):
+        return self.mssp.counters
+
+    def summary(self) -> Dict[str, float]:
+        out = {
+            "speedup": self.speedup,
+            "cycles": self.breakdown.total_cycles,
+            "baseline_cycles": self.baseline_cycles,
+        }
+        out.update(self.counters.summary())
+        return out
+
+
+def prepare(
+    spec: WorkloadSpec,
+    size: Optional[int] = None,
+    distill_config: Optional[DistillConfig] = None,
+    profile_source: str = "train",
+) -> PreparedWorkload:
+    """Profile and distill one workload.
+
+    ``profile_source`` selects the training methodology (E13 studies it):
+
+    * ``"train"`` — all training inputs, merged (the default; the
+      paper's train/ref discipline);
+    * ``"single"`` — only the first training input (a weaker profile:
+      value specialization can latch onto input-specific accidents);
+    * ``"eval"`` — the evaluation input itself (the self-profiling
+      oracle: the best any profile can do).
+    """
+    instance = spec.instance(size)
+    profile = _profile_for(instance, profile_source)
+    distillation = Distiller(distill_config).distill(
+        instance.program, profile
+    )
+    seq_instrs, seq_loads = count_instructions_and_loads(
+        instance.program, max_steps=RUN_LIMIT
+    )
+    distilled_instrs = distilled_dynamic_length(
+        distillation, instance.program, max_steps=RUN_LIMIT
+    )
+    return PreparedWorkload(
+        instance=instance, profile=profile, distillation=distillation,
+        seq_instrs=seq_instrs, seq_loads=seq_loads,
+        distilled_instrs=distilled_instrs,
+    )
+
+
+def distilled_dynamic_length(
+    distillation: DistillationResult,
+    eval_program,
+    max_steps: int = RUN_LIMIT,
+) -> int:
+    """Dynamic length of the distilled program on the evaluation input.
+
+    Runs the distilled binary standalone in master mode (forks are
+    no-ops, ``jr`` targets translate through the pc map's jr table) —
+    the numerator of the paper's distillation-effectiveness metric.
+    """
+    from repro.machine.state import ArchState
+    from repro.mssp.master import Master
+
+    master = Master(
+        distillation.distilled.with_memory(eval_program.memory),
+        MsspConfig(),
+        jr_table=distillation.pc_map.jr_table,
+    )
+    boot = ArchState(mem=eval_program.memory, pc=0)
+    return master.run_standalone(boot, max_steps=max_steps)
+
+
+def _profile_for(instance: WorkloadInstance, source: str) -> Profile:
+    from repro.profiling import profile_program
+
+    if source == "eval":
+        return profile_program(instance.program, max_steps=RUN_LIMIT)
+    if source == "single":
+        programs = instance.train_programs[:1]
+    elif source == "train":
+        programs = instance.train_programs
+    else:
+        raise MsspError(f"unknown profile_source {source!r}")
+    merged = None
+    for program in programs:
+        current = profile_program(program, max_steps=RUN_LIMIT)
+        merged = current if merged is None else merged.merge(current)
+    if merged is None:
+        raise MsspError("workload has no training inputs")
+    return merged
+
+
+def evaluate(
+    prepared: PreparedWorkload,
+    mssp_config: Optional[MsspConfig] = None,
+    timing_config: Optional[TimingConfig] = None,
+    baseline: BaselineConfig = SEQUENTIAL_BASELINE,
+    check: bool = True,
+) -> EvaluationRow:
+    """Run MSSP on the evaluation input and time the trace."""
+    engine = MsspEngine(
+        prepared.instance.program, prepared.distillation,
+        config=mssp_config,
+    )
+    result = engine.run_and_check() if check else engine.run()
+    if check:
+        assert_jumping_refinement(prepared.instance.program, result)
+    breakdown = simulate_mssp(result, timing_config)
+    return EvaluationRow(
+        name=prepared.name,
+        seq_instrs=prepared.seq_instrs,
+        mssp=result,
+        breakdown=breakdown,
+        baseline=baseline,
+        seq_loads=prepared.seq_loads,
+    )

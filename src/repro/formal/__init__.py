@@ -1,0 +1,51 @@
+"""Executable formal model of MSSP (from the companion verification paper).
+
+Implements machine-state superimposition, consistency, abstract tasks and
+task safety (Definitions 4–8 of Salverda/Roşu/Zilles), plus the
+jumping-refinement replay checker used to validate engine traces against
+the sequential model.
+"""
+
+from repro.formal.abstract import (
+    AbstractTask,
+    consistent,
+    cumulative_writes,
+    delta,
+    mssp_commit,
+    mssp_run,
+    seq_n,
+    superimpose,
+    task_safe,
+)
+from repro.formal.bridge import (
+    PC_CELL,
+    arch_to_cells,
+    cells_to_arch,
+    live_sets_to_cells,
+    make_next_fn,
+)
+from repro.formal.refinement import (
+    RefinementReport,
+    assert_jumping_refinement,
+    replay_trace,
+)
+
+__all__ = [
+    "AbstractTask",
+    "consistent",
+    "cumulative_writes",
+    "delta",
+    "mssp_commit",
+    "mssp_run",
+    "seq_n",
+    "superimpose",
+    "task_safe",
+    "PC_CELL",
+    "arch_to_cells",
+    "cells_to_arch",
+    "live_sets_to_cells",
+    "make_next_fn",
+    "RefinementReport",
+    "assert_jumping_refinement",
+    "replay_trace",
+]

@@ -1,0 +1,84 @@
+"""Bridge between the abstract formal model and the concrete Z-ISA machine.
+
+Lets the companion paper's Theorem 2 — *consistency + completeness of
+live-ins imply task safety* — be checked on the real machine: a concrete
+:class:`~repro.machine.state.ArchState` is projected into the abstract
+cell map, and the concrete sequential machine provides the ``next``
+function over full states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS
+from repro.machine.semantics import execute
+from repro.machine.state import ArchState
+
+Cell = Hashable
+
+PC_CELL: Cell = ("pc",)
+
+
+def arch_to_cells(state: ArchState) -> Dict[Cell, int]:
+    """Project a concrete state into the abstract cell map.
+
+    Complete by construction: every register, every mapped memory cell,
+    and the pc appear.  Unmapped memory is zero in the concrete machine
+    and *absent* here; superimposition of recorded live-outs therefore
+    treats the two identically (the sparse-zero canonical form).
+    """
+    cells: Dict[Cell, int] = {PC_CELL: state.pc}
+    for index in range(NUM_REGS):
+        cells[("reg", index)] = state.regs[index]
+    for address, value in state.mem.items():
+        cells[("mem", address)] = value
+    return cells
+
+
+def cells_to_arch(cells: Dict[Cell, int]) -> ArchState:
+    """Inverse of :func:`arch_to_cells` (for full cell maps)."""
+    state = ArchState(pc=cells.get(PC_CELL, 0))
+    for cell, value in cells.items():
+        if cell == PC_CELL:
+            continue
+        kind, key = cell
+        if kind == "reg":
+            state.write_reg(key, value)
+        else:
+            state.store(key, value)
+    return state
+
+
+def make_next_fn(program: Program):
+    """The concrete machine's ``next`` over abstract full-state cells.
+
+    Only defined on complete cell maps (ones produced by
+    :func:`arch_to_cells`); stepping a halted state is the identity, as
+    in the SEQ model.
+    """
+
+    def next_fn(cells: Dict[Cell, int]) -> Dict[Cell, int]:
+        state = cells_to_arch(dict(cells))
+        pc = state.pc
+        if 0 <= pc < len(program.code):
+            execute(program.code[pc], state)
+        return arch_to_cells(state)
+
+    return next_fn
+
+
+def live_sets_to_cells(
+    live_regs: Dict[int, int], live_mem: Dict[int, int],
+    pc: Tuple[int, bool] = None,
+) -> Dict[Cell, int]:
+    """Project recorded live-in/out sets into abstract cells."""
+    cells: Dict[Cell, int] = {}
+    if pc is not None:
+        cells[PC_CELL] = pc[0]
+    for index, value in live_regs.items():
+        cells[("reg", index)] = value
+    for address, value in live_mem.items():
+        cells[("mem", address)] = value
+    return cells

@@ -1,0 +1,72 @@
+"""Z-ISA: the instruction set, assembler, disassembler and builder DSL.
+
+The public surface of this package:
+
+* :class:`~repro.isa.instructions.Instruction` and
+  :class:`~repro.isa.instructions.Opcode` — the instruction set itself;
+* :class:`~repro.isa.program.Program` — an assembled program;
+* :func:`~repro.isa.asm.assemble` — textual assembler;
+* :func:`~repro.isa.disasm.disassemble` — round-trippable disassembler;
+* :class:`~repro.isa.builder.ProgramBuilder` — programmatic builder DSL;
+* :mod:`~repro.isa.encoding` — fixed-width binary encoding.
+"""
+
+from repro.isa.asm import Assembler, assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.disasm import disassemble, disassemble_instruction
+from repro.isa.encoding import (
+    INSTRUCTION_BYTES,
+    code_size_bytes,
+    decode_instruction,
+    decode_program_words,
+    encode_instruction,
+    encode_program_words,
+)
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    Format,
+    Instruction,
+    JUMP_OPS,
+    Opcode,
+    TERMINATOR_OPS,
+)
+from repro.isa.program import Program
+from repro.isa.registers import (
+    FP,
+    NUM_REGS,
+    RA,
+    RV,
+    SP,
+    ZERO,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "ProgramBuilder",
+    "disassemble",
+    "disassemble_instruction",
+    "INSTRUCTION_BYTES",
+    "code_size_bytes",
+    "decode_instruction",
+    "decode_program_words",
+    "encode_instruction",
+    "encode_program_words",
+    "BRANCH_OPS",
+    "Format",
+    "Instruction",
+    "JUMP_OPS",
+    "Opcode",
+    "TERMINATOR_OPS",
+    "Program",
+    "FP",
+    "NUM_REGS",
+    "RA",
+    "RV",
+    "SP",
+    "ZERO",
+    "parse_register",
+    "register_name",
+]

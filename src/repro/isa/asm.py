@@ -1,0 +1,239 @@
+"""Two-pass textual assembler for the Z-ISA.
+
+Syntax overview::
+
+    # comment                 ; also a comment
+            .text             # switch to text section (default)
+    main:   li   r1, 100
+    loop:   addi r1, r1, -1
+            lw   r2, 4(r3)
+            sw   r2, table(r0)    # data labels usable as offsets
+            bne  r1, zero, loop
+            jal  subroutine
+            halt
+
+            .data 0x1000      # switch to data section at word address 0x1000
+    table:  .word 1, 2, 3, -4
+    buffer: .space 16         # 16 zeroed words
+
+Labels bound in the text section resolve to program counters; labels bound
+in the data section resolve to word addresses.  Immediates and offsets may
+be decimal, hex (``0x``), negative, or symbolic (a label name).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError, IsaError
+from repro.isa.instructions import Format, Instruction, OPCODES_BY_MNEMONIC
+from repro.isa.program import Program
+from repro.isa.registers import parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):(.*)$")
+_MEM_OPERAND_RE = re.compile(r"^(.*)\(\s*([A-Za-z0-9_]+)\s*\)$")
+
+
+@dataclass
+class _Line:
+    """One meaningful source line after pass 1."""
+
+    number: int
+    mnemonic: str
+    operands: List[str]
+    pc: int
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_int(text: str) -> Optional[int]:
+    """Parse a decimal/hex integer literal, or None if not a literal."""
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+class Assembler:
+    """Assembles Z-ISA source text into a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._symbols: Dict[str, int] = {}
+        self._lines: List[_Line] = []
+        self._memory: Dict[int, int] = {}
+        self._data_items: List[Tuple[int, str, List[str]]] = []
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble ``source`` and return the resulting program."""
+        self._symbols = {}
+        self._lines = []
+        self._memory = {}
+        self._data_items = []
+        self._first_pass(source)
+        code = [self._build_instruction(line) for line in self._lines]
+        self._build_data()
+        entry = self._symbols.get("main", 0)
+        return Program(
+            code=tuple(code), memory=self._memory, entry=entry,
+            symbols=self._symbols, name=name,
+        )
+
+    # -- pass 1: layout and symbol binding ------------------------------------
+
+    def _first_pass(self, source: str) -> None:
+        in_data = False
+        data_addr = 0
+        pc = 0
+        for number, raw in enumerate(source.splitlines(), start=1):
+            text = _strip_comment(raw)
+            while text:
+                match = _LABEL_RE.match(text)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in self._symbols:
+                    raise AssemblerError(f"duplicate label {label!r}", number)
+                self._symbols[label] = data_addr if in_data else pc
+                text = match.group(2).strip()
+            if not text:
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            operands = [o.strip() for o in rest.split(",")] if rest else []
+            if mnemonic == ".text":
+                in_data = False
+            elif mnemonic == ".data":
+                in_data = True
+                if operands and operands[0]:
+                    addr = _parse_int(operands[0])
+                    if addr is None:
+                        raise AssemblerError(
+                            f"bad .data address {operands[0]!r}", number
+                        )
+                    data_addr = addr
+            elif mnemonic == ".word":
+                if not in_data:
+                    raise AssemblerError(".word outside .data section", number)
+                self._data_items.append((data_addr, ".word", operands))
+                data_addr += len(operands)
+            elif mnemonic == ".space":
+                if not in_data:
+                    raise AssemblerError(".space outside .data section", number)
+                count = _parse_int(operands[0]) if operands else None
+                if count is None or count < 0:
+                    raise AssemblerError("bad .space count", number)
+                self._data_items.append((data_addr, ".space", operands))
+                data_addr += count
+            elif mnemonic.startswith("."):
+                raise AssemblerError(f"unknown directive {mnemonic!r}", number)
+            else:
+                if in_data:
+                    raise AssemblerError(
+                        "instruction inside .data section", number
+                    )
+                self._lines.append(_Line(number, mnemonic, operands, pc))
+                pc += 1
+
+    # -- pass 2: operand resolution -------------------------------------------
+
+    def _resolve_value(self, text: str, line: int) -> int:
+        value = _parse_int(text)
+        if value is not None:
+            return value
+        if text in self._symbols:
+            return self._symbols[text]
+        raise AssemblerError(f"undefined symbol {text!r}", line)
+
+    def _resolve_register(self, text: str, line: int) -> int:
+        try:
+            return parse_register(text)
+        except IsaError as exc:
+            raise AssemblerError(str(exc), line) from exc
+
+    def _split_mem_operand(self, text: str, line: int) -> Tuple[int, int]:
+        """Parse ``offset(reg)`` into (offset, register)."""
+        match = _MEM_OPERAND_RE.match(text.strip())
+        if not match:
+            raise AssemblerError(f"bad memory operand {text!r}", line)
+        offset_text = match.group(1).strip() or "0"
+        offset = self._resolve_value(offset_text, line)
+        reg = self._resolve_register(match.group(2), line)
+        return offset, reg
+
+    def _build_instruction(self, line: _Line) -> Instruction:
+        if line.mnemonic not in OPCODES_BY_MNEMONIC:
+            raise AssemblerError(
+                f"unknown mnemonic {line.mnemonic!r}", line.number
+            )
+        op = OPCODES_BY_MNEMONIC[line.mnemonic]
+        ops = line.operands
+        expected = {
+            Format.R3: 3, Format.I2: 3, Format.LI: 2, Format.MOV: 2,
+            Format.LOAD: 2, Format.STORE: 2, Format.BR: 3, Format.J: 1,
+            Format.JR: 1, Format.N0: 0,
+        }[op.format]
+        if len(ops) != expected:
+            raise AssemblerError(
+                f"{op.mnemonic} expects {expected} operand(s), got {len(ops)}",
+                line.number,
+            )
+        reg = self._resolve_register
+        val = self._resolve_value
+        n = line.number
+        try:
+            if op.format == Format.R3:
+                return Instruction(
+                    op=op, rd=reg(ops[0], n), rs=reg(ops[1], n),
+                    rt=reg(ops[2], n),
+                )
+            if op.format == Format.I2:
+                return Instruction(
+                    op=op, rd=reg(ops[0], n), rs=reg(ops[1], n),
+                    imm=val(ops[2], n),
+                )
+            if op.format == Format.LI:
+                return Instruction(op=op, rd=reg(ops[0], n), imm=val(ops[1], n))
+            if op.format == Format.MOV:
+                return Instruction(op=op, rd=reg(ops[0], n), rs=reg(ops[1], n))
+            if op.format == Format.LOAD:
+                offset, base = self._split_mem_operand(ops[1], n)
+                return Instruction(op=op, rd=reg(ops[0], n), rs=base, imm=offset)
+            if op.format == Format.STORE:
+                offset, base = self._split_mem_operand(ops[1], n)
+                return Instruction(op=op, rt=reg(ops[0], n), rs=base, imm=offset)
+            if op.format == Format.BR:
+                return Instruction(
+                    op=op, rs=reg(ops[0], n), rt=reg(ops[1], n),
+                    target=val(ops[2], n),
+                )
+            if op.format == Format.J:
+                return Instruction(op=op, target=val(ops[0], n))
+            if op.format == Format.JR:
+                return Instruction(op=op, rs=reg(ops[0], n))
+            return Instruction(op=op)
+        except IsaError as exc:
+            raise AssemblerError(str(exc), n) from exc
+
+    def _build_data(self) -> None:
+        for addr, kind, operands in self._data_items:
+            if kind == ".word":
+                for offset, text in enumerate(operands):
+                    value = self._resolve_value(text, 0)
+                    if value:
+                        self._memory[addr + offset] = value
+            # .space contributes only layout; memory defaults to zero.
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble Z-ISA source text into a :class:`Program` (one-shot helper)."""
+    return Assembler().assemble(source, name=name)

@@ -1,0 +1,83 @@
+"""Disassembler for Z-ISA programs.
+
+Produces assembly text that re-assembles to an equivalent program (same
+code, same initial memory, same entry pc).  Branch and jump targets are
+rendered as generated labels (``L<pc>``) so the output is readable and
+position-independent; ``fork`` targets are rendered numerically because
+they refer to pcs in a *different* (the original) program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+def _collect_label_pcs(program: Program) -> Set[int]:
+    pcs: Set[int] = {program.entry}
+    for instr in program.code:
+        if instr.op is Opcode.FORK:
+            continue
+        if isinstance(instr.target, int):
+            pcs.add(instr.target)
+    return pcs
+
+
+def _label_for(pc: int) -> str:
+    return f"L{pc}"
+
+
+def disassemble_instruction(instr: Instruction) -> str:
+    """Render a single instruction with numeric targets."""
+    return instr.render()
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` as re-assemblable source text."""
+    label_pcs = _collect_label_pcs(program)
+    lines: List[str] = ["        .text"]
+    for pc, instr in enumerate(program.code):
+        prefix = ""
+        if pc == program.entry and pc in label_pcs:
+            lines.append("main:")
+        if pc in label_pcs:
+            prefix = f"{_label_for(pc)}:"
+        rendered = _render_with_labels(instr)
+        lines.append(f"{prefix:<8}{rendered}")
+    if program.memory:
+        lines.extend(_render_data(program))
+    return "\n".join(lines) + "\n"
+
+
+def _render_with_labels(instr: Instruction) -> str:
+    if instr.target is None or instr.op is Opcode.FORK:
+        return instr.render()
+    return instr.with_target(_label_for(int(instr.target))).render()
+
+
+def _render_data(program: Program) -> List[str]:
+    """Render the initial memory image as .data/.word runs."""
+    lines: List[str] = []
+    addresses = sorted(program.memory)
+    run_start = None
+    run_values: List[int] = []
+    previous = None
+    for addr in addresses + [None]:
+        contiguous = previous is not None and addr == previous + 1
+        if addr is None or not contiguous:
+            if run_values:
+                lines.append(f"        .data {run_start}")
+                for index in range(0, len(run_values), 8):
+                    chunk = run_values[index:index + 8]
+                    rendered = ", ".join(str(v) for v in chunk)
+                    lines.append(f"        .word {rendered}")
+            if addr is None:
+                break
+            run_start = addr
+            run_values = [program.memory[addr]]
+        else:
+            run_values.append(program.memory[addr])
+        previous = addr
+    return lines

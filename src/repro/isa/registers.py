@@ -1,0 +1,88 @@
+"""Register file definition for the Z-ISA.
+
+The Z-ISA has 32 general-purpose 64-bit registers, ``r0`` through ``r31``.
+``r0`` is hardwired to zero (writes are discarded), following the usual RISC
+convention, and a few registers have conventional aliases:
+
+======  =====  ==========================================
+alias   reg    conventional role
+======  =====  ==========================================
+zero    r0     constant zero
+rv      r1     return value
+sp      r29    stack pointer
+fp      r30    frame pointer
+ra      r31    return address (written by ``jal``)
+======  =====  ==========================================
+
+Registers are identified by small integers throughout the package; the
+functions here translate between names and numbers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+
+#: Number of architectural registers.
+NUM_REGS = 32
+
+#: Register number of the hardwired-zero register.
+ZERO = 0
+
+#: Register number of the conventional return-value register.
+RV = 1
+
+#: Register number of the conventional stack pointer.
+SP = 29
+
+#: Register number of the conventional frame pointer.
+FP = 30
+
+#: Register number written by ``jal`` (the link register).
+RA = 31
+
+_ALIASES = {
+    "zero": ZERO,
+    "rv": RV,
+    "sp": SP,
+    "fp": FP,
+    "ra": RA,
+}
+
+_ALIAS_BY_NUMBER = {ZERO: "zero", SP: "sp", FP: "fp", RA: "ra"}
+
+
+def parse_register(name: str) -> int:
+    """Translate a register name (``r7``, ``sp``, ...) to its number.
+
+    Raises :class:`~repro.errors.IsaError` for anything that is not a valid
+    register name.
+    """
+    name = name.strip().lower()
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        number = int(name[1:])
+        if 0 <= number < NUM_REGS:
+            return number
+    raise IsaError(f"invalid register name: {name!r}")
+
+
+def register_name(number: int, prefer_alias: bool = True) -> str:
+    """Translate a register number back to its canonical name.
+
+    With ``prefer_alias`` (the default), registers that have a conventional
+    alias are rendered with it (``sp`` rather than ``r29``); ``rv`` is never
+    used since ``r1`` is also a perfectly ordinary register.
+    """
+    if not 0 <= number < NUM_REGS:
+        raise IsaError(f"invalid register number: {number}")
+    if prefer_alias and number in _ALIAS_BY_NUMBER:
+        return _ALIAS_BY_NUMBER[number]
+    return f"r{number}"
+
+
+def check_register(number: int) -> int:
+    """Validate ``number`` as a register index and return it unchanged."""
+    if not isinstance(number, int) or not 0 <= number < NUM_REGS:
+        raise IsaError(f"invalid register number: {number!r}")
+    return number

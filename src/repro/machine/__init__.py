@@ -1,0 +1,35 @@
+"""Sequential Z-ISA machine: architected state, semantics, interpreter.
+
+This package is the paper's SEQ model: :func:`~repro.machine.interpreter.seq`
+and :func:`~repro.machine.interpreter.run` define what "correct execution"
+means for every other part of the system.
+"""
+
+from repro.machine.interpreter import (
+    DEFAULT_STEP_LIMIT,
+    Observer,
+    RunResult,
+    count_dynamic_instructions,
+    run,
+    run_to_halt,
+    seq,
+    step,
+)
+from repro.machine.semantics import StepEffect, execute
+from repro.machine.state import ArchState, MachineStateLike, wrap64
+
+__all__ = [
+    "DEFAULT_STEP_LIMIT",
+    "Observer",
+    "RunResult",
+    "count_dynamic_instructions",
+    "run",
+    "run_to_halt",
+    "seq",
+    "step",
+    "StepEffect",
+    "execute",
+    "ArchState",
+    "MachineStateLike",
+    "wrap64",
+]

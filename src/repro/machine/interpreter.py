@@ -1,0 +1,133 @@
+"""Sequential reference interpreter — the paper's SEQ model.
+
+:func:`run` executes a program to completion (or a step limit) on an
+:class:`~repro.machine.state.ArchState`; :func:`seq` is the paper's
+``seq(S, n)`` — advance a state by exactly ``n`` instructions.  MSSP
+correctness is always judged against these functions.
+
+An optional observer receives every executed instruction together with its
+:class:`~repro.machine.semantics.StepEffect`; the profiler is implemented
+as such an observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import InvalidPcError, StepLimitExceeded
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.machine.semantics import StepEffect, execute
+from repro.machine.state import ArchState
+
+#: Observer signature: (pc before execution, instruction, effect, state after).
+Observer = Callable[[int, Instruction, StepEffect, ArchState], None]
+
+#: Default instruction budget for :func:`run`.
+DEFAULT_STEP_LIMIT = 50_000_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of a bounded sequential run."""
+
+    state: ArchState
+    steps: int
+    halted: bool
+
+
+def step(program: Program, state: ArchState) -> StepEffect:
+    """Execute exactly one instruction of ``program`` at ``state.pc``."""
+    pc = state.pc
+    if not 0 <= pc < len(program.code):
+        raise InvalidPcError(pc, len(program.code))
+    return execute(program.code[pc], state)
+
+
+def run(
+    program: Program,
+    state: Optional[ArchState] = None,
+    max_steps: int = DEFAULT_STEP_LIMIT,
+    observer: Optional[Observer] = None,
+) -> RunResult:
+    """Run ``program`` until it halts, or raise on exceeding ``max_steps``.
+
+    ``state`` defaults to the program's boot state.  Halting does not count
+    as an executed step (matching ``seq``'s instruction arithmetic: the
+    state at a ``halt`` is a fixed point).
+    """
+    if state is None:
+        state = ArchState.initial(program)
+    code = program.code
+    size = len(code)
+    steps = 0
+    while True:
+        pc = state.pc
+        if not 0 <= pc < size:
+            raise InvalidPcError(pc, size)
+        instr = code[pc]
+        effect = execute(instr, state)
+        if effect.halted:
+            # The halt is observed (profilers must see halt blocks execute)
+            # but not counted as a step: a halted state is a fixed point.
+            if observer is not None:
+                observer(pc, instr, effect, state)
+            return RunResult(state=state, steps=steps, halted=True)
+        steps += 1
+        if observer is not None:
+            observer(pc, instr, effect, state)
+        if steps >= max_steps:
+            raise StepLimitExceeded(max_steps)
+
+
+def run_to_halt(program: Program, max_steps: int = DEFAULT_STEP_LIMIT) -> RunResult:
+    """Run ``program`` from boot state to halt (convenience wrapper)."""
+    return run(program, max_steps=max_steps)
+
+
+def seq(program: Program, state: ArchState, n: int) -> ArchState:
+    """The paper's ``seq(S, n)``: advance ``state`` by ``n`` instructions.
+
+    Returns a *new* state; ``state`` itself is not modified.  A halted
+    state is a fixed point, so stepping past a ``halt`` is well-defined.
+    """
+    result = state.copy()
+    code = program.code
+    size = len(code)
+    for _ in range(n):
+        pc = result.pc
+        if not 0 <= pc < size:
+            raise InvalidPcError(pc, size)
+        effect = execute(code[pc], result)
+        if effect.halted:
+            break
+    return result
+
+
+def count_dynamic_instructions(
+    program: Program, max_steps: int = DEFAULT_STEP_LIMIT
+) -> int:
+    """Dynamic path length of ``program`` from boot to halt."""
+    return run_to_halt(program, max_steps=max_steps).steps
+
+
+def count_instructions_and_loads(
+    program: Program, max_steps: int = DEFAULT_STEP_LIMIT
+) -> "tuple[int, int]":
+    """(dynamic instructions, memory loads) of one sequential run.
+
+    The load count feeds memory-aware cycle accounting: machines that
+    charge ``load_penalty`` extra cycles per load need the baseline's
+    load count for fair speedup denominators.
+    """
+    loads = 0
+
+    def observer(pc, instr, effect, state):
+        nonlocal loads
+        del pc, instr, state
+        if effect.mem_addr is not None and not effect.is_store:
+            loads += 1
+
+    result = run(program, max_steps=max_steps, observer=observer)
+    return result.steps, loads

@@ -1,0 +1,167 @@
+"""Single-instruction operational semantics of the Z-ISA.
+
+:func:`execute` is the one and only implementation of instruction
+semantics in the package.  The sequential reference machine, the MSSP
+master, and the MSSP slaves all call it, each supplying its own
+:class:`~repro.machine.state.MachineStateLike` implementation — this is
+what makes "slaves execute according to the sequential model" true by
+construction rather than by duplicated code.
+
+All instructions are total: arithmetic wraps to 64 bits, shift amounts are
+masked to 6 bits, and division/modulo by zero yield 0 (trap-free, with
+C-style truncation toward zero otherwise).  ``fork`` executes as a no-op
+here; the master's driver intercepts it *before* execution to spawn tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import RA
+from repro.machine.state import MachineStateLike, wrap64
+
+_MASK64 = (1 << 64) - 1
+
+
+class StepEffect:
+    """Externally observable facts about one executed instruction.
+
+    ``mem_addr``/``mem_value`` describe the single memory access the
+    instruction performed, if any (the Z-ISA has at most one per
+    instruction); ``is_store`` distinguishes its direction.  ``taken`` is
+    true when control did not fall through.  The profiler and the MSSP
+    engine consume these; the interpreter itself ignores them.
+    """
+
+    __slots__ = ("halted", "taken", "mem_addr", "mem_value", "is_store")
+
+    def __init__(
+        self,
+        halted: bool = False,
+        taken: bool = False,
+        mem_addr: Optional[int] = None,
+        mem_value: Optional[int] = None,
+        is_store: bool = False,
+    ):
+        self.halted = halted
+        self.taken = taken
+        self.mem_addr = mem_addr
+        self.mem_value = mem_value
+        self.is_store = is_store
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StepEffect(halted={self.halted}, taken={self.taken}, "
+            f"mem=({self.mem_addr}, {self.mem_value}, store={self.is_store}))"
+        )
+
+
+def _div_trunc(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _mod_trunc(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - _div_trunc(a, b) * b
+
+
+_R3_OPS: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _div_trunc,
+    Opcode.MOD: _mod_trunc,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: a << (b & 63),
+    Opcode.SRL: lambda a, b: (a & _MASK64) >> (b & 63),
+    Opcode.SRA: lambda a, b: a >> (b & 63),
+    Opcode.SLT: lambda a, b: int(a < b),
+    Opcode.SLE: lambda a, b: int(a <= b),
+    Opcode.SEQ: lambda a, b: int(a == b),
+    Opcode.SNE: lambda a, b: int(a != b),
+}
+
+_I2_OPS: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADDI: lambda a, b: a + b,
+    Opcode.MULI: lambda a, b: a * b,
+    Opcode.ANDI: lambda a, b: a & b,
+    Opcode.ORI: lambda a, b: a | b,
+    Opcode.XORI: lambda a, b: a ^ b,
+    Opcode.SLLI: lambda a, b: a << (b & 63),
+    Opcode.SRLI: lambda a, b: (a & _MASK64) >> (b & 63),
+    Opcode.SLTI: lambda a, b: int(a < b),
+}
+
+_BRANCH_OPS: Dict[Opcode, Callable[[int, int], bool]] = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+}
+
+
+def execute(instr: Instruction, state: MachineStateLike) -> StepEffect:
+    """Execute one instruction against ``state`` and advance its pc.
+
+    On ``halt`` the pc is left pointing at the halt instruction and the
+    returned effect has ``halted`` set, so a halted state re-executes the
+    halt if stepped again (a fixed point, mirroring the paper's SEQ model
+    where execution length is counted in instructions).
+    """
+    op = instr.op
+    if op in _R3_OPS:
+        result = _R3_OPS[op](state.read_reg(instr.rs), state.read_reg(instr.rt))
+        state.write_reg(instr.rd, result)
+        state.pc += 1
+        return StepEffect()
+    if op in _I2_OPS:
+        result = _I2_OPS[op](state.read_reg(instr.rs), instr.imm)
+        state.write_reg(instr.rd, result)
+        state.pc += 1
+        return StepEffect()
+    if op in _BRANCH_OPS:
+        taken = _BRANCH_OPS[op](state.read_reg(instr.rs), state.read_reg(instr.rt))
+        state.pc = instr.target if taken else state.pc + 1
+        return StepEffect(taken=taken)
+    if op is Opcode.LW:
+        address = wrap64(state.read_reg(instr.rs) + instr.imm)
+        value = state.load(address)
+        state.write_reg(instr.rd, value)
+        state.pc += 1
+        return StepEffect(mem_addr=address, mem_value=value)
+    if op is Opcode.SW:
+        address = wrap64(state.read_reg(instr.rs) + instr.imm)
+        value = state.read_reg(instr.rt)
+        state.store(address, value)
+        state.pc += 1
+        return StepEffect(mem_addr=address, mem_value=value, is_store=True)
+    if op is Opcode.LI:
+        state.write_reg(instr.rd, instr.imm)
+        state.pc += 1
+        return StepEffect()
+    if op is Opcode.MOV:
+        state.write_reg(instr.rd, state.read_reg(instr.rs))
+        state.pc += 1
+        return StepEffect()
+    if op is Opcode.J:
+        state.pc = instr.target
+        return StepEffect(taken=True)
+    if op is Opcode.JAL:
+        state.write_reg(RA, state.pc + 1)
+        state.pc = instr.target
+        return StepEffect(taken=True)
+    if op is Opcode.JR:
+        state.pc = state.read_reg(instr.rs)
+        return StepEffect(taken=True)
+    if op is Opcode.HALT:
+        return StepEffect(halted=True)
+    # NOP and FORK (fork is a task marker, not a computation).
+    state.pc += 1
+    return StepEffect()

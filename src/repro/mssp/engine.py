@@ -1,0 +1,352 @@
+"""The MSSP engine: orchestrates master, slaves, and verify/commit.
+
+This is the functional model of the whole machine.  It executes tasks
+eagerly in commit order — which is behaviourally equivalent to the
+concurrent machine because (a) commits are in order, (b) slaves never
+write architected state, and (c) verification outcomes depend only on
+architected state at commit time, not on when slaves physically ran.
+The timing model (:mod:`repro.timing`) replays the resulting trace to
+recover the concurrency.
+
+One *episode* = one master (re)start:
+
+1. the master is reseeded from architected state at the pc-map resume
+   point, and an *exact* task (perfect checkpoint) is opened at the
+   current architected pc;
+2. each master fork closes the open task (fixing its end pc) and opens
+   the next one with the fork's checkpoint; the closed task is executed
+   by a slave and then verified in order;
+3. a verification failure, master trap/timeout, or slave overrun squashes
+   the rest of the episode; a *recovery* then executes the original
+   program non-speculatively from architected state to the next anchor
+   (or halt), after which the next episode begins.
+
+Forward progress is unconditional: every recovery advances architected
+state by at least one instruction, and committed tasks only ever advance
+it, so arbitrary master misbehaviour degrades performance, never
+correctness or termination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.config import MsspConfig
+from repro.distill.distiller import DistillationResult
+from repro.distill.pc_map import PcMap
+from repro.errors import MsspError, StepLimitExceeded
+from repro.isa.program import Program
+from repro.machine.interpreter import run_to_halt
+from repro.machine.semantics import execute
+from repro.machine.state import ArchState
+from repro.mssp.master import Master, MasterEvent, MasterEventKind
+from repro.mssp.regions import DeviceAccess, ProtectedRegions
+from repro.mssp.slave import execute_task
+from repro.mssp.task import Checkpoint, SquashReason, Task, TaskStatus
+from repro.mssp.trace import (
+    MasterFailureRecord,
+    MsspCounters,
+    RecoveryRecord,
+    TaskAttemptRecord,
+    TraceRecord,
+)
+from repro.mssp.verify import commit_task, squash_task, verify_task
+
+
+@dataclass
+class MsspResult:
+    """Everything one MSSP run produced."""
+
+    final_state: ArchState
+    halted: bool
+    records: List[TraceRecord] = field(default_factory=list)
+    counters: MsspCounters = field(default_factory=MsspCounters)
+    #: Ordered non-speculative accesses to protected regions (the
+    #: machine's externally visible I/O sequence).
+    device_trace: List[DeviceAccess] = field(default_factory=list)
+
+    @property
+    def task_records(self) -> List[TaskAttemptRecord]:
+        return [r for r in self.records if isinstance(r, TaskAttemptRecord)]
+
+    @property
+    def recovery_records(self) -> List[RecoveryRecord]:
+        return [r for r in self.records if isinstance(r, RecoveryRecord)]
+
+
+class MsspEngine:
+    """Functional simulator of one MSSP machine running one program."""
+
+    def __init__(
+        self,
+        original: Program,
+        distillation: Union[DistillationResult, tuple],
+        config: Optional[MsspConfig] = None,
+    ):
+        if isinstance(distillation, DistillationResult):
+            distilled, pc_map = distillation.distilled, distillation.pc_map
+        else:
+            distilled, pc_map = distillation
+        if not isinstance(pc_map, PcMap):
+            raise MsspError("second element of distillation must be a PcMap")
+        self.original = original
+        self.distilled = distilled
+        self.pc_map = pc_map
+        self.config = config or MsspConfig()
+        self.regions = ProtectedRegions.from_config(
+            self.config.protected_regions
+        )
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self) -> MsspResult:
+        """Execute the program under MSSP to completion."""
+        arch = ArchState.initial(self.original)
+        master = Master(
+            self.distilled, self.config,
+            arrival_pcs=self.pc_map.arrival_pcs(),
+            jr_table=self.pc_map.jr_table,
+        )
+        counters = MsspCounters()
+        records: List[TraceRecord] = []
+        device_trace: List[DeviceAccess] = []
+        recent_outcomes: deque = deque(maxlen=self.config.throttle_window)
+        next_tid = 0
+        halted = False
+
+        while not halted:
+            if not self.pc_map.is_anchor(arch.pc):
+                # The machine is at a pc the master cannot restart from
+                # (possible only with a malformed map, e.g. a fork whose
+                # target never got a map entry).  Sequential execution to
+                # the next anchor is always a safe fallback.
+                recovery = self._recover(arch, counters, device_trace)
+                records.append(recovery)
+                halted = recovery.halted
+                continue
+            master.restart(arch, self.pc_map.resume_pc(arch.pc))
+            counters.restarts += 1
+            open_task = Task(
+                tid=next_tid, start_pc=arch.pc,
+                checkpoint=Checkpoint.exact(arch), exact=True,
+            )
+            next_tid += 1
+            episode_ok = True
+
+            while episode_ok:
+                event = master.run_until_fork()
+                counters.master_instrs += event.instrs
+                if event.kind is MasterEventKind.FORK:
+                    open_task.end_pc = event.anchor
+                    open_task.end_arrivals = event.arrivals
+                    closing_event: Optional[MasterEvent] = event
+                elif event.kind is MasterEventKind.HALT:
+                    open_task.end_pc = None
+                    open_task.final = True
+                    closing_event = event
+                else:  # TRAP or TIMEOUT: the open task cannot be delimited.
+                    counters.master_failures += 1
+                    records.append(
+                        MasterFailureRecord(
+                            kind=event.kind.value, master_instrs=event.instrs
+                        )
+                    )
+                    squash_task(open_task, SquashReason.MASTER_TIMEOUT)
+                    counters.tasks_squashed += 1
+                    counters.note_squash_reason(
+                        SquashReason.MASTER_TIMEOUT.value
+                    )
+                    recent_outcomes.append(False)
+                    episode_ok = False
+                    break
+
+                committed, slave_halted = self._attempt_task(
+                    open_task, closing_event, arch, counters, records
+                )
+                recent_outcomes.append(committed)
+                if not committed:
+                    episode_ok = False
+                    break
+                if slave_halted:
+                    halted = True
+                    break
+                self._check_budget(counters)
+                open_task = Task(
+                    tid=next_tid, start_pc=event.anchor,
+                    checkpoint=event.checkpoint,
+                )
+                next_tid += 1
+
+            if halted:
+                break
+            # Episode failed: recover non-speculatively, then restart.
+            # Persistent misspeculation triggers dual-mode throttling:
+            # a long sequential stretch before speculation is retried.
+            min_instrs = 0
+            threshold = self.config.throttle_threshold
+            if (
+                threshold is not None
+                and len(recent_outcomes) == recent_outcomes.maxlen
+            ):
+                failures = sum(1 for ok in recent_outcomes if not ok)
+                if failures / len(recent_outcomes) >= threshold:
+                    min_instrs = self.config.throttle_chunk
+                    counters.throttle_episodes += 1
+                    recent_outcomes.clear()
+            recovery = self._recover(
+                arch, counters, device_trace, min_instrs=min_instrs
+            )
+            records.append(recovery)
+            if recovery.halted:
+                halted = True
+
+        return MsspResult(
+            final_state=arch, halted=True, records=records,
+            counters=counters, device_trace=device_trace,
+        )
+
+    def run_and_check(self) -> MsspResult:
+        """Run MSSP, then assert equivalence with sequential execution."""
+        result = self.run()
+        reference = run_to_halt(
+            self.original, max_steps=self.config.max_total_instrs
+        )
+        differences = result.final_state.diff(reference.state)
+        if differences:
+            raise MsspError(
+                "MSSP final state diverged from SEQ: " + "; ".join(differences)
+            )
+        return result
+
+    # -- internals -----------------------------------------------------------------
+
+    def _attempt_task(
+        self,
+        task: Task,
+        event: MasterEvent,
+        arch: ArchState,
+        counters: MsspCounters,
+        records: List[TraceRecord],
+    ) -> tuple:
+        """Execute + verify + (maybe) commit one task.
+
+        Returns ``(committed, machine_halted)``.
+        """
+        task.status = TaskStatus.READY
+        execute_task(
+            self.original, task, arch, self.config.max_task_instrs,
+            regions=self.regions,
+        )
+        outcome = verify_task(task, arch)
+        counters.live_ins_checked += outcome.checked
+        counters.live_ins_mismatched += outcome.mismatched
+        if task.exact:
+            counters.exact_tasks += 1
+        record = TaskAttemptRecord(
+            tid=task.tid,
+            start_pc=task.start_pc,
+            end_pc=task.end_pc,
+            n_instrs=task.n_instrs,
+            master_instrs=event.instrs,
+            committed=outcome.ok,
+            n_loads=task.n_loads,
+            master_loads=event.loads,
+            squash_reason=outcome.reason.value,
+            live_ins_checked=outcome.checked,
+            live_ins_mismatched=outcome.mismatched,
+            exact=task.exact,
+            final=task.final,
+            halted=task.halted,
+            checkpoint_words=len(task.checkpoint),
+        )
+        records.append(record)
+        if outcome.ok:
+            commit_task(task, arch)
+            counters.tasks_committed += 1
+            counters.committed_instrs += task.n_instrs
+            return True, task.halted
+        squash_task(task, outcome.reason)
+        counters.tasks_squashed += 1
+        counters.squashed_instrs += task.n_instrs
+        counters.note_squash_reason(outcome.reason.value)
+        return False, False
+
+    def _recover(
+        self,
+        arch: ArchState,
+        counters: MsspCounters,
+        device_trace: List[DeviceAccess],
+        min_instrs: int = 0,
+    ) -> RecoveryRecord:
+        """Execute the original program non-speculatively from ``arch``.
+
+        Stops at the first arrival (after at least one instruction) at an
+        anchor the master can restart from, or at ``halt``.  Architected
+        state is advanced directly — this is ordinary sequential
+        execution, exactly the paper's fallback path — and it is the only
+        path allowed to touch protected regions, so device accesses are
+        logged here, in program order, exactly once each.
+        """
+        anchors = self.pc_map.anchors
+        regions = self.regions
+        code = self.original.code
+        size = len(code)
+        steps = 0
+        loads = 0
+        halted = False
+        budget = self.config.max_total_instrs - counters.total_instrs
+        while True:
+            pc = arch.pc
+            if not 0 <= pc < size:
+                from repro.errors import InvalidPcError
+
+                raise InvalidPcError(pc, size)
+            effect = execute(code[pc], arch)
+            if effect.halted:
+                halted = True
+                break
+            steps += 1
+            if effect.mem_addr is not None and not effect.is_store:
+                loads += 1
+            if (
+                regions is not None
+                and effect.mem_addr is not None
+                and effect.mem_addr in regions
+            ):
+                device_trace.append(
+                    DeviceAccess(
+                        pc=pc, address=effect.mem_addr,
+                        value=effect.mem_value, is_store=effect.is_store,
+                    )
+                )
+                counters.device_accesses += 1
+            if steps >= min_instrs and arch.pc in anchors:
+                break
+            if steps >= budget:
+                raise StepLimitExceeded(self.config.max_total_instrs)
+            if steps >= max(min_instrs, self.config.recovery_max_instrs):
+                # Episode cap: hand control back; the engine will start
+                # another recovery episode if no anchor was reached.
+                break
+        counters.recovery_instrs += steps
+        counters.recovery_episodes += 1
+        return RecoveryRecord(
+            n_instrs=steps, halted=halted,
+            resumed_at=None if halted else arch.pc,
+            n_loads=loads,
+        )
+
+    def _check_budget(self, counters: MsspCounters) -> None:
+        if counters.total_instrs > self.config.max_total_instrs:
+            raise StepLimitExceeded(self.config.max_total_instrs)
+
+
+def run_mssp(
+    original: Program,
+    distillation: DistillationResult,
+    config: Optional[MsspConfig] = None,
+) -> MsspResult:
+    """Convenience wrapper: build an engine and run it."""
+    return MsspEngine(original, distillation, config=config).run()

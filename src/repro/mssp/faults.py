@@ -1,0 +1,112 @@
+"""Fault-injection utilities for attacking the fast path.
+
+MSSP's central claim is that correctness cannot depend on the master.
+This module provides the tools the test suite, the examples, and the
+throttling benchmark use to *attack* that claim: deterministic
+corruptions of distilled programs and outright random masters.  Every
+run with these masters must still produce bit-exact sequential results
+(see ``tests/mssp/test_properties.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.distill.pc_map import PcMap
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+def corrupt_distilled(
+    distilled: Program,
+    original_len: int,
+    seed: int,
+    severity: float = 0.15,
+) -> Program:
+    """Randomly damage a distilled program.
+
+    Each instruction is independently hit with probability ``severity``;
+    hits perturb immediates, retarget forks (possibly out of the original
+    program entirely), retarget branches within the distilled text, or
+    replace instructions with ``nop``.  The result is always a *valid*
+    program (it assembles/validates) — just a wrong one.
+    """
+    rng = random.Random(seed)
+    code = list(distilled.code)
+    for index, instr in enumerate(code):
+        if rng.random() >= severity:
+            continue
+        roll = rng.random()
+        if instr.imm is not None and roll < 0.4:
+            code[index] = Instruction(
+                op=instr.op, rd=instr.rd, rs=instr.rs, rt=instr.rt,
+                imm=instr.imm + rng.randint(-100, 100), target=instr.target,
+            )
+        elif instr.op is Opcode.FORK and roll < 0.6:
+            code[index] = instr.with_target(
+                rng.randint(0, original_len + 3)
+            )
+        elif instr.is_branch and roll < 0.8:
+            code[index] = instr.with_target(rng.randrange(len(code)))
+        elif not instr.is_terminator and instr.op is not Opcode.FORK:
+            code[index] = Instruction(op=Opcode.NOP)
+    return Program(
+        code=tuple(code), memory=distilled.memory, entry=distilled.entry,
+        symbols={}, name=f"{distilled.name}.corrupted",
+    )
+
+
+def random_garbage_master(
+    original: Program, seed: int, length_range: Tuple[int, int] = (4, 30)
+) -> Tuple[Program, PcMap]:
+    """A completely random distilled program plus a matching pc map.
+
+    The program is a salad of forks (with arbitrary — possibly invalid —
+    anchors), jumps, stores and ALU noise, ending in ``halt``.  Running
+    MSSP with it degenerates to mostly-sequential execution; it must
+    never affect results.
+    """
+    rng = random.Random(seed)
+    length = rng.randint(*length_range)
+    code = []
+    for _ in range(length - 1):
+        roll = rng.random()
+        if roll < 0.3:
+            code.append(
+                Instruction(
+                    op=Opcode.FORK,
+                    target=rng.randint(0, len(original.code) + 2),
+                )
+            )
+        elif roll < 0.5:
+            code.append(Instruction(op=Opcode.J, target=rng.randrange(length)))
+        elif roll < 0.7:
+            code.append(
+                Instruction(
+                    op=Opcode.ADDI, rd=rng.randrange(1, 8),
+                    rs=rng.randrange(8), imm=rng.randint(-9, 9),
+                )
+            )
+        elif roll < 0.85:
+            code.append(
+                Instruction(
+                    op=Opcode.SW, rt=rng.randrange(8),
+                    rs=rng.randrange(8), imm=rng.randint(0, 64),
+                )
+            )
+        else:
+            code.append(
+                Instruction(
+                    op=Opcode.LI, rd=rng.randrange(1, 8),
+                    imm=rng.randint(-100, 100),
+                )
+            )
+    code.append(Instruction(op=Opcode.HALT))
+    garbage = Program(code=tuple(code), memory={}, name="garbage")
+    resume = {original.entry: rng.randrange(length)}
+    for instr in code:
+        if instr.op is Opcode.FORK:
+            resume.setdefault(int(instr.target), rng.randrange(length))
+    pc_map = PcMap(resume=resume, entry_orig=original.entry)
+    return garbage, pc_map

@@ -1,0 +1,208 @@
+"""The master processor: executes the distilled program and emits forks.
+
+The master is deliberately *untrusted*: nothing it computes reaches
+architected state except through checkpoints whose every value is
+verified before commit.  Accordingly this implementation bounds the
+master instead of validating it — a master that runs off the distilled
+text, hits a trap ``halt``, or fails to produce a fork within its budget
+simply reports a terminal event and the engine falls back to
+non-speculative recovery.
+
+State model: at (re)start the master's registers and its view of memory
+are seeded from architected state (the paper's post-squash reseeding).
+Its stores accumulate in a private dirty map — the speculative L1 — and
+each fork's checkpoint carries the full register file plus a copy of the
+dirty map (the "values modified by the master" the paper ships to
+slaves).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import MsspConfig
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.machine.semantics import execute
+from repro.machine.state import ArchState, wrap64
+from repro.mssp.task import Checkpoint
+
+
+class MasterEventKind(enum.Enum):
+    FORK = "fork"
+    HALT = "halt"
+    TRAP = "trap"          # ran outside the distilled text
+    TIMEOUT = "timeout"    # fork budget exhausted
+
+
+@dataclass(frozen=True)
+class MasterEvent:
+    """One terminal outcome of ``run_until_fork``."""
+
+    kind: MasterEventKind
+    #: Distilled instructions executed since the previous event.
+    instrs: int
+    #: Memory loads among ``instrs``.
+    loads: int = 0
+    #: FORK only: original-program pc at which the next task starts.
+    anchor: Optional[int] = None
+    #: FORK only: live-in prediction for that task.
+    checkpoint: Optional[Checkpoint] = None
+    #: FORK only: how many times the master arrived at the fork's anchor
+    #: since the previous event.  A strided fork passes its anchor
+    #: several times before firing; the closing task spans this many
+    #: arrivals at its end pc.
+    arrivals: int = 1
+
+
+class _MasterView:
+    """MachineStateLike over (registers, dirty memory, restart snapshot).
+
+    ``dirty`` holds every write since restart (the master's speculative
+    L1); ``delta`` holds writes since the last fork, for delta-mode
+    checkpoints.
+    """
+
+    __slots__ = ("pc", "regs", "dirty", "delta", "_base_mem")
+
+    def __init__(self, arch: ArchState, pc: int):
+        self.pc = pc
+        self.regs: List[int] = list(arch.regs)
+        self.dirty: Dict[int, int] = {}
+        self.delta: Dict[int, int] = {}
+        self._base_mem = dict(arch.mem)
+
+    def read_reg(self, index: int) -> int:
+        return self.regs[index] if index else 0
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index:
+            self.regs[index] = wrap64(value)
+
+    def load(self, address: int) -> int:
+        if address in self.dirty:
+            return self.dirty[address]
+        return self._base_mem.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        value = wrap64(value)
+        self.dirty[address] = value
+        self.delta[address] = value
+
+
+class Master:
+    """Drives the distilled program, yielding fork/halt/trap/timeout events."""
+
+    def __init__(
+        self,
+        distilled: Program,
+        config: MsspConfig,
+        arrival_pcs: Optional[Dict[int, int]] = None,
+        jr_table: Optional[Dict[int, int]] = None,
+    ):
+        self.distilled = distilled
+        self.config = config
+        #: distilled pc -> original anchor pc, for arrival counting.
+        self.arrival_pcs = dict(arrival_pcs or {})
+        #: original return pc -> distilled pc, for jr translation.  The
+        #: distilled program keeps original-program code addresses in
+        #: registers and memory (so they verify as live-ins); the master
+        #: hardware maps them back into its own text on indirect jumps.
+        self.jr_table = dict(jr_table or {})
+        self._view: Optional[_MasterView] = None
+        self._arrivals: Dict[int, int] = {}
+        self.total_instrs = 0
+        self.restarts = 0
+
+    def restart(self, arch: ArchState, distilled_pc: int) -> None:
+        """Reseed the master from architected state at ``distilled_pc``."""
+        self._view = _MasterView(arch, distilled_pc)
+        self._arrivals = {}
+        self.restarts += 1
+
+    def run_until_fork(self) -> MasterEvent:
+        """Execute distilled code until the next fork or a terminal event."""
+        view = self._view
+        if view is None:
+            raise RuntimeError("master.restart() must be called first")
+        code = self.distilled.code
+        size = len(code)
+        budget = self.config.max_master_instrs_per_task
+        arrival_pcs = self.arrival_pcs
+        arrivals = self._arrivals
+        executed = 0
+        loads = 0
+        while True:
+            pc = view.pc
+            if not 0 <= pc < size:
+                return MasterEvent(MasterEventKind.TRAP, executed, loads)
+            if pc in arrival_pcs:
+                anchor = arrival_pcs[pc]
+                arrivals[anchor] = arrivals.get(anchor, 0) + 1
+            instr = code[pc]
+            if instr.op is Opcode.FORK:
+                view.pc = pc + 1
+                executed += 1
+                self.total_instrs += 1
+                if self.config.checkpoint_mode == "delta":
+                    shipped = dict(view.delta)
+                else:
+                    shipped = dict(view.dirty)
+                view.delta = {}
+                checkpoint = Checkpoint(regs=tuple(view.regs), mem=shipped)
+                anchor = int(instr.target)
+                count = max(1, arrivals.get(anchor, 0))
+                self._arrivals = {}
+                return MasterEvent(
+                    MasterEventKind.FORK, executed, loads,
+                    anchor=anchor, checkpoint=checkpoint, arrivals=count,
+                )
+            if instr.op is Opcode.JR:
+                target = self.jr_table.get(view.read_reg(instr.rs))
+                if target is None:
+                    return MasterEvent(MasterEventKind.TRAP, executed, loads)
+                view.pc = target
+            else:
+                effect = execute(instr, view)
+                if effect.halted:
+                    return MasterEvent(MasterEventKind.HALT, executed, loads)
+                if effect.mem_addr is not None and not effect.is_store:
+                    loads += 1
+            executed += 1
+            self.total_instrs += 1
+            if executed >= budget:
+                return MasterEvent(MasterEventKind.TIMEOUT, executed, loads)
+
+    def run_standalone(self, arch: ArchState, max_steps: int) -> int:
+        """Run the distilled program to halt, forks as no-ops.
+
+        Measures the distilled program's dynamic path length with jr
+        translation active — the distillation-effectiveness numerator.
+        Returns the executed instruction count; raises
+        :class:`~repro.errors.StepLimitExceeded` past ``max_steps``.
+        """
+        from repro.errors import StepLimitExceeded
+
+        view = _MasterView(arch, self.distilled.entry)
+        code = self.distilled.code
+        size = len(code)
+        executed = 0
+        while True:
+            pc = view.pc
+            if not 0 <= pc < size:
+                return executed  # ran off the text: treat as terminated
+            instr = code[pc]
+            if instr.op is Opcode.JR:
+                target = self.jr_table.get(view.read_reg(instr.rs))
+                if target is None:
+                    return executed
+                view.pc = target
+            else:
+                effect = execute(instr, view)
+                if effect.halted:
+                    return executed
+            executed += 1
+            if executed >= max_steps:
+                raise StepLimitExceeded(max_steps)

@@ -1,0 +1,114 @@
+"""Protected (non-idempotent) memory regions.
+
+The companion formal paper's closing section identifies machine state
+"such as memory-mapped I/O addresses, where we cannot rely on accesses
+being idempotent": speculation must be precluded there, with the machine
+proceeding non-speculatively as per SEQ.  This module implements that
+extension:
+
+* a :class:`ProtectedRegions` set answers membership queries;
+* slave views consult it *before* performing any memory access and abort
+  the task when it would touch a protected cell (so speculative
+  execution never produces a device-visible effect);
+* the engine's non-speculative recovery path performs the access exactly
+  once, in program order, and logs it to the run's **device trace** —
+  which tests compare against the sequential model's device trace for
+  sequence equality (the strongest form of the exactly-once guarantee).
+
+The master needs no special handling: it reads protected addresses from
+its private restart snapshot and writes only its private dirty map, so
+it can neither observe nor cause device effects (its stale predictions
+simply squash, which is the normal recovery path anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import MsspError
+
+
+@dataclass(frozen=True)
+class DeviceAccess:
+    """One non-speculative access to a protected cell (device event)."""
+
+    pc: int
+    address: int
+    value: int
+    is_store: bool
+
+
+class ProtectedRegions:
+    """An immutable set of half-open address ranges ``[start, end)``."""
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, ranges: Iterable[Tuple[int, int]] = ()):
+        normalized: List[Tuple[int, int]] = []
+        for start, end in ranges:
+            if end <= start:
+                raise MsspError(
+                    f"protected region [{start}, {end}) is empty or inverted"
+                )
+            normalized.append((start, end))
+        normalized.sort()
+        for (_, prev_end), (next_start, _) in zip(normalized, normalized[1:]):
+            if next_start < prev_end:
+                raise MsspError("protected regions overlap")
+        self._ranges = tuple(normalized)
+
+    @classmethod
+    def from_config(
+        cls, ranges: Optional[Iterable[Tuple[int, int]]]
+    ) -> Optional["ProtectedRegions"]:
+        """None (the fast no-check path) when no ranges are configured."""
+        ranges = tuple(ranges or ())
+        return cls(ranges) if ranges else None
+
+    def __contains__(self, address: int) -> bool:
+        for start, end in self._ranges:
+            if start <= address < end:
+                return True
+            if address < start:
+                return False
+        return False
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    @property
+    def ranges(self) -> Tuple[Tuple[int, int], ...]:
+        return self._ranges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spans = ", ".join(f"[{s}, {e})" for s, e in self._ranges)
+        return f"ProtectedRegions({spans})"
+
+
+def sequential_device_trace(
+    program, regions: ProtectedRegions, max_steps: int = 50_000_000
+) -> List[DeviceAccess]:
+    """The SEQ model's I/O sequence: every in-region access, in order.
+
+    This is the reference against which an MSSP run's ``device_trace``
+    is compared: MSSP must produce the *identical* sequence — same
+    accesses, same values, same order, no duplicates — for its protected
+    regions to behave like real memory-mapped devices.
+    """
+    from repro.machine.interpreter import run
+
+    trace: List[DeviceAccess] = []
+
+    def observer(pc, instr, effect, state):
+        del instr, state
+        if effect.mem_addr is not None and effect.mem_addr in regions:
+            trace.append(
+                DeviceAccess(
+                    pc=pc, address=effect.mem_addr,
+                    value=effect.mem_value, is_store=effect.is_store,
+                )
+            )
+
+    run(program, observer=observer, max_steps=max_steps)
+    return trace

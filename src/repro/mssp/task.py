@@ -1,0 +1,118 @@
+"""Tasks and checkpoints — the unit of speculation in MSSP.
+
+A :class:`Checkpoint` is the master's live-in prediction for one task:
+its full (speculative) register file plus the memory values it has
+written since its last restart.  Slaves fall through to architected state
+for memory the master did not touch, exactly as in the paper (the master
+only ships what it modified).
+
+A :class:`Task` is the paper's 4-tuple ⟨S_in, n, S_out, k⟩ in concrete
+form: the live-in prediction (checkpoint + start pc), the region bounds
+(``start_pc`` .. ``end_pc``; ``end_pc`` is fixed only when the *next*
+fork arrives), and — after slave execution — the recorded live-in and
+live-out sets plus the dynamic instruction count.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.machine.state import ArchState
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Live-in prediction shipped from the master to a slave."""
+
+    regs: Tuple[int, ...]
+    mem: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def exact(cls, state: ArchState) -> "Checkpoint":
+        """A perfect checkpoint taken directly from architected state.
+
+        Used for the task opened at a master (re)start: the paper's
+        processors are "seeded with the correct values currently held in
+        architected state" after a squash.  An exact checkpoint with an
+        empty memory overlay can never cause a live-in mismatch.
+        """
+        return cls(regs=tuple(state.regs), mem={})
+
+    def __len__(self) -> int:
+        return len(self.regs) + len(self.mem)
+
+
+class TaskStatus(enum.Enum):
+    """Lifecycle of a task."""
+
+    OPEN = "open"            # end pc not yet known (master still predicting)
+    READY = "ready"          # fully defined, awaiting slave execution
+    COMPLETED = "completed"  # slave finished; awaiting verification
+    COMMITTED = "committed"  # live-ins verified, live-outs applied
+    SQUASHED = "squashed"    # verification failed (or execution faulted)
+
+
+class SquashReason(enum.Enum):
+    """Why a task failed verification."""
+
+    NONE = "none"
+    WRONG_START_PC = "wrong-start-pc"
+    REGISTER_LIVE_IN = "register-live-in"
+    MEMORY_LIVE_IN = "memory-live-in"
+    OVERRUN = "overrun"          # never reached its end pc within budget
+    FAULT = "fault"              # invalid pc during speculative execution
+    MASTER_TIMEOUT = "master-timeout"  # master never produced the next fork
+    PROTECTED = "protected-access"     # would touch a non-idempotent region
+
+
+@dataclass
+class Task:
+    """One unit of speculative work."""
+
+    tid: int
+    start_pc: int
+    checkpoint: Checkpoint
+    #: True when the checkpoint was taken from architected state itself
+    #: (restart tasks); such tasks can only fail by overrun/fault.
+    exact: bool = False
+    #: Original-program pc at which the task ends (the next task's start);
+    #: None means "run to halt" (the task after the master's last fork).
+    end_pc: Optional[int] = None
+    #: The task ends at this-many-th arrival at ``end_pc`` (strided forks
+    #: pass their anchor several times before firing, so a task may loop
+    #: through its end pc before stopping there).
+    end_arrivals: int = 1
+    final: bool = False
+    status: TaskStatus = TaskStatus.OPEN
+
+    # Filled by slave execution -------------------------------------------------
+    live_in_regs: Dict[int, int] = field(default_factory=dict)
+    live_in_mem: Dict[int, int] = field(default_factory=dict)
+    live_out_regs: Dict[int, int] = field(default_factory=dict)
+    live_out_mem: Dict[int, int] = field(default_factory=dict)
+    n_instrs: int = 0
+    n_loads: int = 0
+    end_state_pc: int = -1
+    halted: bool = False
+    overrun: bool = False
+    faulted: bool = False
+    #: The task stopped before touching a protected (I/O) address.
+    protected_access: bool = False
+
+    # Filled by verification -----------------------------------------------------
+    squash_reason: SquashReason = SquashReason.NONE
+
+    @property
+    def live_in_count(self) -> int:
+        """Number of live-in values the verify unit must check."""
+        return len(self.live_in_regs) + len(self.live_in_mem) + 1  # +1: pc
+
+    def describe(self) -> str:
+        end = "halt" if self.end_pc is None else str(self.end_pc)
+        return (
+            f"task {self.tid}: [{self.start_pc} -> {end}] "
+            f"{self.status.value} n={self.n_instrs} "
+            f"live-ins={self.live_in_count}"
+        )

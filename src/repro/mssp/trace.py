@@ -1,0 +1,135 @@
+"""Execution-trace records produced by the MSSP engine.
+
+The functional engine decides *what happens* (which tasks commit, which
+squash, how long each is); the timing model replays these records to
+decide *how long it takes*.  In-order commit makes the functional outcome
+timing-independent, which is what licenses this separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class TaskAttemptRecord:
+    """One task attempt (committed or squashed)."""
+
+    tid: int
+    start_pc: int
+    end_pc: Optional[int]
+    #: Dynamic instructions the slave executed for this attempt.
+    n_instrs: int
+    #: Distilled instructions the master executed to delimit this task
+    #: (between the fork opening it and the event closing it).
+    master_instrs: int
+    committed: bool
+    #: Memory loads among ``n_instrs`` (slave side).
+    n_loads: int = 0
+    #: Memory loads among ``master_instrs`` (distilled side); value
+    #: specialization exists to shrink this number.
+    master_loads: int = 0
+    squash_reason: str = "none"
+    live_ins_checked: int = 0
+    live_ins_mismatched: int = 0
+    exact: bool = False
+    final: bool = False
+    #: The slave reached ``halt`` (the machine finishes at this task).
+    halted: bool = False
+    #: Words in the checkpoint shipped for this task (register file +
+    #: master-dirty memory); drives the timing model's bandwidth cost.
+    checkpoint_words: int = 0
+
+    @property
+    def outcome(self) -> str:
+        return "committed" if self.committed else "squashed"
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One non-speculative recovery episode (sequential re-execution)."""
+
+    n_instrs: int
+    halted: bool
+    resumed_at: Optional[int]
+    #: Memory loads among ``n_instrs``.
+    n_loads: int = 0
+
+
+@dataclass(frozen=True)
+class MasterFailureRecord:
+    """The master hit a trap/timeout instead of producing a fork."""
+
+    kind: str
+    master_instrs: int
+
+
+TraceRecord = Union[TaskAttemptRecord, RecoveryRecord, MasterFailureRecord]
+
+
+@dataclass
+class MsspCounters:
+    """Aggregate statistics of one MSSP run."""
+
+    tasks_committed: int = 0
+    tasks_squashed: int = 0
+    exact_tasks: int = 0
+    committed_instrs: int = 0
+    squashed_instrs: int = 0
+    recovery_instrs: int = 0
+    recovery_episodes: int = 0
+    master_instrs: int = 0
+    master_failures: int = 0
+    restarts: int = 0
+    #: Non-speculative accesses performed in protected (I/O) regions.
+    device_accesses: int = 0
+    #: Dual-mode reversions to sequential execution (throttling).
+    throttle_episodes: int = 0
+    live_ins_checked: int = 0
+    live_ins_mismatched: int = 0
+    squash_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def note_squash_reason(self, reason: str) -> None:
+        self.squash_reasons[reason] = self.squash_reasons.get(reason, 0) + 1
+
+    @property
+    def total_instrs(self) -> int:
+        """Instructions that advanced architected state."""
+        return self.committed_instrs + self.recovery_instrs
+
+    @property
+    def task_attempts(self) -> int:
+        return self.tasks_committed + self.tasks_squashed
+
+    @property
+    def squash_rate(self) -> float:
+        """Fraction of task attempts that failed verification."""
+        attempts = self.task_attempts
+        return self.tasks_squashed / attempts if attempts else 0.0
+
+    @property
+    def live_in_accuracy(self) -> float:
+        """Fraction of live-in values the master predicted correctly."""
+        if not self.live_ins_checked:
+            return 1.0
+        return 1.0 - self.live_ins_mismatched / self.live_ins_checked
+
+    @property
+    def speculative_coverage(self) -> float:
+        """Fraction of architected progress made by committed tasks."""
+        total = self.total_instrs
+        return self.committed_instrs / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "tasks_committed": float(self.tasks_committed),
+            "tasks_squashed": float(self.tasks_squashed),
+            "squash_rate": self.squash_rate,
+            "committed_instrs": float(self.committed_instrs),
+            "recovery_instrs": float(self.recovery_instrs),
+            "master_instrs": float(self.master_instrs),
+            "live_in_accuracy": self.live_in_accuracy,
+            "speculative_coverage": self.speculative_coverage,
+            "restarts": float(self.restarts),
+        }

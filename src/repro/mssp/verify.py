@@ -1,0 +1,106 @@
+"""The verify/commit unit.
+
+This is the *only* component allowed to write architected state, and the
+component on which all of MSSP's correctness rests (the companion formal
+paper's "task safety": a task may commit iff its recorded live-ins are
+consistent with architected state).  The checks, in order:
+
+1. execution integrity — the slave neither overran its budget nor faulted;
+2. control consistency — the task starts exactly where the machine is;
+3. data consistency — every recorded live-in value (registers and memory)
+   equals the corresponding architected cell right now.
+
+On success the task's live-outs are superimposed onto architected state
+and the pc jumps to the task's end: the machine "jumps" ``n_instrs``
+sequential steps at once.  On failure nothing is written.
+
+The full live-in set is always scanned (no early exit) so the engine can
+report live-in prediction *accuracy*, not just a pass/fail bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.state import ArchState
+from repro.mssp.task import SquashReason, Task, TaskStatus
+
+
+@dataclass(frozen=True)
+class VerifyOutcome:
+    """Result of checking one task against architected state."""
+
+    ok: bool
+    reason: SquashReason
+    checked: int
+    mismatched: int
+    detail: str = ""
+
+
+def verify_task(task: Task, arch: ArchState) -> VerifyOutcome:
+    """Check ``task``'s live-ins against ``arch`` without modifying either."""
+    if task.faulted:
+        return VerifyOutcome(
+            False, SquashReason.FAULT, task.live_in_count, 0,
+            detail=f"speculative execution faulted at pc {task.end_state_pc}",
+        )
+    if task.protected_access:
+        return VerifyOutcome(
+            False, SquashReason.PROTECTED, task.live_in_count, 0,
+            detail=(
+                f"pc {task.end_state_pc} would access a protected region; "
+                "deferring to non-speculative execution"
+            ),
+        )
+    if task.overrun:
+        return VerifyOutcome(
+            False, SquashReason.OVERRUN, task.live_in_count, 0,
+            detail=f"no arrival at end pc within {task.n_instrs} instructions",
+        )
+    checked = 1  # the start pc
+    mismatched = 0
+    reason = SquashReason.NONE
+    detail = ""
+    if task.start_pc != arch.pc:
+        mismatched += 1
+        reason = SquashReason.WRONG_START_PC
+        detail = f"task starts at {task.start_pc}, machine at {arch.pc}"
+    for index, value in task.live_in_regs.items():
+        checked += 1
+        if arch.regs[index] != value:
+            mismatched += 1
+            if reason is SquashReason.NONE:
+                reason = SquashReason.REGISTER_LIVE_IN
+                detail = (
+                    f"r{index}: predicted {value}, "
+                    f"architected {arch.regs[index]}"
+                )
+    for address, value in task.live_in_mem.items():
+        checked += 1
+        if arch.load(address) != value:
+            mismatched += 1
+            if reason is SquashReason.NONE:
+                reason = SquashReason.MEMORY_LIVE_IN
+                detail = (
+                    f"mem[{address}]: predicted {value}, "
+                    f"architected {arch.load(address)}"
+                )
+    return VerifyOutcome(
+        ok=mismatched == 0, reason=reason, checked=checked,
+        mismatched=mismatched, detail=detail,
+    )
+
+
+def commit_task(task: Task, arch: ArchState) -> None:
+    """Superimpose ``task``'s live-outs onto ``arch`` (must be verified)."""
+    arch.apply_delta(
+        task.live_out_regs, task.live_out_mem, pc=task.end_state_pc
+    )
+    task.status = TaskStatus.COMMITTED
+
+
+def squash_task(task: Task, reason: SquashReason) -> None:
+    """Mark ``task`` squashed; architected state is untouched by design."""
+    task.status = TaskStatus.SQUASHED
+    task.squash_reason = reason

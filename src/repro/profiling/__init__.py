@@ -1,0 +1,19 @@
+"""Execution profiling: the distiller's training-run substrate."""
+
+from repro.profiling.profile_data import (
+    BranchProfile,
+    LoadProfile,
+    Profile,
+    VALUE_HISTOGRAM_CAP,
+)
+from repro.profiling.profiler import Profiler, profile_many, profile_program
+
+__all__ = [
+    "BranchProfile",
+    "LoadProfile",
+    "Profile",
+    "VALUE_HISTOGRAM_CAP",
+    "Profiler",
+    "profile_many",
+    "profile_program",
+]

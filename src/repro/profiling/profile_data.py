@@ -1,0 +1,314 @@
+"""Profile data model: what one training run teaches the distiller.
+
+A :class:`Profile` aggregates, per static instruction:
+
+* execution counts (hot/cold classification, fork placement weights);
+* branch taken/not-taken counts (branch bias, for assertion conversion);
+* loaded-value histograms, capped at a small number of distinct values
+  (value specialization candidates);
+* the set of store-target addresses seen anywhere in the run (an address
+  that was never stored is *read-only for this input*, the precondition
+  for specializing loads from it).
+
+Profiles are plain data: they can be merged (multiple training inputs)
+and serialized to/from dicts for caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+#: Distinct loaded values tracked per static load before a load is
+#: declared polymorphic (and thus never specialized).
+VALUE_HISTOGRAM_CAP = 4
+
+
+@dataclass
+class LoadProfile:
+    """Observed behaviour of one static load instruction."""
+
+    count: int = 0
+    #: value -> occurrences, only while ``not polymorphic``.
+    values: Dict[int, int] = field(default_factory=dict)
+    #: addresses this load touched (capped alongside values).
+    addresses: Set[int] = field(default_factory=set)
+    polymorphic: bool = False
+
+    def observe(self, address: int, value: int) -> None:
+        self.count += 1
+        if self.polymorphic:
+            return
+        self.values[value] = self.values.get(value, 0) + 1
+        self.addresses.add(address)
+        if len(self.values) > VALUE_HISTOGRAM_CAP:
+            self.polymorphic = True
+            self.values.clear()
+            self.addresses.clear()
+
+    def dominant_value(self) -> Optional[Tuple[int, float]]:
+        """The most frequent value and its frequency share, if tracked."""
+        if self.polymorphic or not self.values:
+            return None
+        value, count = max(self.values.items(), key=lambda item: item[1])
+        return value, count / self.count
+
+
+@dataclass
+class StoreProfile:
+    """Observed behaviour of one static store instruction."""
+
+    count: int = 0
+    #: addresses this store targeted (capped; see ``polymorphic``).
+    addresses: Set[int] = field(default_factory=set)
+    polymorphic: bool = False
+
+    #: Distinct target addresses tracked before giving up.  Generous —
+    #: store-elimination needs the *full* address set to be sound-for-
+    #: performance (an unknown target might be loaded elsewhere).
+    ADDRESS_CAP = 4096
+
+    def observe(self, address: int) -> None:
+        self.count += 1
+        if self.polymorphic:
+            return
+        self.addresses.add(address)
+        if len(self.addresses) > self.ADDRESS_CAP:
+            self.polymorphic = True
+            self.addresses.clear()
+
+
+@dataclass
+class BranchProfile:
+    """Taken/not-taken counts of one static conditional branch."""
+
+    taken: int = 0
+    not_taken: int = 0
+
+    @property
+    def count(self) -> int:
+        return self.taken + self.not_taken
+
+    @property
+    def bias(self) -> float:
+        """Frequency of the *dominant* direction (0.5 .. 1.0)."""
+        if not self.count:
+            return 0.0
+        return max(self.taken, self.not_taken) / self.count
+
+    @property
+    def dominant_taken(self) -> bool:
+        """True when the dominant direction is 'taken'."""
+        return self.taken >= self.not_taken
+
+
+@dataclass
+class Profile:
+    """Aggregate execution profile of one program on one (or more) inputs."""
+
+    program_name: str
+    code_length: int
+    total_instructions: int = 0
+    exec_counts: List[int] = field(default_factory=list)
+    branches: Dict[int, BranchProfile] = field(default_factory=dict)
+    loads: Dict[int, LoadProfile] = field(default_factory=dict)
+    stores: Dict[int, StoreProfile] = field(default_factory=dict)
+    stored_addresses: Set[int] = field(default_factory=set)
+    loaded_addresses: Set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.exec_counts:
+            self.exec_counts = [0] * self.code_length
+
+    # -- queries ---------------------------------------------------------------
+
+    def exec_count(self, pc: int) -> int:
+        return self.exec_counts[pc]
+
+    def branch_bias(self, pc: int) -> Optional[BranchProfile]:
+        return self.branches.get(pc)
+
+    def block_count(self, start_pc: int) -> int:
+        """Execution count of the block beginning at ``start_pc``."""
+        return self.exec_counts[start_pc]
+
+    def hotness(self, pc: int) -> float:
+        """Fraction of all dynamic instructions spent at ``pc``."""
+        if not self.total_instructions:
+            return 0.0
+        return self.exec_counts[pc] / self.total_instructions
+
+    def is_cold(self, pc: int, threshold: float = 0.0) -> bool:
+        """True when ``pc`` executed no more than ``threshold`` of the run."""
+        return self.hotness(pc) <= threshold
+
+    def stable_load_value(
+        self, pc: int, min_count: int = 2, min_share: float = 1.0
+    ) -> Optional[int]:
+        """The provably-specializable value of the load at ``pc``, if any.
+
+        Requires: the load executed at least ``min_count`` times, one value
+        accounts for at least ``min_share`` of executions, and *every*
+        address the load touched was never the target of any store in the
+        profiled run.
+        """
+        load = self.loads.get(pc)
+        if load is None or load.polymorphic or load.count < min_count:
+            return None
+        dominant = load.dominant_value()
+        if dominant is None:
+            return None
+        value, share = dominant
+        if share < min_share:
+            return None
+        if load.addresses & self.stored_addresses:
+            return None
+        return value
+
+    def dead_store_addresses(self, pc: int, min_count: int = 1) -> Optional[Set[int]]:
+        """Target addresses of the store at ``pc``, if provably unread.
+
+        Returns the address set when the store executed at least
+        ``min_count`` times, its full target set is known (not
+        polymorphic), and none of its targets was ever loaded anywhere in
+        the training runs — the precondition for eliminating the store
+        from the *distilled* program (the original program always keeps
+        its stores; architected state stays exact either way).
+        """
+        store = self.stores.get(pc)
+        if store is None or store.polymorphic or store.count < min_count:
+            return None
+        if not store.addresses or store.addresses & self.loaded_addresses:
+            return None
+        return set(store.addresses)
+
+    # -- merging and serialization ------------------------------------------------
+
+    def merge(self, other: "Profile") -> "Profile":
+        """Pointwise sum of two profiles of the *same* program."""
+        if (other.program_name, other.code_length) != (
+            self.program_name, self.code_length,
+        ):
+            raise ValueError("cannot merge profiles of different programs")
+        merged = Profile(self.program_name, self.code_length)
+        merged.total_instructions = (
+            self.total_instructions + other.total_instructions
+        )
+        merged.exec_counts = [
+            a + b for a, b in zip(self.exec_counts, other.exec_counts)
+        ]
+        for source in (self.branches, other.branches):
+            for pc, branch in source.items():
+                target = merged.branches.setdefault(pc, BranchProfile())
+                target.taken += branch.taken
+                target.not_taken += branch.not_taken
+        for source in (self.loads, other.loads):
+            for pc, load in source.items():
+                target = merged.loads.setdefault(pc, LoadProfile())
+                target.count += load.count
+                if load.polymorphic:
+                    target.polymorphic = True
+                    target.values.clear()
+                    target.addresses.clear()
+                elif not target.polymorphic:
+                    for value, count in load.values.items():
+                        target.values[value] = target.values.get(value, 0) + count
+                    target.addresses |= load.addresses
+                    if len(target.values) > VALUE_HISTOGRAM_CAP:
+                        target.polymorphic = True
+                        target.values.clear()
+                        target.addresses.clear()
+        for source in (self.stores, other.stores):
+            for pc, store in source.items():
+                target = merged.stores.setdefault(pc, StoreProfile())
+                target.count += store.count
+                if store.polymorphic:
+                    target.polymorphic = True
+                    target.addresses.clear()
+                elif not target.polymorphic:
+                    target.addresses |= store.addresses
+                    if len(target.addresses) > StoreProfile.ADDRESS_CAP:
+                        target.polymorphic = True
+                        target.addresses.clear()
+        merged.stored_addresses = self.stored_addresses | other.stored_addresses
+        merged.loaded_addresses = self.loaded_addresses | other.loaded_addresses
+        return merged
+
+    # -- serialization (JSON-compatible dicts, for profile caching) ------------
+
+    def to_dict(self) -> Dict:
+        """A JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        return {
+            "program_name": self.program_name,
+            "code_length": self.code_length,
+            "total_instructions": self.total_instructions,
+            "exec_counts": list(self.exec_counts),
+            "branches": {
+                str(pc): {"taken": b.taken, "not_taken": b.not_taken}
+                for pc, b in self.branches.items()
+            },
+            "loads": {
+                str(pc): {
+                    "count": l.count,
+                    "values": {str(v): c for v, c in l.values.items()},
+                    "addresses": sorted(l.addresses),
+                    "polymorphic": l.polymorphic,
+                }
+                for pc, l in self.loads.items()
+            },
+            "stores": {
+                str(pc): {
+                    "count": s.count,
+                    "addresses": sorted(s.addresses),
+                    "polymorphic": s.polymorphic,
+                }
+                for pc, s in self.stores.items()
+            },
+            "stored_addresses": sorted(self.stored_addresses),
+            "loaded_addresses": sorted(self.loaded_addresses),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Profile":
+        """Rebuild a profile serialized with :meth:`to_dict`."""
+        profile = cls(
+            program_name=data["program_name"],
+            code_length=data["code_length"],
+            total_instructions=data["total_instructions"],
+            exec_counts=list(data["exec_counts"]),
+        )
+        for pc, fields in data["branches"].items():
+            profile.branches[int(pc)] = BranchProfile(
+                taken=fields["taken"], not_taken=fields["not_taken"]
+            )
+        for pc, fields in data["loads"].items():
+            profile.loads[int(pc)] = LoadProfile(
+                count=fields["count"],
+                values={int(v): c for v, c in fields["values"].items()},
+                addresses=set(fields["addresses"]),
+                polymorphic=fields["polymorphic"],
+            )
+        for pc, fields in data["stores"].items():
+            profile.stores[int(pc)] = StoreProfile(
+                count=fields["count"],
+                addresses=set(fields["addresses"]),
+                polymorphic=fields["polymorphic"],
+            )
+        profile.stored_addresses = set(data["stored_addresses"])
+        profile.loaded_addresses = set(data["loaded_addresses"])
+        return profile
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics for reports."""
+        biased = [
+            b for b in self.branches.values() if b.count >= 2 and b.bias >= 0.99
+        ]
+        executed = sum(1 for c in self.exec_counts if c > 0)
+        return {
+            "total_instructions": float(self.total_instructions),
+            "static_code": float(self.code_length),
+            "static_executed": float(executed),
+            "static_coverage": executed / self.code_length if self.code_length else 0.0,
+            "branch_sites": float(len(self.branches)),
+            "highly_biased_branches": float(len(biased)),
+        }

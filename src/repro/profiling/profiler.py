@@ -1,0 +1,86 @@
+"""Execution profiler.
+
+Runs a program under the sequential interpreter with an observer that
+feeds a :class:`~repro.profiling.profile_data.Profile`.  This plays the
+role of the paper's offline training run: the distiller consumes the
+resulting profile to decide which branches to assert, which code is cold,
+which loads are specializable, and where to place fork points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.machine.interpreter import DEFAULT_STEP_LIMIT, run
+from repro.machine.semantics import StepEffect
+from repro.machine.state import ArchState
+from repro.profiling.profile_data import (
+    BranchProfile,
+    LoadProfile,
+    Profile,
+    StoreProfile,
+)
+
+
+class Profiler:
+    """Observer that accumulates a :class:`Profile` during a run."""
+
+    def __init__(self, program: Program):
+        self.profile = Profile(
+            program_name=program.name, code_length=len(program.code)
+        )
+
+    def observe(
+        self, pc: int, instr: Instruction, effect: StepEffect, state: ArchState
+    ) -> None:
+        profile = self.profile
+        profile.total_instructions += 1
+        profile.exec_counts[pc] += 1
+        if instr.is_branch:
+            branch = profile.branches.get(pc)
+            if branch is None:
+                branch = profile.branches.setdefault(pc, BranchProfile())
+            if effect.taken:
+                branch.taken += 1
+            else:
+                branch.not_taken += 1
+        elif effect.mem_addr is not None:
+            if effect.is_store:
+                profile.stored_addresses.add(effect.mem_addr)
+                store = profile.stores.get(pc)
+                if store is None:
+                    store = profile.stores.setdefault(pc, StoreProfile())
+                store.observe(effect.mem_addr)
+            else:
+                profile.loaded_addresses.add(effect.mem_addr)
+                load = profile.loads.get(pc)
+                if load is None:
+                    load = profile.loads.setdefault(pc, LoadProfile())
+                load.observe(effect.mem_addr, effect.mem_value)
+
+
+def profile_program(
+    program: Program,
+    state: Optional[ArchState] = None,
+    max_steps: int = DEFAULT_STEP_LIMIT,
+) -> Profile:
+    """Run ``program`` to halt and return its execution profile."""
+    profiler = Profiler(program)
+    run(program, state=state, max_steps=max_steps, observer=profiler.observe)
+    return profiler.profile
+
+
+def profile_many(
+    program: Program, states: Iterable[ArchState],
+    max_steps: int = DEFAULT_STEP_LIMIT,
+) -> Profile:
+    """Profile the same program over several inputs and merge the results."""
+    merged: Optional[Profile] = None
+    for state in states:
+        current = profile_program(program, state=state, max_steps=max_steps)
+        merged = current if merged is None else merged.merge(current)
+    if merged is None:
+        raise ValueError("profile_many needs at least one input state")
+    return merged

@@ -1,0 +1,5 @@
+"""Statistics and report-rendering helpers."""
+
+from repro.stats.tables import Table, geomean, mean
+
+__all__ = ["Table", "geomean", "mean"]

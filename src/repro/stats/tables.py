@@ -1,0 +1,80 @@
+"""Fixed-width table rendering and summary statistics for reports.
+
+Every experiment harness prints its results through :class:`Table` so
+benchmark output is uniform and diffable, mirroring how the paper
+presents per-benchmark rows with a geometric-mean summary line.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+class Table:
+    """A fixed-width text table with typed cell formatting."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None,
+                 float_format: str = "{:.3f}"):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+        self.float_format = float_format
+
+    def add_row(self, *cells: Cell) -> "Table":
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+        return self
+
+    def _format(self, cell: Cell) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(row[i]) for row in self.rows))
+            if self.rows else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.headers)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

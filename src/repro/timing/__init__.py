@@ -1,0 +1,22 @@
+"""Task-level timing model and baselines for the MSSP evaluation."""
+
+from repro.timing.simulator import (
+    MsspTimingSimulator,
+    ScheduleEntry,
+    TimingBreakdown,
+    baseline_cycles,
+    simulate_mssp,
+    speedup,
+)
+from repro.timing.timeline import render_timeline, utilization
+
+__all__ = [
+    "MsspTimingSimulator",
+    "ScheduleEntry",
+    "TimingBreakdown",
+    "baseline_cycles",
+    "simulate_mssp",
+    "speedup",
+    "render_timeline",
+    "utilization",
+]

@@ -1,0 +1,25 @@
+"""The synthetic SPECint-like workload suite (see DESIGN.md §4)."""
+
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadInstance,
+    WorkloadSpec,
+)
+from repro.workloads.registry import (
+    REPRESENTATIVE,
+    WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "INPUT_BASE",
+    "RESULT_BASE",
+    "WorkloadInstance",
+    "WorkloadSpec",
+    "REPRESENTATIVE",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,112 @@
+"""``branchy`` — dense data-dependent branching (models gcc).
+
+Each input element flows through a cascade of classification branches
+with a spread of biases: parity (~50%), small-range (~70%), a magnitude
+test (~90%), and a negative-value guard that generated data never trips
+(~100%, assertion fodder).  Several counters accumulate, so the register
+live-in surface between tasks is wide — the stress case for the master's
+register predictions.
+
+Results: ``RESULT_BASE`` .. ``RESULT_BASE+3`` = the four class counters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+
+def build_code(size: int) -> Program:
+    b = ProgramBuilder(name="branchy")
+
+    b.label("main")
+    b.li("r1", INPUT_BASE)
+    b.li("r2", size)
+    b.li("r3", 0)               # i
+    b.li("r4", 0)               # even counter
+    b.li("r5", 0)               # small counter
+    b.li("r6", 0)               # large counter
+    b.li("r7", 0)               # weighted sum
+
+    guards = []
+    b.label("loop")
+    b.add("r8", "r1", "r3")
+    b.lw("r9", "r8", 0)
+    guards.append(never_taken_guard(b, "br_input", "r9", "r3"))
+    b.comment("guard: negative input (never happens) -> cold fixup")
+    b.blt("r9", "zero", "fixup")
+    b.label("classify")
+    b.andi("r10", "r9", 1)
+    b.beq("r10", "zero", "even")
+    b.comment("odd: weighted accumulate")
+    b.muli("r11", "r9", 3)
+    b.add("r7", "r7", "r11")
+    b.j("range_check")
+    b.label("even")
+    b.addi("r4", "r4", 1)
+    b.add("r7", "r7", "r9")
+    b.label("range_check")
+    b.slti("r10", "r9", 300)
+    b.beq("r10", "zero", "large")
+    b.addi("r5", "r5", 1)       # ~70% of values are < 300
+    b.j("magnitude")
+    b.label("large")
+    b.addi("r6", "r6", 1)
+    b.label("magnitude")
+    b.slti("r10", "r9", 900)
+    b.bne("r10", "zero", "next")   # ~90% taken
+    b.comment("rare-ish: very large value, extra folding")
+    b.srli("r11", "r9", 2)
+    b.add("r7", "r7", "r11")
+    b.label("next")
+    guards.append(never_taken_guard(b, "br_sum", "r7", "r4"))
+    b.addi("r3", "r3", 1)
+    b.blt("r3", "r2", "loop")
+
+    b.sw("r4", "zero", RESULT_BASE)
+    b.sw("r5", "zero", RESULT_BASE + 1)
+    b.sw("r6", "zero", RESULT_BASE + 2)
+    b.sw("r7", "zero", RESULT_BASE + 3)
+    b.halt()
+
+    b.label("fixup")
+    b.comment("cold: clamp negative input to zero")
+    b.li("r9", 0)
+    b.j("classify")
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    """Non-negative values: 70% below 300, 20% 300-899, 10% 900+."""
+    data: Dict[int, int] = {}
+    for index in range(size):
+        roll = rng.random()
+        if roll < 0.7:
+            value = rng.randint(0, 299)
+        elif roll < 0.9:
+            value = rng.randint(300, 899)
+        else:
+            value = rng.randint(900, 5000)
+        data[INPUT_BASE + index] = value
+    return data
+
+
+SPEC = WorkloadSpec(
+    name="branchy",
+    description="classification cascade with 50/70/90/100%-biased "
+                "branches and wide register live-in surface",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=2600,
+)

@@ -1,0 +1,106 @@
+"""``compress`` — run-length encoder (models gzip/bzip2 inner loops).
+
+A tight scan loop over the input with one moderately biased branch
+(run-continues vs. run-ends, set by the generated run lengths), a
+never-taken giant-run escape path (cold-code fodder), and a constant
+escape-threshold cell (value-specialization fodder).
+
+Results: ``RESULT_BASE`` = weighted checksum of emitted runs,
+``RESULT_BASE+1`` = number of runs emitted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+#: A run longer than this takes the escape path; generated runs are
+#: always much shorter, so the path is cold.
+GIANT_RUN = 64
+
+
+def build_code(size: int) -> Program:
+    b = ProgramBuilder(name="compress")
+    b.alloc("giant_run", [GIANT_RUN])
+
+    b.label("main")
+    b.li("r1", INPUT_BASE)      # input base
+    b.li("r2", size)            # element count
+    b.lw("r3", "r1", 0)         # prev = a[0]
+    b.li("r4", 1)               # run length
+    b.li("r5", 0)               # runs emitted
+    b.li("r6", 0)               # checksum
+    b.li("r7", 1)               # i
+
+    guards = []
+    b.label("loop")
+    b.bge("r7", "r2", "flush")
+    b.add("r8", "r1", "r7")
+    b.lw("r9", "r8", 0)         # cur = a[i]
+    guards.append(never_taken_guard(b, "cmp_input", "r9", "r7"))
+    guards.append(never_taken_guard(b, "cmp_state", "r6", "r5"))
+    b.bne("r9", "r3", "emit")
+    b.comment("run continues")
+    b.addi("r4", "r4", 1)
+    b.lw("r10", "zero", "giant_run")   # stable load: the threshold
+    b.blt("r4", "r10", "cont")         # ~always taken (runs are short)
+    b.comment("cold: giant-run escape (never reached by generated data)")
+    b.mul("r11", "r3", "r4")
+    b.add("r6", "r6", "r11")
+    b.addi("r5", "r5", 1)
+    b.li("r4", 0)
+    b.label("cont")
+    b.addi("r7", "r7", 1)
+    b.j("loop")
+
+    b.label("emit")
+    b.comment("close the current run, start a new one")
+    b.mul("r11", "r3", "r4")
+    b.add("r6", "r6", "r11")
+    b.addi("r5", "r5", 1)
+    b.mov("r3", "r9")
+    b.li("r4", 1)
+    b.j("cont")
+
+    b.label("flush")
+    b.mul("r11", "r3", "r4")
+    b.add("r6", "r6", "r11")
+    b.addi("r5", "r5", 1)
+    b.sw("r6", "zero", RESULT_BASE)
+    b.sw("r5", "zero", RESULT_BASE + 1)
+    b.halt()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    """Runs of small symbols, average length ~6."""
+    data: Dict[int, int] = {}
+    index = 0
+    while index < size:
+        symbol = rng.randint(1, 6)
+        run = rng.randint(1, 11)
+        for _ in range(min(run, size - index)):
+            data[INPUT_BASE + index] = symbol
+            index += 1
+    return data
+
+
+SPEC = WorkloadSpec(
+    name="compress",
+    description="run-length encoder: biased run-continue branch, cold "
+                "giant-run path, constant threshold cell",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=3500,
+)

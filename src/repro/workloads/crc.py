@@ -1,0 +1,94 @@
+"""``crc`` — table-free cyclic-redundancy checksum (long dependence chain).
+
+Each input word is salted with a per-input seed word and folded into a
+running checksum with three shift-and-conditionally-xor rounds.  The
+round branch is data-dependent (~50/50, so it survives distillation
+untouched); the polynomial is read from a constant cell every round —
+the flagship value-specialization target — while the salt is a
+*quasi-constant*: stable within any one run but different across
+inputs, the trap that makes single-input training profiles dangerous
+(experiment E13).
+
+Result: ``RESULT_BASE`` = final checksum.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+POLYNOMIAL = 0x1D
+ROUNDS = 3
+
+#: A per-input salt: constant *within* any run, different across seeds.
+#: The classic value-specialization trap — a profile from a single
+#: training input sees a stable load and folds it into the distilled
+#: program; only profiling multiple inputs reveals it varies (E13).
+SEED_CELL = 0xF00
+
+
+def build_code(size: int) -> Program:
+    b = ProgramBuilder(name="crc")
+    b.alloc("poly", [POLYNOMIAL])
+
+    b.label("main")
+    b.li("r1", INPUT_BASE)
+    b.li("r2", size)
+    b.li("r3", 0)               # crc
+    b.li("r4", 0)               # i
+
+    guards = []
+    b.label("loop")
+    b.add("r5", "r1", "r4")
+    b.lw("r6", "r5", 0)
+    guards.append(never_taken_guard(b, "crc_word", "r6", "r4"))
+    b.lw("r9", "zero", SEED_CELL)   # per-input salt (quasi-constant)
+    b.xor("r6", "r6", "r9")
+    b.xor("r3", "r3", "r6")
+    for round_index in range(ROUNDS):
+        b.comment(f"round {round_index}")
+        b.andi("r7", "r3", 1)
+        b.beq("r7", "zero", f"even_{round_index}")
+        b.srli("r3", "r3", 1)
+        b.lw("r8", "zero", "poly")     # stable constant: specialized away
+        b.xor("r3", "r3", "r8")
+        b.j(f"next_{round_index}")
+        b.label(f"even_{round_index}")
+        b.srli("r3", "r3", 1)
+        b.label(f"next_{round_index}")
+    b.addi("r4", "r4", 1)
+    b.blt("r4", "r2", "loop")
+
+    b.sw("r3", "zero", RESULT_BASE)
+    b.halt()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    data = {
+        INPUT_BASE + index: rng.randint(0, 2 ** 16 - 1)
+        for index in range(size)
+    }
+    data[SEED_CELL] = rng.randint(1, 2 ** 12)
+    return data
+
+
+SPEC = WorkloadSpec(
+    name="crc",
+    description="shift/xor checksum: unbiased round branches, constant "
+                "polynomial load specialized by the distiller",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=2200,
+)

@@ -1,0 +1,115 @@
+"""``fib_memo`` — memoized modular recurrence (models gap's table-driven
+computation).
+
+Computes ``f[i] = (f[i-1] + f[i-2] + a[i mod K]) mod M`` into a memo
+table, then a second phase answers random-index queries against the
+table.  The modulus lives in a constant cell (value-specialization
+target used in *arithmetic*, so it survives into the distilled hot
+loop as an immediate), the memo table is written in phase one and read
+in phase two (inter-phase memory dependence), and a zero-hit path is
+rare.
+
+Results: ``RESULT_BASE`` = query checksum, ``RESULT_BASE+1`` = zero hits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+MODULUS = 9973
+MEMO_BASE = 0x5000
+#: Input perturbation window.
+K = 64
+QUERIES = 400
+
+
+def build_code(size: int) -> Program:
+    b = ProgramBuilder(name="fib_memo")
+    b.alloc("modulus", [MODULUS])
+
+    b.label("main")
+    b.comment("phase 1: fill the memo table")
+    b.li("r1", 1)               # f[i-1]
+    b.li("r2", 1)               # f[i-2]
+    b.li("r3", 2)               # i
+    b.li("r4", size)
+    b.li("r14", 0)              # zero hits
+    b.sw("r1", "zero", MEMO_BASE)
+    b.sw("r1", "zero", MEMO_BASE + 1)
+
+    guards = []
+    b.label("fill")
+    b.andi("r5", "r3", K - 1)
+    b.addi("r5", "r5", INPUT_BASE)
+    b.lw("r6", "r5", 0)         # perturbation a[i mod K]
+    guards.append(never_taken_guard(b, "fm_pert", "r6", "r3"))
+    b.add("r7", "r1", "r2")
+    b.add("r7", "r7", "r6")
+    b.lw("r8", "zero", "modulus")   # constant: specialized
+    b.mod("r7", "r7", "r8")
+    b.addi("r9", "r3", MEMO_BASE)
+    b.sw("r7", "r9", 0)
+    b.bne("r7", "zero", "nonzero")
+    b.addi("r14", "r14", 1)     # rare: exact zero
+    b.label("nonzero")
+    b.mov("r2", "r1")
+    b.mov("r1", "r7")
+    b.addi("r3", "r3", 1)
+    b.blt("r3", "r4", "fill")
+
+    b.comment("phase 2: query the memo table at input-driven indices")
+    b.li("r3", 0)
+    b.li("r10", 0)              # checksum
+    b.li("r11", QUERIES)
+    b.label("query")
+    b.andi("r5", "r3", K - 1)
+    b.addi("r5", "r5", INPUT_BASE + K)
+    b.lw("r6", "r5", 0)         # query seed
+    b.add("r6", "r6", "r3")
+    b.li("r12", 0)
+    b.bge("r6", "r12", "pos")   # always: seeds are positive
+    b.sub("r6", "r12", "r6")
+    b.label("pos")
+    b.mod("r6", "r6", "r4")     # index in [0, size)
+    b.addi("r6", "r6", MEMO_BASE)
+    b.lw("r7", "r6", 0)
+    guards.append(never_taken_guard(b, "fm_query", "r7", "r6"))
+    b.add("r10", "r10", "r7")
+    b.addi("r3", "r3", 1)
+    b.blt("r3", "r11", "query")
+
+    b.sw("r10", "zero", RESULT_BASE)
+    b.sw("r14", "zero", RESULT_BASE + 1)
+    b.halt()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    del size
+    data: Dict[int, int] = {}
+    for index in range(K):
+        data[INPUT_BASE + index] = rng.randint(1, 500)
+        data[INPUT_BASE + K + index] = rng.randint(1, 10_000)
+    return data
+
+
+SPEC = WorkloadSpec(
+    name="fib_memo",
+    description="memoized modular recurrence + table queries: constant "
+                "modulus in hot arithmetic, phase-crossing memory reuse",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=2600,
+)

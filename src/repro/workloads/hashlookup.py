@@ -1,0 +1,128 @@
+"""``hashlookup`` — open-addressing hash-table probing (models vortex).
+
+The table is *built by the generator* (in Python) and shipped as input
+data; the kernel only probes it, which is the read-mostly access pattern
+the paper's vortex exhibits.  Probe loops are short and data-dependent;
+the hit/miss branch is biased by the query mix (~85% hits); a
+probe-chain-overflow path is cold.
+
+Results: ``RESULT_BASE`` = hits, ``RESULT_BASE+1`` = misses,
+``RESULT_BASE+2`` = probe count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+#: Table slots (power of two; fixed so code identity is size-independent
+#: of the query count).
+TABLE_SIZE = 1024
+TABLE_BASE = INPUT_BASE
+QUERY_BASE = TABLE_BASE + TABLE_SIZE
+
+#: Probes beyond this length take the cold overflow path.
+MAX_PROBES = 16
+
+
+def build_code(size: int) -> Program:
+    b = ProgramBuilder(name="hashlookup")
+
+    b.label("main")
+    b.li("r1", size)            # queries remaining
+    b.li("r2", QUERY_BASE)      # query cursor
+    b.li("r3", 0)               # hits
+    b.li("r4", 0)               # misses
+    b.li("r5", 0)               # probes
+    b.li("r10", TABLE_SIZE - 1)
+
+    guards = []
+    b.label("next_query")
+    b.lw("r6", "r2", 0)         # key
+    guards.append(never_taken_guard(b, "hl_key", "r6", "r2"))
+    b.and_("r7", "r6", "r10")   # slot = key & (T-1)
+    guards.append(never_taken_guard(b, "hl_slot", "r7", "r3"))
+    b.li("r11", 0)              # probe length
+
+    b.label("probe")
+    b.addi("r5", "r5", 1)
+    b.addi("r11", "r11", 1)
+    b.slti("r12", "r11", MAX_PROBES)
+    b.beq("r12", "zero", "overflow")   # cold: probe chain too long
+    b.addi("r8", "r7", TABLE_BASE)
+    b.lw("r9", "r8", 0)         # table[slot]
+    b.beq("r9", "r6", "hit")
+    b.beq("r9", "zero", "miss")
+    b.addi("r7", "r7", 1)
+    b.and_("r7", "r7", "r10")
+    b.j("probe")
+
+    b.label("hit")
+    b.addi("r3", "r3", 1)
+    b.j("advance")
+    b.label("miss")
+    b.addi("r4", "r4", 1)
+    b.label("advance")
+    b.addi("r2", "r2", 1)
+    b.addi("r1", "r1", -1)
+    b.bne("r1", "zero", "next_query")
+
+    b.sw("r3", "zero", RESULT_BASE)
+    b.sw("r4", "zero", RESULT_BASE + 1)
+    b.sw("r5", "zero", RESULT_BASE + 2)
+    b.halt()
+
+    b.label("overflow")
+    b.comment("cold: pathological probe chain")
+    b.addi("r4", "r4", 1)
+    b.j("advance")
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    """Builds the table at ~55% load factor, then a query stream."""
+    mask = TABLE_SIZE - 1
+    table = [0] * TABLE_SIZE
+    inserted = []
+    while len(inserted) < int(TABLE_SIZE * 0.55):
+        key = rng.randint(1, 10 ** 6)
+        slot = key & mask
+        while table[slot] != 0:
+            if table[slot] == key:
+                break
+            slot = (slot + 1) & mask
+        else:
+            table[slot] = key
+            inserted.append(key)
+    data = {
+        TABLE_BASE + index: value
+        for index, value in enumerate(table)
+        if value
+    }
+    for index in range(size):
+        if rng.random() < 0.85:
+            data[QUERY_BASE + index] = rng.choice(inserted)
+        else:
+            data[QUERY_BASE + index] = rng.randint(1, 10 ** 6)
+    return data
+
+
+SPEC = WorkloadSpec(
+    name="hashlookup",
+    description="open-addressing probes over a read-only table: biased "
+                "hit branch, data-dependent chains, cold overflow path",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=1800,
+)

@@ -1,0 +1,223 @@
+"""``interp`` — a bytecode interpreter interpreting a bytecode program
+(models perlbmk/gcc dispatch loops — an interpreter running *inside* the
+simulated machine).
+
+The guest bytecode is generated deterministically from ``size`` and is
+part of the program's constant data; the seed-varying input feeds the
+guest's memory.  The host dispatch loop fetches an opcode and walks a
+compare chain — the classic hard-to-predict indirect-dispatch pattern,
+rendered as branches.  An unknown-opcode trap exists but never fires.
+
+Guest ISA (one word per operand): HALT, LOADI r c, ADD a b dst,
+SUB a b dst, LOADMEM r idx, STORE r idx, JNZ r target, DEC r.
+
+Results: ``RESULT_BASE`` = guest output cell, ``RESULT_BASE+1`` =
+executed guest ops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+BYTECODE_BASE = 0x3000
+GUEST_REGS = 0x3800          # 8 guest registers
+GUEST_MEM = INPUT_BASE       # guest memory = our input data
+
+OP_HALT, OP_LOADI, OP_ADD, OP_SUB, OP_LOADMEM, OP_STORE, OP_JNZ, OP_DEC = (
+    range(8)
+)
+
+#: Guest memory cells the generator populates.
+GUEST_CELLS = 64
+
+
+def _guest_program(size: int) -> List[int]:
+    """A guest program: an outer counted loop summing/permuting memory.
+
+    ``size`` sets the outer trip count (guest reg 0).  Deterministic in
+    ``size`` only — bytecode is constant data, like real program text.
+    """
+    code: List[int] = []
+
+    def emit(*words: int) -> None:
+        code.extend(words)
+
+    emit(OP_LOADI, 0, size)          # r0 = outer counter
+    emit(OP_LOADI, 3, 0)             # r3 = accumulator
+    loop_top = len(code)
+    emit(OP_LOADI, 1, 0)             # r1 = inner index
+    emit(OP_LOADI, 2, 8)             # r2 = inner counter
+    inner_top = len(code)
+    emit(OP_LOADMEM, 4, 1)           # r4 = guest_mem[r1]
+    emit(OP_ADD, 3, 4, 3)            # acc += r4
+    emit(OP_ADD, 1, 2, 1)            # stride by remaining count (varies)
+    emit(OP_DEC, 2)
+    emit(OP_JNZ, 2, inner_top)
+    emit(OP_SUB, 3, 0, 3)            # fold counter in
+    emit(OP_STORE, 3, 1)             # write back (mutates guest memory)
+    emit(OP_DEC, 0)
+    emit(OP_JNZ, 0, loop_top)
+    emit(OP_STORE, 3, 0)             # final result into guest_mem[r3? no: idx 0]
+    emit(OP_HALT)
+    return code
+
+
+def build_code(size: int) -> Program:
+    guest = _guest_program(size)
+    b = ProgramBuilder(name="interp")
+    for position, word in enumerate(guest):
+        b.poke(BYTECODE_BASE + position, word)
+
+    b.label("main")
+    b.li("r1", BYTECODE_BASE)   # guest pc base
+    b.li("r2", 0)               # guest pc
+    b.li("r3", 0)               # executed guest ops
+    b.li("r15", GUEST_CELLS - 1)
+
+    guards = []
+    b.label("dispatch")
+    b.add("r4", "r1", "r2")
+    b.lw("r5", "r4", 0)         # opcode
+    guards.append(never_taken_guard(b, "in_op", "r5", "r2"))
+    b.addi("r3", "r3", 1)
+    b.beq("r5", "zero", "op_halt")
+    b.li("r6", OP_LOADI)
+    b.beq("r5", "r6", "op_loadi")
+    b.li("r6", OP_ADD)
+    b.beq("r5", "r6", "op_add")
+    b.li("r6", OP_SUB)
+    b.beq("r5", "r6", "op_sub")
+    b.li("r6", OP_LOADMEM)
+    b.beq("r5", "r6", "op_loadmem")
+    b.li("r6", OP_STORE)
+    b.beq("r5", "r6", "op_store")
+    b.li("r6", OP_JNZ)
+    b.beq("r5", "r6", "op_jnz")
+    b.li("r6", OP_DEC)
+    b.beq("r5", "r6", "op_dec")
+    b.comment("cold: unknown opcode")
+    b.li("r7", -1)
+    b.sw("r7", "zero", RESULT_BASE)
+    b.halt()
+
+    b.label("op_loadi")
+    b.lw("r7", "r4", 1)         # reg
+    b.lw("r8", "r4", 2)         # const
+    b.addi("r7", "r7", GUEST_REGS)
+    b.sw("r8", "r7", 0)
+    b.addi("r2", "r2", 3)
+    b.j("dispatch")
+
+    b.label("op_add")
+    b.lw("r7", "r4", 1)
+    b.lw("r8", "r4", 2)
+    b.lw("r9", "r4", 3)
+    b.addi("r7", "r7", GUEST_REGS)
+    b.lw("r7", "r7", 0)
+    b.addi("r8", "r8", GUEST_REGS)
+    b.lw("r8", "r8", 0)
+    b.add("r7", "r7", "r8")
+    b.addi("r9", "r9", GUEST_REGS)
+    b.sw("r7", "r9", 0)
+    b.addi("r2", "r2", 4)
+    b.j("dispatch")
+
+    b.label("op_sub")
+    b.lw("r7", "r4", 1)
+    b.lw("r8", "r4", 2)
+    b.lw("r9", "r4", 3)
+    b.addi("r7", "r7", GUEST_REGS)
+    b.lw("r7", "r7", 0)
+    b.addi("r8", "r8", GUEST_REGS)
+    b.lw("r8", "r8", 0)
+    b.sub("r7", "r7", "r8")
+    b.addi("r9", "r9", GUEST_REGS)
+    b.sw("r7", "r9", 0)
+    b.addi("r2", "r2", 4)
+    b.j("dispatch")
+
+    b.label("op_loadmem")
+    b.lw("r7", "r4", 1)         # dst reg
+    b.lw("r8", "r4", 2)         # index reg
+    b.addi("r8", "r8", GUEST_REGS)
+    b.lw("r8", "r8", 0)
+    b.and_("r8", "r8", "r15")   # mask into guest memory
+    b.addi("r8", "r8", GUEST_MEM)
+    b.lw("r8", "r8", 0)
+    b.addi("r7", "r7", GUEST_REGS)
+    b.sw("r8", "r7", 0)
+    b.addi("r2", "r2", 3)
+    b.j("dispatch")
+
+    b.label("op_store")
+    b.lw("r7", "r4", 1)         # src reg
+    b.lw("r8", "r4", 2)         # index reg
+    b.addi("r7", "r7", GUEST_REGS)
+    b.lw("r7", "r7", 0)
+    b.addi("r8", "r8", GUEST_REGS)
+    b.lw("r8", "r8", 0)
+    b.and_("r8", "r8", "r15")
+    b.addi("r8", "r8", GUEST_MEM)
+    b.sw("r7", "r8", 0)
+    b.addi("r2", "r2", 3)
+    b.j("dispatch")
+
+    b.label("op_jnz")
+    b.lw("r7", "r4", 1)         # reg
+    b.lw("r8", "r4", 2)         # target
+    b.addi("r7", "r7", GUEST_REGS)
+    b.lw("r7", "r7", 0)
+    b.beq("r7", "zero", "jnz_fall")
+    b.mov("r2", "r8")
+    b.j("dispatch")
+    b.label("jnz_fall")
+    b.addi("r2", "r2", 3)
+    b.j("dispatch")
+
+    b.label("op_dec")
+    b.lw("r7", "r4", 1)
+    b.addi("r7", "r7", GUEST_REGS)
+    b.lw("r8", "r7", 0)
+    b.addi("r8", "r8", -1)
+    b.sw("r8", "r7", 0)
+    b.addi("r2", "r2", 2)
+    b.j("dispatch")
+
+    b.label("op_halt")
+    b.li("r7", GUEST_MEM)
+    b.lw("r8", "r7", 0)         # guest_mem[0]: guest's output
+    b.sw("r8", "zero", RESULT_BASE)
+    b.sw("r3", "zero", RESULT_BASE + 1)
+    b.halt()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    del size
+    return {
+        GUEST_MEM + index: rng.randint(1, 999)
+        for index in range(GUEST_CELLS)
+    }
+
+
+SPEC = WorkloadSpec(
+    name="interp",
+    description="bytecode VM interpreting a guest loop program: compare-"
+                "chain dispatch, guest state in memory, cold bad-opcode "
+                "trap",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=55,
+)

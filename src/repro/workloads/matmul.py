@@ -1,0 +1,102 @@
+"""``matmul`` — dense integer matrix multiply (regular numeric kernel).
+
+A triple loop whose branches are all loop back-edges (perfectly biased
+but deliberately preserved by the distiller — asserting them would make
+the master spin).  Distillation leverage is therefore small, which is
+the realistic behaviour for numeric codes: MSSP's win here comes almost
+entirely from task parallelism, not from a shorter master.  A zero-
+operand early-out path exists but is cold (the generator never emits
+zeros).
+
+Result: ``RESULT_BASE`` = checksum of the product matrix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+
+def _a_base(size: int) -> int:
+    return INPUT_BASE
+
+
+def _b_base(size: int) -> int:
+    return INPUT_BASE + size * size
+
+
+def build_code(size: int) -> Program:
+    n = size
+    b = ProgramBuilder(name="matmul")
+
+    b.label("main")
+    b.li("r1", _a_base(n))
+    b.li("r2", _b_base(n))
+    b.li("r3", n)
+    b.li("r4", 0)               # i
+    b.li("r15", 0)              # checksum
+
+    guards = []
+    b.label("i_loop")
+    b.li("r5", 0)               # j
+    b.label("j_loop")
+    guards.append(never_taken_guard(b, "mm_acc", "r15", "r5"))
+    b.li("r6", 0)               # k
+    b.li("r7", 0)               # acc
+    b.label("k_loop")
+    b.comment("acc += A[i][k] * B[k][j]")
+    b.mul("r8", "r4", "r3")
+    b.add("r8", "r8", "r6")
+    b.add("r8", "r8", "r1")
+    b.lw("r9", "r8", 0)         # A[i][k]
+    b.beq("r9", "zero", "skip_term")   # cold: no zeros generated
+    b.mul("r10", "r6", "r3")
+    b.add("r10", "r10", "r5")
+    b.add("r10", "r10", "r2")
+    b.lw("r11", "r10", 0)       # B[k][j]
+    b.mul("r12", "r9", "r11")
+    b.add("r7", "r7", "r12")
+    b.label("skip_term")
+    b.addi("r6", "r6", 1)
+    b.blt("r6", "r3", "k_loop")
+    b.comment("fold C[i][j] into the checksum (weighted by j+1)")
+    b.addi("r13", "r5", 1)
+    b.mul("r14", "r7", "r13")
+    b.add("r15", "r15", "r14")
+    b.addi("r5", "r5", 1)
+    b.blt("r5", "r3", "j_loop")
+    b.addi("r4", "r4", 1)
+    b.blt("r4", "r3", "i_loop")
+
+    b.sw("r15", "zero", RESULT_BASE)
+    b.halt()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    data: Dict[int, int] = {}
+    for index in range(size * size):
+        data[_a_base(size) + index] = rng.randint(1, 50)
+        data[_b_base(size) + index] = rng.randint(1, 50)
+    return data
+
+
+SPEC = WorkloadSpec(
+    name="matmul",
+    description="dense integer matrix multiply: loop-bound branches only, "
+                "minimal distillation leverage, pure task parallelism",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=13,
+)

@@ -1,0 +1,134 @@
+"""``parse`` — token scanner with a classification subroutine (models
+parser/perlbmk front-end loops).
+
+The main loop walks a character stream and counts tokens (maximal runs
+of non-space characters), calling a ``classify`` subroutine per character
+through the ``jal``/``jr`` calling convention — this workload is the
+suite's exercise of call/return handling in the CFG, the distiller's
+adjacency constraints, and cross-call task boundaries.  An invalid-char
+class exists but the generator never emits one (cold path).
+
+Results: ``RESULT_BASE`` = tokens, ``RESULT_BASE+1`` = letters,
+``RESULT_BASE+2`` = digits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+SPACE, LETTER, DIGIT, PUNCT, INVALID = 0, 1, 2, 3, 4
+
+
+def build_code(size: int) -> Program:
+    b = ProgramBuilder(name="parse")
+
+    b.label("main")
+    b.li("sp", 0x8000)
+    b.li("r1", INPUT_BASE)
+    b.li("r2", size)
+    b.li("r3", 0)               # i
+    b.li("r4", 0)               # tokens
+    b.li("r5", 0)               # letters
+    b.li("r6", 0)               # digits
+    b.li("r7", 0)               # in-token flag
+
+    guards = []
+    b.label("loop")
+    b.add("r8", "r1", "r3")
+    b.lw("r9", "r8", 0)         # ch
+    guards.append(never_taken_guard(b, "ps_char", "r9", "r3"))
+    b.call("classify")          # class in r10
+    guards.append(never_taken_guard(b, "ps_class", "r10", "r4"))
+    b.li("r11", SPACE)
+    b.beq("r10", "r11", "space")
+    b.comment("non-space: token start?")
+    b.bne("r7", "zero", "counted")
+    b.addi("r4", "r4", 1)
+    b.li("r7", 1)
+    b.label("counted")
+    b.li("r11", LETTER)
+    b.bne("r10", "r11", "not_letter")
+    b.addi("r5", "r5", 1)
+    b.j("next")
+    b.label("not_letter")
+    b.li("r11", DIGIT)
+    b.bne("r10", "r11", "next")
+    b.addi("r6", "r6", 1)
+    b.j("next")
+    b.label("space")
+    b.li("r7", 0)
+    b.label("next")
+    b.addi("r3", "r3", 1)
+    b.blt("r3", "r2", "loop")
+
+    b.sw("r4", "zero", RESULT_BASE)
+    b.sw("r5", "zero", RESULT_BASE + 1)
+    b.sw("r6", "zero", RESULT_BASE + 2)
+    b.halt()
+
+    b.comment("classify(ch in r9) -> class in r10")
+    b.label("classify")
+    b.li("r10", SPACE)
+    b.li("r12", 33)
+    b.blt("r9", "r12", "cls_done")      # < 33: whitespace-ish
+    b.li("r10", DIGIT)
+    b.li("r12", 48)
+    b.blt("r9", "r12", "cls_punct")
+    b.li("r12", 58)
+    b.blt("r9", "r12", "cls_done")      # 48..57: digit
+    b.li("r10", LETTER)
+    b.li("r12", 65)
+    b.blt("r9", "r12", "cls_punct")
+    b.li("r12", 123)
+    b.blt("r9", "r12", "cls_done")      # 65..122: letter-ish
+    b.comment("cold: 123..: invalid input")
+    b.li("r10", INVALID)
+    b.ret()
+    b.label("cls_punct")
+    b.li("r10", PUNCT)
+    b.label("cls_done")
+    b.ret()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    """Word/space stream: tokens of 2-9 chars separated by 1-2 spaces."""
+    data: Dict[int, int] = {}
+    index = 0
+    while index < size:
+        for _ in range(min(rng.randint(2, 9), size - index)):
+            roll = rng.random()
+            if roll < 0.7:
+                ch = rng.randint(65, 122)   # letter
+            elif roll < 0.9:
+                ch = rng.randint(48, 57)    # digit
+            else:
+                ch = rng.randint(33, 47)    # punct
+            data[INPUT_BASE + index] = ch
+            index += 1
+        for _ in range(min(rng.randint(1, 2), size - index)):
+            data[INPUT_BASE + index] = 32   # space
+            index += 1
+    return data
+
+
+SPEC = WorkloadSpec(
+    name="parse",
+    description="token scanner calling a classify subroutine per char: "
+                "call/return traffic, compare chains, cold invalid path",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=2400,
+)

@@ -1,0 +1,93 @@
+"""``pointer_chase`` — linked-list traversal (models mcf).
+
+The input is a singly linked ring of nodes laid out in seed-shuffled
+order; the kernel chases ``next`` pointers for a fixed number of hops,
+accumulating node values.  Every load is data-dependent (no
+specialization possible), control is a single hot loop, and there is a
+cold corruption-check path (a sentinel value the generator never
+produces).  This is the low-ILP, memory-bound end of the suite.
+
+Results: ``RESULT_BASE`` = value checksum, ``RESULT_BASE+1`` = final
+node index.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+#: Hops per node in the ring (total hops = HOP_FACTOR * size).
+HOP_FACTOR = 3
+
+#: A node value the generator never emits; seeing it means corruption.
+SENTINEL = -(2 ** 40)
+
+
+def _value_addr(node: int) -> int:
+    return INPUT_BASE + 2 * node
+
+
+def build_code(size: int) -> Program:
+    b = ProgramBuilder(name="pointer_chase")
+    b.alloc("sentinel", [SENTINEL])
+
+    b.label("main")
+    b.li("r1", HOP_FACTOR * size)   # hops remaining
+    b.li("r2", INPUT_BASE)          # current node pointer
+    b.li("r3", 0)                   # checksum
+    b.lw("r9", "zero", "sentinel")  # stable constant
+
+    guards = []
+    b.label("loop")
+    b.lw("r4", "r2", 0)             # node value
+    b.beq("r4", "r9", "corrupt")    # cold path
+    guards.append(never_taken_guard(b, "pc_node", "r4", "r2"))
+    b.add("r3", "r3", "r4")
+    b.lw("r2", "r2", 1)             # follow next pointer
+    b.addi("r1", "r1", -1)
+    b.bne("r1", "zero", "loop")
+
+    b.sw("r3", "zero", RESULT_BASE)
+    b.sw("r2", "zero", RESULT_BASE + 1)
+    b.halt()
+
+    b.label("corrupt")
+    b.comment("cold: corrupted list — record and bail out")
+    b.li("r3", -1)
+    b.sw("r3", "zero", RESULT_BASE)
+    b.halt()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    """A single ring visiting all nodes in shuffled order."""
+    order = list(range(1, size))
+    rng.shuffle(order)
+    cycle = [0] + order
+    data: Dict[int, int] = {}
+    for position, node in enumerate(cycle):
+        successor = cycle[(position + 1) % size]
+        data[_value_addr(node)] = rng.randint(1, 999)
+        data[_value_addr(node) + 1] = _value_addr(successor)
+    return data
+
+
+SPEC = WorkloadSpec(
+    name="pointer_chase",
+    description="linked-ring traversal: data-dependent loads, one hot "
+                "loop, cold sentinel check",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=1600,
+)

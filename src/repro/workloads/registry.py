@@ -1,0 +1,62 @@
+"""Workload registry: name → :class:`~repro.workloads.base.WorkloadSpec`.
+
+The twelve workloads model the control/memory behaviours spanned by the
+MICRO paper's SPECint-2000 suite; see DESIGN.md §4 for the mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    branchy,
+    compress,
+    crc,
+    fib_memo,
+    hashlookup,
+    interp,
+    matmul,
+    parse,
+    pointer_chase,
+    sort,
+    stringops,
+    treewalk,
+)
+from repro.workloads.base import WorkloadSpec
+
+_ALL = [
+    compress.SPEC,
+    pointer_chase.SPEC,
+    branchy.SPEC,
+    parse.SPEC,
+    hashlookup.SPEC,
+    matmul.SPEC,
+    crc.SPEC,
+    sort.SPEC,
+    treewalk.SPEC,
+    stringops.SPEC,
+    fib_memo.SPEC,
+    interp.SPEC,
+]
+
+WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _ALL}
+
+#: A four-workload subset used by the sweep experiments (E4-E6), chosen
+#: to span the suite's behaviours: biased-scan, memory-bound, branchy,
+#: and numeric.
+REPRESENTATIVE = ("compress", "pointer_chase", "branchy", "matmul")
+
+
+def workload_names() -> List[str]:
+    return list(WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,101 @@
+"""``sort`` — in-place insertion sort (data-dependent inner loop).
+
+Insertion sort's inner shift loop has a data-dependent trip count and a
+compare branch whose bias drifts as the prefix becomes sorted — a
+workload where the master's memory write-set (the array itself) is the
+dominant live-in channel between tasks, stressing checkpoint memory
+shipping.  A pre-sorted-run fast path exists and fires occasionally.
+
+Results: ``RESULT_BASE`` = position-weighted checksum of the sorted
+array, ``RESULT_BASE+1`` = shift count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+
+def build_code(size: int) -> Program:
+    b = ProgramBuilder(name="sort")
+
+    b.label("main")
+    b.li("r1", INPUT_BASE)
+    b.li("r2", size)
+    b.li("r3", 1)               # i
+    b.li("r12", 0)              # shift count
+
+    guards = []
+    b.label("outer")
+    b.add("r4", "r1", "r3")
+    b.lw("r5", "r4", 0)         # key = a[i]
+    guards.append(never_taken_guard(b, "srt_key", "r5", "r3"))
+    b.comment("fast path: already in place?")
+    b.lw("r6", "r4", -1)        # a[i-1]
+    b.bge("r5", "r6", "placed")
+    b.mov("r7", "r3")           # j = i
+    b.label("shift")
+    b.add("r8", "r1", "r7")
+    b.lw("r9", "r8", -1)        # a[j-1]
+    b.bge("r5", "r9", "insert")
+    b.sw("r9", "r8", 0)         # a[j] = a[j-1]
+    b.addi("r12", "r12", 1)
+    b.addi("r7", "r7", -1)
+    b.bne("r7", "zero", "shift")
+    b.label("insert")
+    b.add("r8", "r1", "r7")
+    b.sw("r5", "r8", 0)         # a[j] = key
+    b.label("placed")
+    b.addi("r3", "r3", 1)
+    b.blt("r3", "r2", "outer")
+
+    b.comment("checksum pass over the sorted array")
+    b.li("r3", 0)
+    b.li("r10", 0)
+    b.label("check")
+    b.add("r4", "r1", "r3")
+    b.lw("r5", "r4", 0)
+    b.addi("r6", "r3", 1)
+    b.mul("r5", "r5", "r6")
+    b.add("r10", "r10", "r5")
+    b.addi("r3", "r3", 1)
+    b.blt("r3", "r2", "check")
+
+    b.sw("r10", "zero", RESULT_BASE)
+    b.sw("r12", "zero", RESULT_BASE + 1)
+    b.halt()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    """Mostly random with a few pre-sorted runs (fast-path food)."""
+    values = [rng.randint(1, 10_000) for _ in range(size)]
+    # Plant a few ascending runs.
+    for _ in range(max(1, size // 40)):
+        start = rng.randrange(max(1, size - 8))
+        run = sorted(values[start:start + 6])
+        values[start:start + 6] = run
+    return {
+        INPUT_BASE + index: value for index, value in enumerate(values)
+    }
+
+
+SPEC = WorkloadSpec(
+    name="sort",
+    description="insertion sort: data-dependent shift loops, array as "
+                "the dominant inter-task memory live-in channel",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=140,
+)

@@ -1,0 +1,107 @@
+"""``treewalk`` — binary-tree walk with an explicit stack (models twolf/vpr
+structure traversals).
+
+A complete binary tree in heap layout is walked depth-first using a
+stack in memory (push/pop through ``sp``-style pointer arithmetic).  A
+pruning compare against a constant threshold cell (value-specialization
+target) skips subtrees; the generator makes pruning rare, so the skip
+path is strongly biased away and the threshold load feeds an asserted
+branch.  Two passes accumulate different figures.
+
+Results: ``RESULT_BASE`` = visited-sum, ``RESULT_BASE+1`` = node count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+#: Explicit DFS stack region (outside input/result areas).
+STACK_BASE = 0x7000
+
+#: Node values are >= 1; pruning triggers only below this, i.e. never
+#: for generated data — but the *code* cannot know that.
+PRUNE_THRESHOLD = -5
+
+PASSES = 2
+
+
+def build_code(size: int) -> Program:
+    """``size`` = number of tree nodes (any positive count works)."""
+    b = ProgramBuilder(name="treewalk")
+    b.alloc("threshold", [PRUNE_THRESHOLD])
+
+    b.label("main")
+    b.li("r14", PASSES)         # passes remaining
+    b.li("r12", 0)              # visited-sum
+    b.li("r13", 0)              # node count
+    b.lw("r11", "zero", "threshold")   # stable constant
+
+    guards = []
+    b.label("pass_loop")
+    b.li("r1", STACK_BASE)      # stack pointer (grows up)
+    b.li("r2", 0)               # push root (node index 0)
+    b.sw("r2", "r1", 0)
+    b.addi("r1", "r1", 1)
+
+    b.label("walk")
+    b.beq("r1", "zero", "pass_done")   # placeholder guard (never taken)
+    b.li("r3", STACK_BASE)
+    b.beq("r1", "r3", "pass_done")     # stack empty?
+    b.addi("r1", "r1", -1)             # pop
+    b.lw("r4", "r1", 0)                # node index
+    b.addi("r5", "r4", INPUT_BASE)
+    b.lw("r6", "r5", 0)                # node value
+    b.blt("r6", "r11", "walk")         # prune: ~never taken
+    guards.append(never_taken_guard(b, "tw_node", "r6", "r4"))
+    b.add("r12", "r12", "r6")
+    b.addi("r13", "r13", 1)
+    b.comment("push children if they exist")
+    b.slli("r7", "r4", 1)
+    b.addi("r7", "r7", 1)              # left = 2i+1
+    b.li("r8", size)
+    b.bge("r7", "r8", "walk")
+    b.sw("r7", "r1", 0)
+    b.addi("r1", "r1", 1)
+    b.addi("r9", "r7", 1)              # right = 2i+2
+    b.bge("r9", "r8", "walk")
+    b.sw("r9", "r1", 0)
+    b.addi("r1", "r1", 1)
+    b.j("walk")
+
+    b.label("pass_done")
+    b.addi("r14", "r14", -1)
+    b.bne("r14", "zero", "pass_loop")
+
+    b.sw("r12", "zero", RESULT_BASE)
+    b.sw("r13", "zero", RESULT_BASE + 1)
+    b.halt()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    return {
+        INPUT_BASE + index: rng.randint(1, 500)
+        for index in range(size)
+    }
+
+
+SPEC = WorkloadSpec(
+    name="treewalk",
+    description="explicit-stack DFS over a heap-layout tree: rare prune "
+                "path, constant threshold, store-heavy stack traffic",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=1023,
+)

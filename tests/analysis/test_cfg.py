@@ -1,0 +1,128 @@
+"""Tests for control-flow graph construction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.cfg import build_cfg
+from repro.isa.asm import assemble
+
+from tests.strategies import terminating_programs
+
+DIAMOND = """
+main:   li r1, 1
+        beq r1, zero, left
+right:  addi r2, r2, 1
+        j join
+left:   addi r2, r2, 2
+join:   halt
+"""
+
+LOOPY = """
+main:   li r1, 3
+loop:   addi r1, r1, -1
+        bne r1, zero, loop
+        halt
+"""
+
+CALLS = """
+main:   jal fn
+        jal fn
+        halt
+fn:     addi r1, r1, 1
+        jr ra
+"""
+
+
+class TestBlockPartition:
+    def test_diamond_blocks(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        starts = sorted(block.start for block in cfg.blocks)
+        assert starts == [0, 2, 4, 5]
+
+    def test_every_pc_in_exactly_one_block(self):
+        program = assemble(DIAMOND)
+        cfg = build_cfg(program)
+        covered = sorted(
+            pc for block in cfg.blocks for pc in block.pcs
+        )
+        assert covered == list(range(len(program.code)))
+        for block in cfg.blocks:
+            for pc in block.pcs:
+                assert cfg.block_of_pc[pc] == block.index
+
+    def test_entry_block(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        assert cfg.entry_block.start == 0
+
+    def test_block_starting_at(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        assert cfg.block_starting_at(2).start == 2
+        assert cfg.block_starting_at(3) is None  # mid-block pc
+
+
+class TestEdges:
+    def test_diamond_edges(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        by_start = {b.start: b.index for b in cfg.blocks}
+        edges = set(cfg.edge_list())
+        assert (by_start[0], by_start[2]) in edges  # fallthrough to right
+        assert (by_start[0], by_start[4]) in edges  # branch to left
+        assert (by_start[2], by_start[5]) in edges  # j join
+        assert (by_start[4], by_start[5]) in edges  # fallthrough
+        halt_block = by_start[5]
+        assert cfg.successors[halt_block] == []
+
+    def test_loop_back_edge(self):
+        cfg = build_cfg(assemble(LOOPY))
+        loop_block = cfg.block_starting_at(1)
+        assert loop_block.index in cfg.successors[loop_block.index]
+
+    def test_predecessors_mirror_successors(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        for src, dsts in cfg.successors.items():
+            for dst in dsts:
+                assert src in cfg.predecessors[dst]
+
+    def test_jal_edges_to_target(self):
+        cfg = build_cfg(assemble(CALLS))
+        entry = cfg.entry_block
+        fn_block = cfg.block_starting_at(3)
+        assert fn_block.index in cfg.successors[entry.index]
+
+    def test_jr_edges_to_all_return_sites(self):
+        cfg = build_cfg(assemble(CALLS))
+        ret_block = cfg.block_at(4)
+        succ_starts = {b.start for b in cfg.succ_blocks(ret_block)}
+        assert succ_starts == {1, 2}  # both instructions after the two jals
+
+    def test_fork_creates_no_edges(self):
+        program = assemble("fork 999\nhalt")
+        cfg = build_cfg(program)
+        assert len(cfg.blocks) == 1  # fork target did not become a leader
+
+
+class TestReachability:
+    def test_unreachable_block_detected(self):
+        program = assemble(
+            """
+            main:   j end
+            dead:   addi r1, r1, 1
+            end:    halt
+            """
+        )
+        cfg = build_cfg(program)
+        reachable = cfg.reachable_from_entry()
+        dead = cfg.block_starting_at(1)
+        assert dead.index not in reachable
+        assert cfg.entry_block.index in reachable
+
+    @given(terminating_programs())
+    @settings(max_examples=20, deadline=None)
+    def test_partition_invariant_random(self, program):
+        cfg = build_cfg(program)
+        covered = sorted(pc for block in cfg.blocks for pc in block.pcs)
+        assert covered == list(range(len(program.code)))
+        # Edge symmetry
+        for src, dsts in cfg.successors.items():
+            for dst in dsts:
+                assert src in cfg.predecessors[dst]

@@ -1,0 +1,109 @@
+"""Tests for dominator computation."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominators import DominatorTree
+from repro.errors import AnalysisError
+from repro.isa.asm import assemble
+
+DIAMOND = """
+main:   li r1, 1
+        beq r1, zero, left
+right:  addi r2, r2, 1
+        j join
+left:   addi r2, r2, 2
+join:   halt
+"""
+
+NESTED = """
+main:   li r1, 2
+outer:  li r2, 2
+inner:  addi r2, r2, -1
+        bne r2, zero, inner
+        addi r1, r1, -1
+        bne r1, zero, outer
+        halt
+"""
+
+
+def _cfg_and_tree(source):
+    cfg = build_cfg(assemble(source))
+    return cfg, DominatorTree(cfg)
+
+
+class TestDiamond:
+    def test_entry_dominates_everything(self):
+        cfg, tree = _cfg_and_tree(DIAMOND)
+        entry = cfg.entry_block.index
+        for block in cfg.blocks:
+            assert tree.dominates(entry, block.index)
+
+    def test_sides_do_not_dominate_join(self):
+        cfg, tree = _cfg_and_tree(DIAMOND)
+        left = cfg.block_starting_at(4).index
+        right = cfg.block_starting_at(2).index
+        join = cfg.block_starting_at(5).index
+        assert not tree.dominates(left, join)
+        assert not tree.dominates(right, join)
+
+    def test_join_idom_is_entry(self):
+        cfg, tree = _cfg_and_tree(DIAMOND)
+        join = cfg.block_starting_at(5).index
+        assert tree.idom(join) == cfg.entry_block.index
+
+    def test_entry_has_no_idom(self):
+        cfg, tree = _cfg_and_tree(DIAMOND)
+        assert tree.idom(cfg.entry_block.index) is None
+
+    def test_dominates_is_reflexive(self):
+        cfg, tree = _cfg_and_tree(DIAMOND)
+        for block in cfg.blocks:
+            assert tree.dominates(block.index, block.index)
+            assert not tree.strictly_dominates(block.index, block.index)
+
+    def test_dominators_of(self):
+        cfg, tree = _cfg_and_tree(DIAMOND)
+        join = cfg.block_starting_at(5).index
+        entry = cfg.entry_block.index
+        assert tree.dominators_of(join) == {entry, join}
+
+
+class TestNestedLoops:
+    def test_loop_headers_dominate_bodies(self):
+        cfg, tree = _cfg_and_tree(NESTED)
+        outer = cfg.block_starting_at(1).index
+        inner = cfg.block_starting_at(2).index
+        assert tree.dominates(outer, inner)
+        assert not tree.dominates(inner, outer)
+
+    def test_idom_chain(self):
+        cfg, tree = _cfg_and_tree(NESTED)
+        inner = cfg.block_starting_at(2).index
+        outer = cfg.block_starting_at(1).index
+        assert tree.idom(inner) == outer
+
+
+class TestUnreachable:
+    def test_unreachable_block_raises(self):
+        cfg = build_cfg(
+            assemble(
+                """
+                main:   j end
+                dead:   nop
+                end:    halt
+                """
+            )
+        )
+        tree = DominatorTree(cfg)
+        dead = cfg.block_starting_at(1).index
+        with pytest.raises(AnalysisError):
+            tree.idom(dead)
+        with pytest.raises(AnalysisError):
+            tree.dominates(cfg.entry_block.index, dead)
+
+    def test_reachable_excludes_dead(self):
+        cfg = build_cfg(assemble("main: j end\ndead: nop\nend: halt"))
+        tree = DominatorTree(cfg)
+        dead = cfg.block_starting_at(1).index
+        assert dead not in tree.reachable

@@ -1,0 +1,89 @@
+"""Tests for backward register liveness."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.liveness import compute_liveness
+from repro.isa.asm import assemble
+
+STRAIGHT = """
+main:   li r1, 5
+        addi r2, r1, 1
+        add r3, r1, r2
+        halt
+"""
+
+BRANCHED = """
+main:   li r1, 1
+        li r2, 2
+        beq r1, zero, skip
+        add r3, r2, r2      # uses r2 only on this path
+skip:   add r4, r1, r1
+        halt
+"""
+
+LOOP = """
+main:   li r1, 3
+loop:   addi r1, r1, -1
+        bne r1, zero, loop
+        halt
+"""
+
+
+class TestStraightLine:
+    def test_nothing_live_at_exit_by_default(self):
+        cfg = build_cfg(assemble(STRAIGHT))
+        info = compute_liveness(cfg)
+        halt_block = cfg.block_at(3)
+        assert info.live_out[halt_block.index] == frozenset()
+
+    def test_exit_live_propagates(self):
+        cfg = build_cfg(assemble(STRAIGHT))
+        info = compute_liveness(cfg, exit_live=frozenset({3}))
+        entry = cfg.entry_block.index
+        # r3 defined inside the block, so not live at entry.
+        assert 3 not in info.live_in[entry]
+
+    def test_live_after_each(self):
+        program = assemble(STRAIGHT)
+        cfg = build_cfg(program)
+        info = compute_liveness(cfg, exit_live=frozenset({3}))
+        block = cfg.entry_block
+        after = info.live_after_each(block)
+        # After li r1: r1 live (used by addi and add).
+        assert 1 in after[0]
+        # After addi r2: r1 and r2 both live (add uses them).
+        assert {1, 2} <= after[1]
+        # After add r3: only r3 (exit-live) remains.
+        assert after[2] == frozenset({3})
+
+
+class TestBranches:
+    def test_use_on_one_path_is_live_at_fork(self):
+        cfg = build_cfg(assemble(BRANCHED))
+        info = compute_liveness(cfg)
+        entry = cfg.entry_block.index
+        # r2 is used in the fallthrough block, so live out of entry block.
+        assert 2 in info.live_out[entry]
+
+    def test_def_kills_liveness(self):
+        cfg = build_cfg(assemble(BRANCHED))
+        info = compute_liveness(cfg)
+        # r3 and r4 are defined before any use: never live-in anywhere.
+        for block in cfg.blocks:
+            assert 3 not in info.live_in[block.index]
+            assert 4 not in info.live_in[block.index]
+
+
+class TestLoops:
+    def test_loop_variable_live_around_back_edge(self):
+        cfg = build_cfg(assemble(LOOP))
+        info = compute_liveness(cfg)
+        loop_block = cfg.block_starting_at(1)
+        assert 1 in info.live_in[loop_block.index]
+        assert 1 in info.live_out[loop_block.index]
+
+    def test_r0_never_live(self):
+        cfg = build_cfg(assemble(LOOP))
+        info = compute_liveness(cfg, exit_live=frozenset({1}))
+        for block in cfg.blocks:
+            assert 0 not in info.live_in[block.index]
+            assert 0 not in info.live_out[block.index]

@@ -1,0 +1,103 @@
+"""Tests for natural-loop detection."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.loops import analyze_loops
+from repro.isa.asm import assemble
+
+SIMPLE = """
+main:   li r1, 3
+loop:   addi r1, r1, -1
+        bne r1, zero, loop
+        halt
+"""
+
+NESTED = """
+main:   li r1, 2
+outer:  li r2, 2
+inner:  addi r2, r2, -1
+        bne r2, zero, inner
+        addi r1, r1, -1
+        bne r1, zero, outer
+        halt
+"""
+
+TWO_LOOPS = """
+main:   li r1, 2
+a:      addi r1, r1, -1
+        bne r1, zero, a
+        li r2, 2
+b:      addi r2, r2, -1
+        bne r2, zero, b
+        halt
+"""
+
+
+class TestSimpleLoop:
+    def test_single_loop_found(self):
+        cfg = build_cfg(assemble(SIMPLE))
+        forest = analyze_loops(cfg)
+        assert len(forest.loops) == 1
+        loop = forest.loops[0]
+        header_block = cfg.block_starting_at(1)
+        assert loop.header == header_block.index
+        assert loop.body == frozenset({header_block.index})
+        assert loop.depth == 1
+
+    def test_back_edge_recorded(self):
+        cfg = build_cfg(assemble(SIMPLE))
+        forest = analyze_loops(cfg)
+        (edge,) = forest.loops[0].back_edges
+        assert edge == (forest.loops[0].header, forest.loops[0].header)
+
+    def test_no_loops_in_straightline(self):
+        cfg = build_cfg(assemble("nop\nnop\nhalt"))
+        assert analyze_loops(cfg).loops == []
+
+
+class TestNestedLoops:
+    def test_depths(self):
+        cfg = build_cfg(assemble(NESTED))
+        forest = analyze_loops(cfg)
+        assert len(forest.loops) == 2
+        outer_header = cfg.block_starting_at(1).index
+        inner_header = cfg.block_starting_at(2).index
+        outer = forest.loop_with_header(outer_header)
+        inner = forest.loop_with_header(inner_header)
+        assert outer.depth == 1
+        assert inner.depth == 2
+        assert inner.body < outer.body
+
+    def test_depth_of_block(self):
+        cfg = build_cfg(assemble(NESTED))
+        forest = analyze_loops(cfg)
+        inner_header = cfg.block_starting_at(2).index
+        entry = cfg.entry_block.index
+        assert forest.depth_of_block(inner_header) == 2
+        assert forest.depth_of_block(entry) == 0
+
+    def test_innermost_loop_of(self):
+        cfg = build_cfg(assemble(NESTED))
+        forest = analyze_loops(cfg)
+        inner_header = cfg.block_starting_at(2).index
+        assert forest.innermost_loop_of(inner_header).header == inner_header
+        with pytest.raises(KeyError):
+            forest.innermost_loop_of(cfg.entry_block.index)
+
+
+class TestDisjointLoops:
+    def test_two_separate_loops(self):
+        cfg = build_cfg(assemble(TWO_LOOPS))
+        forest = analyze_loops(cfg)
+        assert len(forest.loops) == 2
+        assert all(loop.depth == 1 for loop in forest.loops)
+        bodies = [loop.body for loop in forest.loops]
+        assert bodies[0].isdisjoint(bodies[1])
+
+    def test_headers_property(self):
+        cfg = build_cfg(assemble(TWO_LOOPS))
+        forest = analyze_loops(cfg)
+        assert len(forest.headers) == 2
+        with pytest.raises(KeyError):
+            forest.loop_with_header(-1)

@@ -1,0 +1,50 @@
+"""Shared fixtures for distiller tests."""
+
+import pytest
+
+from repro.isa.asm import assemble
+from repro.profiling import profile_program
+
+#: A loop with a rarely-taken side path, a stable load, a never-taken
+#: validation chain (assertion-conversion + DCE fodder), and a dead-ish
+#: condition chain — one of everything the distiller optimizes.
+RICH_SOURCE = """
+main:   li r1, 200
+        li r3, 7
+loop:   addi r1, r1, -1
+        seq r9, r1, r3
+        bne r9, zero, rare
+back:   lw r5, 500(zero)
+        add r6, r6, r5
+        # validation chain: overflow guard that never fires; the whole
+        # chain dies once the guard branch is asserted away.
+        srli r10, r6, 20
+        slli r11, r1, 2
+        add r10, r10, r11
+        slti r12, r10, 100000
+        beq r12, zero, panic
+        bne r1, zero, loop
+        sw r6, 600(zero)
+        halt
+rare:   addi r2, r2, 1
+        addi r2, r2, 2
+        addi r2, r2, 3
+        j back
+panic:  li r6, -1
+        sw r6, 600(zero)
+        halt
+dead:   addi r7, r7, 1
+        j back
+        .data 500
+        .word 13
+"""
+
+
+@pytest.fixture
+def rich_program():
+    return assemble(RICH_SOURCE, name="rich")
+
+
+@pytest.fixture
+def rich_profile(rich_program):
+    return profile_program(rich_program)

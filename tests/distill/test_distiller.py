@@ -1,0 +1,121 @@
+"""Integration tests for the full distillation pipeline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.config import DistillConfig
+from repro.distill import Distiller, distill_with_default_profile
+from repro.errors import DistillError
+from repro.isa.asm import assemble
+from repro.isa.instructions import Opcode
+from repro.machine.interpreter import count_dynamic_instructions, run_to_halt
+from repro.profiling import profile_program
+
+from tests.strategies import terminating_programs
+
+AGGRESSIVE = DistillConfig(
+    target_task_size=30, branch_bias_threshold=0.99, min_branch_count=8,
+    value_spec_min_count=4,
+)
+
+
+class TestPipeline:
+    def test_produces_valid_program(self, rich_program, rich_profile):
+        result = Distiller(AGGRESSIVE).distill(rich_program, rich_profile)
+        assert result.distilled.halts
+        assert len(result.distilled.code) > 0
+        assert result.report.original_static == len(rich_program.code)
+        assert result.report.distilled_static == len(result.distilled.code)
+
+    def test_distilled_is_shorter_dynamically(self, rich_program, rich_profile):
+        """The whole point: the distilled program runs fewer instructions."""
+        result = Distiller(AGGRESSIVE).distill(rich_program, rich_profile)
+        original_len = count_dynamic_instructions(rich_program)
+        distilled_len = count_dynamic_instructions(result.distilled)
+        assert distilled_len < original_len
+
+    def test_pc_map_covers_entry_and_anchors(self, rich_program, rich_profile):
+        result = Distiller(AGGRESSIVE).distill(rich_program, rich_profile)
+        pc_map = result.pc_map
+        assert pc_map.is_anchor(rich_program.entry)
+        for anchor in result.report.anchors:
+            assert pc_map.is_anchor(anchor)
+            resume = pc_map.resume_pc(anchor)
+            assert 0 <= resume <= len(result.distilled.code)
+
+    def test_resume_pcs_follow_forks(self, rich_program, rich_profile):
+        result = Distiller(AGGRESSIVE).distill(rich_program, rich_profile)
+        for anchor in result.report.anchors:
+            resume = result.pc_map.resume_pc(anchor)
+            fork = result.distilled.code[resume - 1]
+            assert fork.op is Opcode.FORK
+            assert fork.target == anchor
+
+    def test_non_anchor_resume_raises(self, rich_program, rich_profile):
+        result = Distiller(AGGRESSIVE).distill(rich_program, rich_profile)
+        with pytest.raises(DistillError):
+            result.pc_map.resume_pc(10_000)
+
+    def test_report_describe(self, rich_program, rich_profile):
+        result = Distiller(AGGRESSIVE).distill(rich_program, rich_profile)
+        text = result.report.describe()
+        assert "static" in text and "anchors" in text
+
+    def test_default_profile_helper(self, rich_program):
+        result = distill_with_default_profile(rich_program, AGGRESSIVE)
+        assert result.distilled.halts
+
+
+class TestAblationFlags:
+    def test_without_pass(self):
+        config = AGGRESSIVE.without_pass("value_spec")
+        assert not config.enable_value_spec
+        assert config.enable_dce
+
+    def test_without_unknown_pass(self):
+        with pytest.raises(DistillError):
+            AGGRESSIVE.without_pass("nonsense")
+
+    def test_disabling_passes_grows_output(self, rich_program, rich_profile):
+        full = Distiller(AGGRESSIVE).distill(rich_program, rich_profile)
+        bare = Distiller(
+            AGGRESSIVE.without_pass("branch_removal")
+            .without_pass("cold_code")
+            .without_pass("value_spec")
+            .without_pass("dce")
+        ).distill(rich_program, rich_profile)
+        assert bare.report.distilled_static >= full.report.distilled_static
+
+    def test_everything_disabled_still_forks(self, rich_program, rich_profile):
+        config = AGGRESSIVE
+        for name in ("branch_removal", "cold_code", "value_spec", "dce",
+                     "jump_threading"):
+            config = config.without_pass(name)
+        result = Distiller(config).distill(rich_program, rich_profile)
+        assert any(i.op is Opcode.FORK for i in result.distilled.code)
+
+
+class TestDistilledSemanticsOnHotPath:
+    def test_distilled_runs_standalone(self, rich_program, rich_profile):
+        """fork behaves as nop sequentially, so the distilled binary runs."""
+        result = Distiller(AGGRESSIVE).distill(rich_program, rich_profile)
+        outcome = run_to_halt(result.distilled, max_steps=1_000_000)
+        assert outcome.halted
+
+    def test_hot_path_results_match(self, rich_program, rich_profile):
+        """On an input that stays on trained paths, the distilled program
+        computes the same observable result (the final store)."""
+        result = Distiller(AGGRESSIVE).distill(rich_program, rich_profile)
+        original = run_to_halt(rich_program)
+        distilled = run_to_halt(result.distilled, max_steps=1_000_000)
+        assert distilled.state.load(600) == original.state.load(600)
+
+    @given(terminating_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_distillation_never_crashes(self, program):
+        profile = profile_program(program, max_steps=2_000_000)
+        result = Distiller(DistillConfig(target_task_size=10)).distill(
+            program, profile
+        )
+        assert result.distilled.halts
+        assert result.pc_map.is_anchor(program.entry)

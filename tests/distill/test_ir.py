@@ -1,0 +1,162 @@
+"""Tests for IR lifting, block removal, and reachability."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.distill.ir import TRAP_BLOCK, lift_to_ir, block_name_for
+from repro.errors import DistillError
+from repro.isa.asm import assemble
+from repro.isa.instructions import Opcode
+
+
+def lift(source):
+    program = assemble(source)
+    return lift_to_ir(program, build_cfg(program))
+
+
+class TestLifting:
+    def test_block_names_and_targets(self):
+        ir = lift(
+            """
+            main:   li r1, 3
+            loop:   addi r1, r1, -1
+                    bne r1, zero, loop
+                    halt
+            """
+        )
+        names = {block.name for block in ir.blocks}
+        assert names == {"B0", "B1", "B3"}
+        loop_block = ir.block("B1")
+        assert loop_block.last.instr.target == "B1"  # symbolic now
+        assert loop_block.fallthrough == "B3"
+
+    def test_entry_name(self):
+        ir = lift("main: halt")
+        assert ir.entry_name == "B0"
+
+    def test_provenance(self):
+        ir = lift("li r1, 1\naddi r1, r1, 1\nhalt")
+        block = ir.block("B0")
+        assert [d.orig_pc for d in block.instrs] == [0, 1, 2]
+
+    def test_jal_rewritten_to_original_return_address(self):
+        """Calls become li ra, <orig return pc> + j, so the master's
+        link register holds original-program addresses."""
+        ir = lift(
+            """
+            main:   jal fn
+                    halt
+            fn:     jr ra
+            """
+        )
+        call_block = ir.block("B0")
+        ops = [d.instr.op for d in call_block.instrs]
+        assert ops == [Opcode.LI, Opcode.J]
+        li, jmp = call_block.instrs
+        assert li.instr.imm == 1          # original return pc
+        assert jmp.instr.target == "B2"
+        assert not call_block.requires_adjacent_fallthrough
+        assert call_block.fallthrough is None
+        assert ir.call_return_pcs == [1]
+
+    def test_unconditional_jump_has_no_fallthrough(self):
+        ir = lift("main: j end\nmid: nop\nend: halt")
+        assert ir.block("B0").fallthrough is None
+
+    def test_fork_target_stays_numeric(self):
+        ir = lift("fork 42\nhalt")
+        assert ir.block("B0").instrs[0].instr.target == 42
+
+
+class TestSuccessorNames:
+    def test_branch_block(self):
+        ir = lift(
+            """
+            main:   beq r1, r2, t
+                    nop
+            t:      halt
+            """
+        )
+        succ = ir.block("B0").successor_names([])
+        assert set(succ) == {"B2", "B1"}
+
+    def test_jr_uses_return_sites(self):
+        ir = lift(
+            """
+            main:   jal fn
+                    halt
+            fn:     jr ra
+            """
+        )
+        sites = ir.return_site_names()
+        assert sites == ["B1"]
+        assert ir.block("B2").successor_names(sites) == ["B1"]
+
+
+class TestRemoveBlocks:
+    def test_remove_retargets_to_trap(self):
+        ir = lift(
+            """
+            main:   beq r1, r2, cold
+                    halt
+            cold:   nop
+                    halt
+            """
+        )
+        ir.remove_blocks({"B2"})
+        assert ir.block("B0").last.instr.target == TRAP_BLOCK
+        trap = ir.block(TRAP_BLOCK)
+        assert trap.instrs[0].instr.op is Opcode.HALT
+
+    def test_remove_fallthrough_retargets(self):
+        ir = lift(
+            """
+            main:   beq r1, r2, t
+            mid:    nop
+            t:      halt
+            """
+        )
+        ir.remove_blocks({"B1"})
+        assert ir.block("B0").fallthrough == TRAP_BLOCK
+
+    def test_cannot_remove_entry(self):
+        ir = lift("main: halt")
+        with pytest.raises(DistillError):
+            ir.remove_blocks({"B0"})
+
+    def test_return_site_removable_with_translation(self):
+        """With jr translation there is no physical-adjacency constraint;
+        a removed return site just disappears from the jr table (the
+        master traps there and the engine recovers)."""
+        ir = lift(
+            """
+            main:   jal fn
+                    halt
+            fn:     jr ra
+            """
+        )
+        ir.remove_blocks({"B1"})
+        assert "B1" not in ir.block_names()
+        assert ir.return_site_names() == []
+
+    def test_reachability(self):
+        ir = lift(
+            """
+            main:   j end
+            dead:   nop
+            end:    halt
+            """
+        )
+        assert ir.reachable_names() == {"B0", "B2"}
+
+    def test_instruction_count(self):
+        ir = lift("nop\nnop\nhalt")
+        assert ir.instruction_count() == 3
+
+    def test_unknown_block_lookup(self):
+        ir = lift("halt")
+        with pytest.raises(DistillError):
+            ir.block("nope")
+
+    def test_block_name_for(self):
+        assert block_name_for(17) == "B17"

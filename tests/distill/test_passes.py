@@ -1,0 +1,368 @@
+"""Per-pass unit tests for the distiller."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import find_loops
+from repro.config import DistillConfig
+from repro.distill.ir import TRAP_BLOCK, lift_to_ir
+from repro.distill.passes.branch_removal import run_branch_removal
+from repro.distill.passes.cold_code import prune_unreachable, run_cold_code
+from repro.distill.passes.dce import run_dce
+from repro.distill.passes.fork_placement import run_fork_placement
+from repro.distill.passes.value_spec import run_value_spec
+from repro.isa.asm import assemble
+from repro.isa.instructions import Opcode
+from repro.profiling import profile_program
+
+
+def analyzed(source, name="t"):
+    program = assemble(source, name=name)
+    profile = profile_program(program)
+    cfg = build_cfg(program)
+    return {
+        "program": program,
+        "profile": profile,
+        "cfg": cfg,
+        "domtree": DominatorTree(cfg),
+        "loops": find_loops(cfg, DominatorTree(cfg)),
+        "liveness": compute_liveness(cfg),
+        "ir": lift_to_ir(program, cfg),
+    }
+
+
+class TestValueSpec:
+    SOURCE = """
+    main:   li r1, 20
+    loop:   lw r2, 500(zero)     # stable
+            lw r3, 600(zero)     # stored-to below
+            sw r1, 600(zero)
+            addi r1, r1, -1
+            bne r1, zero, loop
+            halt
+            .data 500
+            .word 42
+    """
+
+    def test_specializes_only_safe_loads(self):
+        ctx = analyzed(self.SOURCE)
+        stats = run_value_spec(ctx["ir"], ctx["profile"], DistillConfig())
+        assert stats.candidates == 2
+        assert stats.specialized == 1
+        block = ctx["ir"].block("B1")
+        assert block.instrs[0].instr.op is Opcode.LI
+        assert block.instrs[0].instr.imm == 42
+        assert block.instrs[1].instr.op is Opcode.LW
+
+    def test_min_count_blocks_specialization(self):
+        ctx = analyzed(self.SOURCE)
+        config = DistillConfig(value_spec_min_count=1000)
+        stats = run_value_spec(ctx["ir"], ctx["profile"], config)
+        assert stats.specialized == 0
+
+    def test_provenance_preserved(self):
+        ctx = analyzed(self.SOURCE)
+        run_value_spec(ctx["ir"], ctx["profile"], DistillConfig())
+        assert ctx["ir"].block("B1").instrs[0].orig_pc == 1
+
+
+class TestBranchRemoval:
+    BIASED = """
+    main:   li r1, 100
+    loop:   addi r1, r1, -1
+            beq r1, r0, done      # rarely taken until the end
+            j loop
+    done:   halt
+    """
+
+    #: The rare branch targets a side path *inside* the loop, so it can
+    #: be asserted without stranding the master.
+    RARE_TAKEN = """
+    main:   li r1, 100
+    loop:   addi r1, r1, -1
+            seq r9, r1, r0
+            bne r9, zero, rare    # taken once in 100
+    back:   bne r1, zero, loop
+            halt
+    rare:   addi r2, r2, 1
+            j back
+    """
+
+    def test_asserts_not_taken_branch(self):
+        ctx = analyzed(self.RARE_TAKEN)
+        config = DistillConfig(branch_bias_threshold=0.99, min_branch_count=8)
+        stats = run_branch_removal(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["domtree"], ctx["loops"], config
+        )
+        assert stats.asserted_not_taken == 1
+        # The branch is gone from its block.
+        block_ops = [
+            d.instr.op for d in ctx["ir"].block("B1").instrs
+        ]
+        assert Opcode.BNE not in block_ops
+
+    def test_sole_loop_exit_protected(self):
+        """A ~always-not-taken branch that is the loop's only exit must
+        survive: asserting it would strand the master in the loop."""
+        source = """
+        main:   li r1, 100
+        loop:   addi r1, r1, -1
+                seq r9, r1, r0
+                bne r9, zero, out     # the only way out of the loop
+                j loop
+        out:    halt
+        """
+        ctx = analyzed(source)
+        config = DistillConfig(branch_bias_threshold=0.99, min_branch_count=8)
+        stats = run_branch_removal(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["domtree"], ctx["loops"], config
+        )
+        assert stats.skipped_loop_exits == 1
+        assert stats.asserted_not_taken == 0
+        assert ctx["ir"].block("B1").last.instr.op is Opcode.BNE
+
+    def test_leaves_low_bias_branches(self):
+        source = """
+        main:   li r1, 10
+        loop:   addi r1, r1, -1
+                andi r2, r1, 1
+                beq r2, zero, even
+                addi r3, r3, 1
+        even:   bne r1, zero, loop
+                halt
+        """
+        ctx = analyzed(source)
+        config = DistillConfig(branch_bias_threshold=0.9, min_branch_count=4)
+        stats = run_branch_removal(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["domtree"], ctx["loops"], config
+        )
+        assert stats.asserted_taken == 0
+        assert stats.asserted_not_taken == 0
+
+    def test_back_edge_protected(self):
+        """A loop's continue branch is ~always taken but must survive."""
+        source = """
+        main:   li r1, 1000
+        loop:   addi r1, r1, -1
+                bne r1, zero, loop
+                halt
+        """
+        ctx = analyzed(source)
+        config = DistillConfig(branch_bias_threshold=0.9, min_branch_count=4)
+        stats = run_branch_removal(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["domtree"], ctx["loops"], config
+        )
+        assert stats.skipped_back_edges == 1
+        assert ctx["ir"].block("B1").last.instr.op is Opcode.BNE
+
+    def test_min_count_guard(self):
+        ctx = analyzed(self.RARE_TAKEN)
+        config = DistillConfig(
+            branch_bias_threshold=0.99, min_branch_count=10_000
+        )
+        stats = run_branch_removal(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["domtree"], ctx["loops"], config
+        )
+        assert stats.asserted_not_taken == 0
+
+
+class TestColdCode:
+    SOURCE = """
+    main:   li r1, 10
+    loop:   addi r1, r1, -1
+            beq r1, r0, done
+            j loop
+    cold:   addi r9, r9, 1       # never executed
+            j loop
+    done:   halt
+    """
+
+    def test_never_executed_block_removed(self):
+        ctx = analyzed(self.SOURCE)
+        stats = run_cold_code(ctx["ir"], ctx["profile"], DistillConfig())
+        assert stats.blocks_removed == 1
+        assert "B4" not in ctx["ir"].block_names()
+
+    def test_entry_protected_even_if_cold(self):
+        program = assemble("main: halt")
+        # A profile from a different (empty) run: entry never counted.
+        from repro.profiling.profile_data import Profile
+
+        profile = Profile(program_name="main", code_length=1)
+        cfg = build_cfg(program)
+        ir = lift_to_ir(program, cfg)
+        run_cold_code(ir, profile, DistillConfig())
+        assert "B0" in ir.block_names()
+
+    def test_prune_unreachable(self):
+        source = """
+        main:   j hot
+        orphan: addi r9, r9, 1
+                j hot
+        hot:    halt
+        """
+        ctx = analyzed(source)
+        removed = prune_unreachable(ctx["ir"])
+        assert removed == 1
+        assert "B1" not in ctx["ir"].block_names()
+
+
+class TestForkPlacement:
+    LOOP = """
+    main:   li r1, 50
+    loop:   addi r1, r1, -1
+            add r2, r2, r1
+            bne r1, zero, loop
+            halt
+    """
+
+    def _find_fork(self, ir):
+        for block in ir.blocks:
+            for dinstr in block.instrs:
+                if dinstr.instr.op is Opcode.FORK:
+                    return dinstr
+        raise AssertionError("no fork inserted")
+
+    def test_places_fork_at_loop_header(self):
+        ctx = analyzed(self.LOOP)
+        config = DistillConfig(target_task_size=6)
+        stats = run_fork_placement(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["loops"],
+            ctx["liveness"], config,
+        )
+        assert stats.anchors == [1]
+        fork = self._find_fork(ctx["ir"])
+        assert fork.instr.target == 1
+        (plan,) = stats.plans
+        assert plan.stride >= 1
+        assert plan.spacing == pytest.approx(3.0, rel=0.2)
+
+    def test_stride_countdown_emitted(self):
+        ctx = analyzed(self.LOOP)
+        stats = run_fork_placement(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["loops"],
+            ctx["liveness"], DistillConfig(target_task_size=6),
+        )
+        (plan,) = stats.plans
+        assert plan.stride == 2  # spacing 3, target 6
+        assert plan.scratch_reg is not None
+        header = ctx["ir"].block("B1")
+        ops = [d.instr.op for d in header.instrs]
+        assert ops == [Opcode.ADDI, Opcode.BGE, Opcode.FORK, Opcode.LI]
+        # The countdown's scratch register is untouched by the program.
+        assert plan.scratch_reg not in {1, 2}
+
+    def test_fork_carries_original_liveness(self):
+        ctx = analyzed(self.LOOP)
+        run_fork_placement(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["loops"],
+            ctx["liveness"], DistillConfig(target_task_size=6),
+        )
+        fork = self._find_fork(ctx["ir"])
+        assert 1 in fork.uses()  # r1 is live into the loop
+        assert 2 in fork.uses()  # r2 accumulates around the back edge
+
+    def test_no_candidates_no_forks(self):
+        ctx = analyzed("main: li r1, 1\nhalt")
+        stats = run_fork_placement(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["loops"],
+            ctx["liveness"], DistillConfig(),
+        )
+        assert stats.anchors == []
+
+    def test_max_anchors_respected(self):
+        source = "\n".join(
+            ["main: li r1, 5"]
+            + [
+                f"l{i}: addi r1, r1, 0\n addi r2, r2, 1\n"
+                f" seq r9, r2, r0\n bne r9, zero, l{i}"
+                for i in range(6)
+            ]
+            + ["halt"]
+        )
+        ctx = analyzed(source)
+        config = DistillConfig(target_task_size=2, max_anchors=3)
+        stats = run_fork_placement(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["loops"],
+            ctx["liveness"], config,
+        )
+        assert len(stats.anchors) <= 3
+
+    def test_expected_task_size_near_target(self):
+        ctx = analyzed(self.LOOP)
+        stats = run_fork_placement(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["loops"],
+            ctx["liveness"], DistillConfig(target_task_size=6),
+        )
+        # spacing 3, stride 2 -> forks every ~6 instructions.
+        assert stats.expected_task_size == pytest.approx(6.0, rel=0.25)
+
+
+class TestDce:
+    def test_removes_dead_chain(self):
+        source = """
+        main:   li r1, 5
+                li r2, 6        # dead: r2 never used
+                add r3, r1, r1  # dead: r3 never used
+                sw r1, 100(zero)
+                halt
+        """
+        ctx = analyzed(source)
+        stats = run_dce(ctx["ir"], DistillConfig())
+        assert stats.instrs_removed == 2
+        ops = [d.instr.op for d in ctx["ir"].block("B0").instrs]
+        assert ops == [Opcode.LI, Opcode.SW, Opcode.HALT]
+
+    def test_iterates_to_fixpoint(self):
+        source = """
+        main:   li r1, 5        # feeds only dead r2
+                add r2, r1, r1  # dead
+                sw r0, 100(zero)
+                halt
+        """
+        ctx = analyzed(source)
+        stats = run_dce(ctx["ir"], DistillConfig())
+        assert stats.instrs_removed == 2
+        assert stats.iterations >= 2
+
+    def test_never_removes_side_effects(self):
+        source = """
+        main:   sw r1, 100(zero)
+                jal fn
+                halt
+        fn:     jr ra
+        """
+        ctx = analyzed(source)
+        before = ctx["ir"].instruction_count()
+        run_dce(ctx["ir"], DistillConfig())
+        assert ctx["ir"].instruction_count() == before
+
+    def test_fork_uses_keep_values_alive(self):
+        source = """
+        main:   li r1, 50
+        loop:   addi r1, r1, -1
+                add r2, r2, r1
+                bne r1, zero, loop
+                halt
+        """
+        ctx = analyzed(source)
+        run_fork_placement(
+            ctx["ir"], ctx["profile"], ctx["cfg"], ctx["loops"],
+            ctx["liveness"], DistillConfig(target_task_size=6),
+        )
+        run_dce(ctx["ir"], DistillConfig())
+        # r2's accumulation is dead in the distilled program's own dataflow
+        # (nothing after the loop reads it) but the fork's use set keeps it.
+        ops = [
+            d.instr.op
+            for block in ctx["ir"].blocks
+            for d in block.instrs
+        ]
+        assert Opcode.ADD in ops
+
+    def test_removes_nops(self):
+        ctx = analyzed("main: nop\nnop\nsw r0, 1(zero)\nhalt")
+        stats = run_dce(ctx["ir"], DistillConfig())
+        assert stats.instrs_removed == 2

@@ -1,0 +1,109 @@
+"""Tests for the dead-store elimination pass."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.config import DistillConfig
+from repro.distill import Distiller
+from repro.distill.ir import lift_to_ir
+from repro.distill.passes.store_elim import run_store_elim
+from repro.isa.asm import assemble
+from repro.isa.instructions import Opcode
+from repro.machine import run_to_halt
+from repro.mssp import MsspEngine
+from repro.profiling import profile_program
+
+#: Writes an output buffer nobody reads, and a cell that IS read back.
+SOURCE = """
+main:   li r1, 30
+loop:   addi r1, r1, -1
+        sw r1, 0x600(zero)      # read back below: must survive
+        lw r2, 0x600(zero)
+        add r3, r3, r2
+        add r4, r1, r3
+        sw r4, 0x700(zero)      # write-only output cell: eliminable? no --
+        addi r5, r1, 0x700      # varying address output buffer:
+        sw r3, 0(r5)            # a[0x700+r1]: write-only, eliminable
+        bne r1, zero, loop
+        sw r3, 0x900(zero)      # final result: executed once (min_count)
+        halt
+"""
+
+
+def prepared_ir(config=None):
+    program = assemble(SOURCE)
+    profile = profile_program(program)
+    cfg = build_cfg(program)
+    ir = lift_to_ir(program, cfg)
+    stats = run_store_elim(ir, profile, config or DistillConfig())
+    return program, profile, ir, stats
+
+
+class TestPass:
+    def test_eliminates_only_unread_stores(self):
+        program, profile, ir, stats = prepared_ir()
+        assert stats.candidates == 4
+        # sw to 0x600 is read back -> kept; the buffer store at 0(r5)
+        # and the fixed cell 0x700 are never loaded -> eliminated; the
+        # final 0x900 store executed once (< min_count) -> kept.
+        assert stats.eliminated == 2
+        remaining = [
+            d.instr.imm
+            for block in ir.blocks
+            for d in block.instrs
+            if d.instr.op is Opcode.SW
+        ]
+        assert 0x600 in remaining  # the read-back store survived
+
+    def test_min_count_guard(self):
+        _, _, _, stats = prepared_ir(
+            DistillConfig(store_elim_min_count=1000)
+        )
+        assert stats.eliminated == 0
+
+    def test_profile_dead_store_query(self):
+        program, profile, _, _ = prepared_ir()
+        # pc 2 is the read-back store.
+        assert profile.dead_store_addresses(2) is None
+        # pc 6 is the fixed write-only cell.
+        assert profile.dead_store_addresses(6) == {0x700}
+
+
+class TestEndToEnd:
+    def test_distilled_omits_store_yet_mssp_equivalent(self):
+        program = assemble(SOURCE)
+        profile = profile_program(program)
+        result = Distiller(
+            DistillConfig(target_task_size=15, min_branch_count=4)
+        ).distill(program, profile)
+        distilled_stores = sum(
+            1 for i in result.distilled.code if i.op is Opcode.SW
+        )
+        original_stores = sum(
+            1 for i in program.code if i.op is Opcode.SW
+        )
+        assert distilled_stores < original_stores
+        outcome = MsspEngine(program, result).run_and_check()
+        # Architected state still has the full output buffer (slaves
+        # execute the original stores).
+        reference = run_to_halt(program)
+        assert outcome.final_state.load(0x700 + 7) == (
+            reference.state.load(0x700 + 7)
+        )
+
+    def test_elimination_does_not_raise_squash_rate(self):
+        program = assemble(SOURCE)
+        profile = profile_program(program)
+        with_pass = Distiller(
+            DistillConfig(target_task_size=15, min_branch_count=4)
+        ).distill(program, profile)
+        without_pass = Distiller(
+            DistillConfig(
+                target_task_size=15, min_branch_count=4
+            ).without_pass("store_elim")
+        ).distill(program, profile)
+        rate_with = MsspEngine(program, with_pass).run().counters.squash_rate
+        rate_without = MsspEngine(
+            program, without_pass
+        ).run().counters.squash_rate
+        assert rate_with <= rate_without + 1e-9

@@ -1,0 +1,61 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+from repro.stats import geomean
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return generate_report(
+        workload_names=["compress", "crc"], size_scale=0.2
+    )
+
+
+class TestGenerateReport:
+    def test_structure(self, small_report):
+        assert small_report.startswith("# MSSP reproduction report")
+        assert "## Machine configuration" in small_report
+        assert "## Per-workload results" in small_report
+        assert "Geomean speedup" in small_report
+
+    def test_one_row_per_workload(self, small_report):
+        rows = [
+            line for line in small_report.splitlines()
+            if line.startswith("| compress") or line.startswith("| crc")
+        ]
+        assert len(rows) == 2
+
+    def test_row_fields_numeric(self, small_report):
+        row = next(
+            line for line in small_report.splitlines()
+            if line.startswith("| compress")
+        )
+        cells = [cell.strip() for cell in row.split("|")[2:-1]]
+        assert len(cells) == 8
+        for cell in cells:
+            float(cell)  # every metric parses as a number
+
+    def test_geomean_matches_rows(self, small_report):
+        speedups = []
+        for line in small_report.splitlines():
+            if line.startswith("| compress") or line.startswith("| crc"):
+                speedups.append(float(line.split("|")[8].strip()))
+        stated = float(
+            small_report.split("Geomean speedup vs in-order: ")[1]
+            .split("x")[0]
+        )
+        assert stated == pytest.approx(geomean(speedups), abs=0.02)
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "r.md"
+        assert main(
+            ["report", "--output", str(output), "--scale", "0.1",
+             "--workloads", "compress"]
+        ) == 0
+        text = output.read_text()
+        assert "compress" in text
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,210 @@
+"""Property tests for the abstract formal model (companion paper).
+
+These check, executably, the laws the companion paper proves in Maude:
+superimposition's algebra (Definition 8), task evolution (Lemma 2),
+task safety (Definition 6), and Theorem 2 (consistency + completeness
+imply safety) — the last both on synthetic ``next`` functions and on the
+concrete Z-ISA machine via the bridge.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal.abstract import (
+    AbstractTask,
+    consistent,
+    cumulative_writes,
+    mssp_run,
+    seq_n,
+    superimpose,
+    task_safe,
+)
+from repro.formal.bridge import arch_to_cells, make_next_fn
+from repro.isa.asm import assemble
+from repro.machine.interpreter import seq
+from repro.machine.state import ArchState
+
+cells = st.dictionaries(
+    st.integers(min_value=0, max_value=12),
+    st.integers(min_value=-50, max_value=50),
+    max_size=8,
+)
+
+
+#: A simple synthetic ``next``: a counter machine over cells 0..3.
+def counter_next(state):
+    out = dict(state)
+    out[0] = out.get(0, 0) + 1
+    out[1] = out.get(1, 0) + out.get(0, 0)
+    return out
+
+
+class TestSuperimpositionLaws:
+    @given(cells, cells, cells)
+    def test_associativity(self, a, b, c):
+        assert superimpose(superimpose(a, b), c) == superimpose(
+            a, superimpose(b, c)
+        )
+
+    @given(cells, cells, cells)
+    def test_containment(self, a, b, c):
+        """S1 ⊑ S2 implies (S1 ← S3) ⊑ (S2 ← S3) — for S2 extending S1."""
+        combined = superimpose(b, a)  # guarantees a ⊑ combined
+        assert consistent(a, combined)
+        assert consistent(superimpose(a, c), superimpose(combined, c))
+
+    @given(cells, cells)
+    def test_idempotency(self, a, b):
+        """S2 ⊑ S1 implies S1 ← S2 = S1."""
+        host = superimpose(a, b)  # b ⊑ host
+        assert superimpose(host, b) == host
+
+    @given(cells)
+    def test_empty_overlay_is_identity(self, a):
+        assert superimpose(a, {}) == dict(a)
+
+    @given(cells, cells)
+    def test_overlay_wins(self, a, b):
+        result = superimpose(a, b)
+        for cell, value in b.items():
+            assert result[cell] == value
+
+
+class TestConsistency:
+    @given(cells)
+    def test_reflexive(self, a):
+        assert consistent(a, a)
+
+    @given(cells, cells)
+    def test_subset_relation(self, a, b):
+        merged = superimpose(a, b)
+        assert consistent(b, merged)
+
+    def test_value_disagreement(self):
+        assert not consistent({1: 2}, {1: 3})
+
+    def test_missing_cell(self):
+        assert not consistent({1: 2}, {})
+
+
+class TestTaskEvolution:
+    def test_lemma_2_completion_is_seq(self):
+        """⟨S_in, n, S_in, 0⟩ ⇒* ⟨S_in, n, seq(S_in, n), n⟩."""
+        start = {0: 5, 1: 0}
+        task = AbstractTask.fresh(start, n=4).run_to_completion(counter_next)
+        assert task.complete
+        assert task.live_out_state == dict(seq_n(start, 4, counter_next))
+        assert task.live_in_state == start  # live-ins never change
+
+    def test_evolution_past_completion_is_identity(self):
+        task = AbstractTask.fresh({0: 1}, n=1).run_to_completion(counter_next)
+        assert task.evolve(counter_next) == task
+
+    def test_fresh_task_form(self):
+        task = AbstractTask.fresh({3: 7}, n=2)
+        assert task.k == 0
+        assert task.live_out_state == task.live_in_state
+
+
+class TestTaskSafety:
+    def test_safe_task_commits_as_seq(self):
+        state = {0: 2, 1: 3}
+        task = AbstractTask.fresh(dict(state), n=3).run_to_completion(
+            counter_next
+        )
+        assert task_safe(task, state, counter_next)
+
+    def test_unsafe_when_live_in_stale(self):
+        state = {0: 2, 1: 3}
+        stale = {0: 99, 1: 3}
+        task = AbstractTask.fresh(stale, n=3).run_to_completion(counter_next)
+        assert not task_safe(task, state, counter_next)
+
+    @given(st.integers(min_value=0, max_value=6))
+    def test_theorem_2_on_counter_machine(self, n):
+        """Consistency + completeness imply safety (synthetic next)."""
+        state = {0: 1, 1: 2, 2: 9}  # complete for counter_next
+        live_in = {0: 1, 1: 2}      # consistent subset, also complete
+        task = AbstractTask.fresh(live_in, n=n).run_to_completion(counter_next)
+        assert consistent(live_in, state)
+        assert task_safe(task, state, counter_next)
+
+
+class TestTheorem2OnConcreteMachine:
+    PROGRAM = assemble(
+        """
+        main:   li r1, 5
+        loop:   addi r1, r1, -1
+                add r2, r2, r1
+                bne r1, zero, loop
+                sw r2, 100(zero)
+                halt
+        """
+    )
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(deadline=None)
+    def test_full_state_live_in_is_always_safe(self, n):
+        """A complete, consistent live-in (the whole state) gives a safe
+        task for any length — Theorem 2 instantiated on the Z-ISA."""
+        arch = ArchState.initial(self.PROGRAM)
+        arch.write_reg(5, 17)
+        next_fn = make_next_fn(self.PROGRAM)
+        state_cells = arch_to_cells(arch)
+        task = AbstractTask.fresh(state_cells, n=n).run_to_completion(next_fn)
+        assert task_safe(task, state_cells, next_fn)
+        # And committing equals the concrete machine's seq.
+        committed = superimpose(state_cells, task.live_out_state)
+        expected = arch_to_cells(seq(self.PROGRAM, arch, n))
+        assert dict(committed) == expected
+
+
+class TestMsspRun:
+    def test_commits_safe_chain(self):
+        state = {0: 0, 1: 0}
+        first = AbstractTask.fresh(dict(state), n=2).run_to_completion(
+            counter_next
+        )
+        mid = seq_n(state, 2, counter_next)
+        second = AbstractTask.fresh(dict(mid), n=3).run_to_completion(
+            counter_next
+        )
+        final, jumped = mssp_run(state, (first, second), counter_next)
+        assert jumped == 5
+        assert final == dict(seq_n(state, 5, counter_next))
+
+    def test_discards_unsafe_remainder(self):
+        state = {0: 0, 1: 0}
+        good = AbstractTask.fresh(dict(state), n=2).run_to_completion(
+            counter_next
+        )
+        bogus = AbstractTask.fresh({0: 42, 1: 42}, n=2).run_to_completion(
+            counter_next
+        )
+        final, jumped = mssp_run(state, (good, bogus), counter_next)
+        assert jumped == 2
+        assert final == dict(seq_n(state, 2, counter_next))
+
+    def test_order_does_not_matter_for_safety(self):
+        """Committing in either order reaches the same final state when
+        both orders are safe chains (the paper's commutativity insight)."""
+        state = {0: 0, 1: 0}
+        first = AbstractTask.fresh(dict(state), n=2).run_to_completion(
+            counter_next
+        )
+        mid = seq_n(state, 2, counter_next)
+        second = AbstractTask.fresh(dict(mid), n=1).run_to_completion(
+            counter_next
+        )
+        forward, _ = mssp_run(state, (first, second), counter_next)
+        backward, _ = mssp_run(state, (second, first), counter_next)
+        assert forward == backward
+
+    def test_cumulative_writes_compose(self):
+        """Lemma 3: seq(S, n) = S ← Δ(S, n) for complete states."""
+        state = {0: 1, 1: 1}
+        for n in range(5):
+            writes = cumulative_writes(state, n, counter_next)
+            assert superimpose(state, writes) == dict(
+                seq_n(state, n, counter_next)
+            )

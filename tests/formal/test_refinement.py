@@ -1,0 +1,151 @@
+"""Tests for the jumping-refinement replay checker, including negative
+cases (fabricated traces that must be rejected)."""
+
+import pytest
+
+from repro.config import DistillConfig
+from repro.distill import Distiller
+from repro.errors import MsspError
+from repro.formal.refinement import assert_jumping_refinement, replay_trace
+from repro.isa.asm import assemble
+from repro.machine.state import ArchState
+from repro.mssp import MsspEngine
+from repro.mssp.engine import MsspResult
+from repro.mssp.trace import RecoveryRecord, TaskAttemptRecord
+from repro.profiling import profile_program
+
+SOURCE = """
+main:   li r1, 50
+loop:   addi r1, r1, -1
+        add r2, r2, r1
+        bne r1, zero, loop
+        sw r2, 100(zero)
+        halt
+"""
+
+
+def real_run():
+    program = assemble(SOURCE)
+    profile = profile_program(program)
+    distillation = Distiller(DistillConfig(target_task_size=12)).distill(
+        program, profile
+    )
+    result = MsspEngine(program, distillation).run()
+    return program, result
+
+
+def task_record(**overrides):
+    fields = dict(
+        tid=0, start_pc=0, end_pc=1, n_instrs=1, master_instrs=1,
+        committed=True,
+    )
+    fields.update(overrides)
+    return TaskAttemptRecord(**fields)
+
+
+class TestPositive:
+    def test_real_trace_replays_clean(self):
+        program, result = real_run()
+        report = replay_trace(program, result)
+        assert report.ok, report.issues
+        assert report.jumps == result.counters.tasks_committed
+        assert report.jumped_instrs == result.counters.committed_instrs
+        assert_jumping_refinement(program, result)  # no raise
+
+    def test_squashed_records_do_not_advance(self):
+        """A trace with an extra squashed record replays identically."""
+        program, result = real_run()
+        padded = MsspResult(
+            final_state=result.final_state, halted=True,
+            records=[task_record(committed=False, start_pc=999)]
+            + list(result.records),
+            counters=result.counters,
+        )
+        assert replay_trace(program, padded).ok
+
+
+class TestNegative:
+    def test_wrong_start_pc_rejected(self):
+        program, result = real_run()
+        # Tamper: shift the first committed task's start pc.
+        tampered = []
+        done = False
+        for record in result.records:
+            if (
+                not done
+                and isinstance(record, TaskAttemptRecord)
+                and record.committed
+            ):
+                record = task_record(
+                    tid=record.tid, start_pc=record.start_pc + 1,
+                    end_pc=record.end_pc, n_instrs=record.n_instrs,
+                    master_instrs=record.master_instrs,
+                )
+                done = True
+            tampered.append(record)
+        bad = MsspResult(
+            final_state=result.final_state, halted=True, records=tampered,
+            counters=result.counters,
+        )
+        report = replay_trace(program, bad)
+        assert not report.ok
+        with pytest.raises(MsspError):
+            assert_jumping_refinement(program, bad)
+
+    def test_wrong_jump_length_rejected(self):
+        program, result = real_run()
+        tampered = []
+        done = False
+        for record in result.records:
+            if (
+                not done
+                and isinstance(record, TaskAttemptRecord)
+                and record.committed
+                and not record.halted
+            ):
+                record = task_record(
+                    tid=record.tid, start_pc=record.start_pc,
+                    end_pc=record.end_pc, n_instrs=record.n_instrs + 1,
+                    master_instrs=record.master_instrs,
+                )
+                done = True
+            tampered.append(record)
+        bad = MsspResult(
+            final_state=result.final_state, halted=True, records=tampered,
+            counters=result.counters,
+        )
+        assert not replay_trace(program, bad).ok
+
+    def test_wrong_final_state_rejected(self):
+        program, result = real_run()
+        wrong = result.final_state.copy()
+        wrong.write_reg(2, wrong.read_reg(2) + 1)
+        bad = MsspResult(
+            final_state=wrong, halted=True, records=list(result.records),
+            counters=result.counters,
+        )
+        report = replay_trace(program, bad)
+        assert not report.ok
+        assert report.issues
+
+    def test_dropped_recovery_rejected(self):
+        program, result = real_run()
+        if not any(
+            isinstance(r, RecoveryRecord) for r in result.records
+        ):
+            pytest.skip("run had no recovery to drop")
+        records = [
+            r for r in result.records if not isinstance(r, RecoveryRecord)
+        ]
+        bad = MsspResult(
+            final_state=result.final_state, halted=True, records=records,
+            counters=result.counters,
+        )
+        assert not replay_trace(program, bad).ok
+
+    def test_empty_trace_with_nonempty_state_rejected(self):
+        program, _ = real_run()
+        bad = MsspResult(
+            final_state=ArchState(pc=5), halted=True, records=[],
+        )
+        assert not replay_trace(program, bad).ok

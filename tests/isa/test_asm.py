@@ -1,0 +1,190 @@
+"""Unit tests for the textual assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.asm import assemble
+from repro.isa.instructions import Opcode
+
+
+class TestBasicAssembly:
+    def test_minimal_program(self):
+        program = assemble("halt")
+        assert len(program) == 1
+        assert program.code[0].op is Opcode.HALT
+        assert program.entry == 0
+
+    def test_labels_resolve_to_pcs(self):
+        program = assemble(
+            """
+            main:   li r1, 3
+            loop:   addi r1, r1, -1
+                    bne r1, zero, loop
+                    halt
+            """
+        )
+        assert program.symbols["main"] == 0
+        assert program.symbols["loop"] == 1
+        assert program.code[2].target == 1
+
+    def test_entry_defaults_to_main(self):
+        program = assemble(
+            """
+            helper: halt
+            main:   j helper
+            """
+        )
+        assert program.entry == 1
+
+    def test_entry_zero_without_main(self):
+        program = assemble("nop\nhalt")
+        assert program.entry == 0
+
+    def test_label_on_own_line(self):
+        program = assemble(
+            """
+            start:
+                    nop
+                    halt
+            """
+        )
+        assert program.symbols["start"] == 0
+
+    def test_multiple_labels_same_pc(self):
+        program = assemble(
+            """
+            a:
+            b:      halt
+            """
+        )
+        assert program.symbols["a"] == program.symbols["b"] == 0
+
+    def test_comments_both_styles(self):
+        program = assemble("nop # trailing\n; whole line\nhalt ; other style")
+        assert len(program) == 2
+
+
+class TestOperandForms:
+    def test_memory_operands(self):
+        program = assemble(
+            """
+            lw r1, 8(r2)
+            sw r1, -4(sp)
+            lw r3, (r4)
+            halt
+            """
+        )
+        load = program.code[0]
+        assert (load.rd, load.rs, load.imm) == (1, 2, 8)
+        store = program.code[1]
+        assert (store.rt, store.rs, store.imm) == (1, 29, -4)
+        assert program.code[2].imm == 0
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("li r1, 0x10\nli r2, -3\nhalt")
+        assert program.code[0].imm == 16
+        assert program.code[1].imm == -3
+
+    def test_symbolic_immediates_from_data(self):
+        program = assemble(
+            """
+            main:   li r1, table
+                    lw r2, table(zero)
+                    halt
+                    .data 0x100
+            table:  .word 7, 8
+            """
+        )
+        assert program.code[0].imm == 0x100
+        assert program.code[1].imm == 0x100
+        assert program.memory[0x100] == 7
+        assert program.memory[0x101] == 8
+
+    def test_register_aliases(self):
+        program = assemble("mov sp, fp\njr ra\nhalt")
+        assert (program.code[0].rd, program.code[0].rs) == (29, 30)
+        assert program.code[1].rs == 31
+
+
+class TestDataSection:
+    def test_word_values(self):
+        program = assemble(
+            """
+            halt
+            .data 10
+            .word 1, 2, 3
+            """
+        )
+        assert program.memory == {10: 1, 11: 2, 12: 3}
+
+    def test_zero_words_stay_sparse(self):
+        program = assemble("halt\n.data 5\n.word 0, 9, 0")
+        assert program.memory == {6: 9}
+
+    def test_space_reserves_layout(self):
+        program = assemble(
+            """
+            halt
+            .data 100
+            buf:    .space 4
+            next:   .word 1
+            """
+        )
+        assert program.symbols["buf"] == 100
+        assert program.symbols["next"] == 104
+        assert program.memory == {104: 1}
+
+    def test_data_labels_distinct_from_text(self):
+        program = assemble(
+            """
+            main:   j main
+                    halt
+            .data 0x20
+            d:      .word 5
+            """
+        )
+        assert program.symbols["d"] == 0x20
+
+    def test_back_to_text(self):
+        program = assemble(
+            """
+            nop
+            .data 0
+            .word 3
+            .text
+            halt
+            """
+        )
+        assert len(program) == 2
+        assert program.memory == {0: 3}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("frob r1, r2", "unknown mnemonic"),
+            ("add r1, r2", "expects 3 operand"),
+            ("li r1, undefined_sym\nhalt", "undefined symbol"),
+            ("a: nop\na: halt", "duplicate label"),
+            (".word 1", ".word outside"),
+            (".space 1", ".space outside"),
+            (".data 0\nnop", "instruction inside .data"),
+            (".bogus", "unknown directive"),
+            ("lw r1, 4[r2]\nhalt", "bad memory operand"),
+            ("li r99, 1\nhalt", "invalid register"),
+            (".data zzz", "bad .data address"),
+            (".data 0\n.space -1", "bad .space count"),
+        ],
+    )
+    def test_rejects(self, source, fragment):
+        with pytest.raises(AssemblerError, match=fragment):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus r1\nhalt")
+
+    def test_unresolved_branch_target(self):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            assemble("beq r1, r2, nowhere\nhalt")

@@ -1,0 +1,170 @@
+"""Unit tests for the ProgramBuilder DSL."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.isa.registers import RA, SP
+
+
+class TestEmission:
+    def test_mnemonic_dispatch(self):
+        b = ProgramBuilder()
+        b.li("r1", 5)
+        b.add("r2", "r1", "r1")
+        b.halt()
+        program = b.build()
+        assert [i.op for i in program.code] == [Opcode.LI, Opcode.ADD, Opcode.HALT]
+
+    def test_keyword_mnemonics_use_trailing_underscore(self):
+        b = ProgramBuilder()
+        b.and_("r1", "r2", "r3")
+        b.or_("r4", "r5", "r6")
+        b.halt()
+        program = b.build()
+        assert program.code[0].op is Opcode.AND
+        assert program.code[1].op is Opcode.OR
+
+    def test_registers_accept_names_and_numbers(self):
+        b = ProgramBuilder()
+        b.mov(3, "sp")
+        b.halt()
+        assert b.build().code[0].rs == SP
+
+    def test_unknown_attribute_raises(self):
+        b = ProgramBuilder()
+        with pytest.raises(AttributeError):
+            b.frobnicate("r1")
+
+    def test_wrong_operand_count(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError):
+            b.add("r1", "r2")
+
+    def test_memory_operand_convention(self):
+        b = ProgramBuilder()
+        b.lw("r1", "r2", 8)
+        b.sw("r1", "sp", -4)
+        b.halt()
+        program = b.build()
+        assert (program.code[0].rs, program.code[0].imm) == (2, 8)
+        assert (program.code[1].rs, program.code[1].imm) == (SP, -4)
+
+
+class TestLabels:
+    def test_forward_and_backward_references(self):
+        b = ProgramBuilder()
+        b.label("start")
+        b.beq("r1", "r0", "end")  # forward
+        b.j("start")  # backward
+        b.label("end")
+        b.halt()
+        program = b.build()
+        assert program.code[0].target == 2
+        assert program.code[1].target == 0
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(AssemblerError):
+            b.label("x")
+
+    def test_unresolved_label_rejected_at_build(self):
+        b = ProgramBuilder()
+        b.j("nowhere")
+        b.halt()
+        with pytest.raises(AssemblerError):
+            b.build()
+
+    def test_entry_defaults_to_main(self):
+        b = ProgramBuilder()
+        b.halt()
+        b.label("main")
+        b.nop()
+        b.halt()
+        assert b.build().entry == 1
+
+    def test_explicit_entry(self):
+        b = ProgramBuilder()
+        b.halt()
+        b.label("go")
+        b.halt()
+        assert b.build(entry="go").entry == 1
+        assert b.build(entry=0).entry == 0
+
+    def test_pc_property(self):
+        b = ProgramBuilder()
+        assert b.pc == 0
+        b.nop()
+        assert b.pc == 1
+
+
+class TestData:
+    def test_alloc_returns_address(self):
+        b = ProgramBuilder(data_base=0x50)
+        addr = b.alloc("tbl", [1, 0, 3])
+        b.halt()
+        program = b.build()
+        assert addr == 0x50
+        assert program.memory == {0x50: 1, 0x52: 3}
+        assert b.data_addr("tbl") == 0x50
+
+    def test_space_advances_cursor(self):
+        b = ProgramBuilder(data_base=0)
+        first = b.space("buf", 10)
+        second = b.alloc("tbl", [5])
+        b.halt()
+        assert (first, second) == (0, 10)
+        assert b.build().memory == {10: 5}
+
+    def test_label_as_immediate(self):
+        b = ProgramBuilder(data_base=0x30)
+        b.alloc("tbl", [9])
+        b.li("r1", "tbl")
+        b.lw("r2", "zero", "tbl")
+        b.halt()
+        program = b.build()
+        assert program.code[0].imm == 0x30
+        assert program.code[1].imm == 0x30
+
+    def test_poke(self):
+        b = ProgramBuilder()
+        b.poke(7, 42)
+        b.poke(8, 1)
+        b.poke(8, 0)  # zero removes
+        b.halt()
+        assert b.build().memory == {7: 42}
+
+    def test_negative_space_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblerError):
+            b.space("bad", -1)
+
+
+class TestMacros:
+    def test_push_pop_symmetry(self):
+        b = ProgramBuilder()
+        b.push("r1")
+        b.pop("r2")
+        b.halt()
+        ops = [i.op for i in b.build().code]
+        assert ops == [Opcode.ADDI, Opcode.SW, Opcode.LW, Opcode.ADDI, Opcode.HALT]
+
+    def test_call_ret(self):
+        b = ProgramBuilder()
+        b.call("fn")
+        b.halt()
+        b.label("fn")
+        b.ret()
+        program = b.build()
+        assert program.code[0].op is Opcode.JAL
+        assert program.code[0].target == 2
+        assert program.code[2].op is Opcode.JR
+        assert program.code[2].rs == RA
+
+    def test_comment_is_noop(self):
+        b = ProgramBuilder()
+        b.comment("nothing to see")
+        b.halt()
+        assert len(b.build()) == 1

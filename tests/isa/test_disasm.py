@@ -1,0 +1,67 @@
+"""Tests for the disassembler, including assemble/disassemble round-trips."""
+
+from hypothesis import given, settings
+
+from repro.isa.asm import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.disasm import disassemble
+
+from tests.strategies import terminating_programs
+
+
+def roundtrip(program):
+    return assemble(disassemble(program), name=program.name)
+
+
+class TestRoundTrip:
+    def test_simple_loop(self):
+        program = assemble(
+            """
+            main:   li r1, 3
+            loop:   addi r1, r1, -1
+                    bne r1, zero, loop
+                    halt
+            """
+        )
+        again = roundtrip(program)
+        assert again.code == program.code
+        assert again.entry == program.entry
+        assert dict(again.memory) == dict(program.memory)
+
+    def test_data_preserved(self):
+        program = assemble(
+            """
+            halt
+            .data 0x40
+            .word 1, 2, 3
+            .data 0x100
+            .word -9
+            """
+        )
+        again = roundtrip(program)
+        assert dict(again.memory) == {0x40: 1, 0x41: 2, 0x42: 3, 0x100: -9}
+
+    def test_fork_targets_rendered_numerically(self):
+        b = ProgramBuilder()
+        b.fork(1234)
+        b.halt()
+        text = disassemble(b.build())
+        assert "fork 1234" in text
+
+    def test_nonzero_entry_gets_main_label(self):
+        b = ProgramBuilder()
+        b.halt()
+        b.label("main")
+        b.nop()
+        b.halt()
+        program = b.build()
+        again = roundtrip(program)
+        assert again.entry == program.entry == 1
+
+    @given(terminating_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_random_programs_roundtrip(self, program):
+        again = roundtrip(program)
+        assert again.code == program.code
+        assert again.entry == program.entry
+        assert dict(again.memory) == dict(program.memory)

@@ -1,0 +1,61 @@
+"""Unit and property tests for the binary instruction encoding."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import IsaError
+from repro.isa.encoding import (
+    INSTRUCTION_BYTES,
+    code_size_bytes,
+    decode_instruction,
+    decode_program_words,
+    encode_instruction,
+    encode_program_words,
+)
+from repro.isa.instructions import Opcode, halt, jump, li, lw, r3
+
+from tests.strategies import instructions
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_roundtrip(self, instr):
+        high, low = encode_instruction(instr)
+        assert decode_instruction(high, low) == instr
+
+    def test_negative_immediate(self):
+        instr = li(3, -(2 ** 62))
+        assert decode_instruction(*encode_instruction(instr)) == instr
+
+    def test_program_words_roundtrip(self):
+        code = [li(1, 5), r3(Opcode.ADD, 1, 1, 1), jump(0), halt()]
+        words = encode_program_words(code)
+        assert len(words) == 2 * len(code)
+        assert decode_program_words(words) == code
+
+
+class TestErrors:
+    def test_rejects_symbolic_target(self):
+        with pytest.raises(IsaError):
+            encode_instruction(jump("loop"))
+
+    def test_rejects_oversized_immediate(self):
+        with pytest.raises(IsaError):
+            encode_instruction(li(1, 2 ** 63))
+
+    def test_rejects_unknown_opcode_number(self):
+        with pytest.raises(IsaError):
+            decode_instruction(0xFF << 56, 0)
+
+    def test_rejects_odd_word_count(self):
+        with pytest.raises(IsaError):
+            decode_program_words([1, 2, 3])
+
+
+class TestSizes:
+    def test_instruction_bytes(self):
+        assert INSTRUCTION_BYTES == 16
+
+    def test_code_size(self):
+        assert code_size_bytes([halt(), halt()]) == 32
+        assert code_size_bytes([lw(1, 0, 2)]) == 16

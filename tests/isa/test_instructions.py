@@ -1,0 +1,166 @@
+"""Unit tests for instruction construction, classification, and rendering."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    Format,
+    Instruction,
+    JUMP_OPS,
+    Opcode,
+    branch,
+    fork,
+    halt,
+    i2,
+    jal,
+    jr,
+    jump,
+    li,
+    lw,
+    mov,
+    nop,
+    r3,
+    sw,
+)
+from repro.isa.registers import RA
+
+
+class TestConstruction:
+    def test_r3_requires_all_registers(self):
+        instr = r3(Opcode.ADD, 1, 2, 3)
+        assert (instr.rd, instr.rs, instr.rt) == (1, 2, 3)
+        with pytest.raises(IsaError):
+            Instruction(op=Opcode.ADD, rd=1, rs=2)  # missing rt
+
+    def test_rejects_extraneous_operands(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Opcode.NOP, rd=1)
+        with pytest.raises(IsaError):
+            Instruction(op=Opcode.J, target=3, imm=5)
+
+    def test_rejects_bad_register(self):
+        with pytest.raises(IsaError):
+            r3(Opcode.ADD, 1, 2, 99)
+
+    def test_rejects_non_int_imm(self):
+        with pytest.raises(IsaError):
+            Instruction(op=Opcode.LI, rd=1, imm="five")
+
+    def test_target_accepts_label_or_pc(self):
+        assert jump("loop").target == "loop"
+        assert jump(7).target == 7
+        with pytest.raises(IsaError):
+            Instruction(op=Opcode.J, target=3.5)
+
+    def test_frozen(self):
+        instr = nop()
+        with pytest.raises(AttributeError):
+            instr.rd = 5
+
+
+class TestClassification:
+    def test_branch_flags(self):
+        for op in BRANCH_OPS:
+            instr = branch(op, 1, 2, 0)
+            assert instr.is_branch and instr.is_terminator and not instr.is_jump
+
+    def test_jump_flags(self):
+        assert jump(0).is_jump and jump(0).is_terminator
+        assert jal(0).is_jump
+        assert jr(1).is_jump
+        assert set(JUMP_OPS) == {Opcode.J, Opcode.JAL, Opcode.JR}
+
+    def test_halt_is_terminator_not_branch(self):
+        assert halt().is_terminator
+        assert not halt().is_branch and not halt().is_jump
+
+    def test_loads_and_stores(self):
+        assert lw(1, 0, 2).is_load and not lw(1, 0, 2).is_store
+        assert sw(1, 0, 2).is_store and not sw(1, 0, 2).is_load
+
+    def test_fork_is_not_terminator(self):
+        instr = fork(12)
+        assert not instr.is_terminator
+        assert instr.has_side_effect
+
+
+class TestDefsUses:
+    def test_r3(self):
+        instr = r3(Opcode.ADD, 1, 2, 3)
+        assert instr.defs() == {1}
+        assert instr.uses() == {2, 3}
+
+    def test_i2(self):
+        instr = i2(Opcode.ADDI, 4, 5, 10)
+        assert instr.defs() == {4}
+        assert instr.uses() == {5}
+
+    def test_load_store(self):
+        assert lw(1, 4, 2).defs() == {1}
+        assert lw(1, 4, 2).uses() == {2}
+        assert sw(3, 4, 2).defs() == set()
+        assert sw(3, 4, 2).uses() == {2, 3}
+
+    def test_branch_uses_both(self):
+        instr = branch(Opcode.BEQ, 6, 7, 0)
+        assert instr.uses() == {6, 7}
+        assert instr.defs() == set()
+
+    def test_jal_defs_ra(self):
+        assert jal(0).defs() == {RA}
+
+    def test_jr_uses_rs(self):
+        assert jr(9).uses() == {9}
+
+    def test_li_mov(self):
+        assert li(2, 7).defs() == {2} and li(2, 7).uses() == set()
+        assert mov(2, 3).defs() == {2} and mov(2, 3).uses() == {3}
+
+    def test_side_effects(self):
+        assert sw(1, 0, 2).has_side_effect
+        assert halt().has_side_effect
+        assert jal(0).has_side_effect
+        assert not r3(Opcode.ADD, 1, 2, 3).has_side_effect
+        assert not lw(1, 0, 2).has_side_effect
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "instr, expected",
+        [
+            (r3(Opcode.ADD, 1, 2, 3), "add r1, r2, r3"),
+            (i2(Opcode.ADDI, 1, 2, -5), "addi r1, r2, -5"),
+            (li(4, 100), "li r4, 100"),
+            (mov(4, 5), "mov r4, r5"),
+            (lw(1, 8, 2), "lw r1, 8(r2)"),
+            (sw(1, -4, 2), "sw r1, -4(r2)"),
+            (branch(Opcode.BNE, 1, 0, 12), "bne r1, zero, 12"),
+            (jump(3), "j 3"),
+            (jr(31), "jr ra"),
+            (halt(), "halt"),
+            (nop(), "nop"),
+            (fork(42), "fork 42"),
+        ],
+    )
+    def test_canonical_rendering(self, instr, expected):
+        assert str(instr) == expected
+
+    def test_with_target(self):
+        instr = jump("loop").with_target(9)
+        assert instr.target == 9
+        assert instr.op is Opcode.J
+
+
+class TestOpcodeTables:
+    def test_numbers_unique(self):
+        numbers = [op.number for op in Opcode]
+        assert len(numbers) == len(set(numbers))
+
+    def test_mnemonics_unique(self):
+        mnemonics = [op.mnemonic for op in Opcode]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_every_format_used(self):
+        used = {op.format for op in Opcode}
+        assert used == set(Format)

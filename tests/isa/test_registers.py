@@ -1,0 +1,67 @@
+"""Unit tests for register naming and validation."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.registers import (
+    FP,
+    NUM_REGS,
+    RA,
+    SP,
+    ZERO,
+    check_register,
+    parse_register,
+    register_name,
+)
+
+
+class TestParseRegister:
+    def test_numeric_names(self):
+        assert parse_register("r0") == 0
+        assert parse_register("r31") == 31
+        assert parse_register("r7") == 7
+
+    def test_aliases(self):
+        assert parse_register("zero") == ZERO
+        assert parse_register("sp") == SP
+        assert parse_register("fp") == FP
+        assert parse_register("ra") == RA
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_register("  R5 ") == 5
+        assert parse_register("SP") == SP
+
+    @pytest.mark.parametrize("bad", ["r32", "r-1", "x1", "", "r", "r1.5", "reg1"])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(IsaError):
+            parse_register(bad)
+
+
+class TestRegisterName:
+    def test_roundtrip_all(self):
+        for number in range(NUM_REGS):
+            assert parse_register(register_name(number)) == number
+
+    def test_aliases_preferred(self):
+        assert register_name(SP) == "sp"
+        assert register_name(ZERO) == "zero"
+
+    def test_plain_form(self):
+        assert register_name(SP, prefer_alias=False) == "r29"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IsaError):
+            register_name(NUM_REGS)
+        with pytest.raises(IsaError):
+            register_name(-1)
+
+
+class TestCheckRegister:
+    def test_accepts_valid(self):
+        assert check_register(0) == 0
+        assert check_register(31) == 31
+
+    @pytest.mark.parametrize("bad", [-1, 32, "r1", 1.0, None])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(IsaError):
+            check_register(bad)

@@ -1,0 +1,208 @@
+"""Per-instruction semantics tests: every opcode, signs, wrapping, edges."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import RA
+from repro.machine.semantics import execute
+from repro.machine.state import ArchState
+
+
+def make_state(**regs):
+    state = ArchState()
+    for name, value in regs.items():
+        state.write_reg(int(name[1:]), value)
+    return state
+
+
+def run_r3(op, a, b):
+    state = make_state(r1=a, r2=b)
+    execute(Instruction(op=op, rd=3, rs=1, rt=2), state)
+    return state.read_reg(3)
+
+
+def run_i2(op, a, imm):
+    state = make_state(r1=a)
+    execute(Instruction(op=op, rd=3, rs=1, imm=imm), state)
+    return state.read_reg(3)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            (Opcode.ADD, 2, 3, 5),
+            (Opcode.ADD, 2 ** 63 - 1, 1, -(2 ** 63)),  # wraps
+            (Opcode.SUB, 2, 3, -1),
+            (Opcode.SUB, -(2 ** 63), 1, 2 ** 63 - 1),  # wraps
+            (Opcode.MUL, -4, 3, -12),
+            (Opcode.MUL, 2 ** 40, 2 ** 40, 0),  # wraps to zero
+            (Opcode.DIV, 7, 2, 3),
+            (Opcode.DIV, -7, 2, -3),  # truncates toward zero
+            (Opcode.DIV, 7, -2, -3),
+            (Opcode.DIV, -7, -2, 3),
+            (Opcode.DIV, 5, 0, 0),  # trap-free
+            (Opcode.MOD, 7, 3, 1),
+            (Opcode.MOD, -7, 3, -1),  # sign follows dividend
+            (Opcode.MOD, 7, -3, 1),
+            (Opcode.MOD, 5, 0, 0),
+        ],
+    )
+    def test_r3_arithmetic(self, op, a, b, expected):
+        assert run_r3(op, a, b) == expected
+
+    def test_div_mod_identity(self):
+        for a in (-17, -1, 0, 1, 23):
+            for b in (-5, -1, 1, 7):
+                q = run_r3(Opcode.DIV, a, b)
+                r = run_r3(Opcode.MOD, a, b)
+                assert q * b + r == a
+
+
+class TestLogicAndShifts:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            (Opcode.AND, 0b1100, 0b1010, 0b1000),
+            (Opcode.OR, 0b1100, 0b1010, 0b1110),
+            (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+            (Opcode.SLL, 1, 4, 16),
+            (Opcode.SLL, 1, 63, -(2 ** 63)),  # shifts into sign bit
+            (Opcode.SLL, 1, 64, 1),  # amount masked to 6 bits
+            (Opcode.SRL, -1, 1, 2 ** 63 - 1),  # logical: zero-fill
+            (Opcode.SRA, -8, 1, -4),  # arithmetic: sign-fill
+            (Opcode.SRA, -1, 63, -1),
+            (Opcode.SRL, 16, 2, 4),
+        ],
+    )
+    def test_shift_logic(self, op, a, b, expected):
+        assert run_r3(op, a, b) == expected
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            (Opcode.SLT, -1, 0, 1),
+            (Opcode.SLT, 0, 0, 0),
+            (Opcode.SLE, 0, 0, 1),
+            (Opcode.SLE, 1, 0, 0),
+            (Opcode.SEQ, 5, 5, 1),
+            (Opcode.SEQ, 5, 6, 0),
+            (Opcode.SNE, 5, 6, 1),
+            (Opcode.SNE, 5, 5, 0),
+        ],
+    )
+    def test_set_instructions(self, op, a, b, expected):
+        assert run_r3(op, a, b) == expected
+
+    def test_comparisons_are_signed(self):
+        assert run_r3(Opcode.SLT, -(2 ** 63), 2 ** 63 - 1) == 1
+
+
+class TestImmediates:
+    @pytest.mark.parametrize(
+        "op, a, imm, expected",
+        [
+            (Opcode.ADDI, 5, -3, 2),
+            (Opcode.MULI, 5, 4, 20),
+            (Opcode.ANDI, 0b111, 0b101, 0b101),
+            (Opcode.ORI, 0b100, 0b001, 0b101),
+            (Opcode.XORI, 0b110, 0b011, 0b101),
+            (Opcode.SLLI, 3, 2, 12),
+            (Opcode.SRLI, 12, 2, 3),
+            (Opcode.SLTI, -1, 0, 1),
+        ],
+    )
+    def test_i2(self, op, a, imm, expected):
+        assert run_i2(op, a, imm) == expected
+
+    def test_li_and_mov(self):
+        state = ArchState()
+        execute(Instruction(op=Opcode.LI, rd=1, imm=-42), state)
+        execute(Instruction(op=Opcode.MOV, rd=2, rs=1), state)
+        assert state.read_reg(2) == -42
+        assert state.pc == 2
+
+
+class TestMemoryOps:
+    def test_load_effect(self):
+        state = ArchState(mem={104: 7})
+        state.write_reg(2, 100)
+        effect = execute(Instruction(op=Opcode.LW, rd=1, rs=2, imm=4), state)
+        assert state.read_reg(1) == 7
+        assert (effect.mem_addr, effect.mem_value, effect.is_store) == (104, 7, False)
+
+    def test_store_effect(self):
+        state = ArchState()
+        state.write_reg(2, 100)
+        state.write_reg(3, -9)
+        effect = execute(Instruction(op=Opcode.SW, rt=3, rs=2, imm=-1), state)
+        assert state.load(99) == -9
+        assert (effect.mem_addr, effect.mem_value, effect.is_store) == (99, -9, True)
+
+    def test_load_into_base_register(self):
+        """rd == rs: the base is consumed before being overwritten."""
+        state = ArchState(mem={50: 123})
+        state.write_reg(2, 50)
+        effect = execute(Instruction(op=Opcode.LW, rd=2, rs=2, imm=0), state)
+        assert state.read_reg(2) == 123
+        assert effect.mem_addr == 50
+
+    def test_address_wraps(self):
+        state = ArchState()
+        state.write_reg(2, 2 ** 63 - 1)
+        effect = execute(Instruction(op=Opcode.LW, rd=1, rs=2, imm=1), state)
+        assert effect.mem_addr == -(2 ** 63)
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize(
+        "op, a, b, taken",
+        [
+            (Opcode.BEQ, 1, 1, True),
+            (Opcode.BEQ, 1, 2, False),
+            (Opcode.BNE, 1, 2, True),
+            (Opcode.BNE, 1, 1, False),
+            (Opcode.BLT, -1, 0, True),
+            (Opcode.BLT, 0, 0, False),
+            (Opcode.BGE, 0, 0, True),
+            (Opcode.BGE, -1, 0, False),
+        ],
+    )
+    def test_branches(self, op, a, b, taken):
+        state = make_state(r1=a, r2=b)
+        state.pc = 5
+        effect = execute(Instruction(op=op, rs=1, rt=2, target=20), state)
+        assert effect.taken is taken
+        assert state.pc == (20 if taken else 6)
+
+    def test_jump(self):
+        state = ArchState(pc=3)
+        effect = execute(Instruction(op=Opcode.J, target=9), state)
+        assert state.pc == 9 and effect.taken
+
+    def test_jal_links(self):
+        state = ArchState(pc=3)
+        execute(Instruction(op=Opcode.JAL, target=9), state)
+        assert state.pc == 9
+        assert state.read_reg(RA) == 4
+
+    def test_jr(self):
+        state = ArchState(pc=3)
+        state.write_reg(5, 17)
+        execute(Instruction(op=Opcode.JR, rs=5), state)
+        assert state.pc == 17
+
+    def test_halt_is_fixed_point(self):
+        state = ArchState(pc=4)
+        effect = execute(Instruction(op=Opcode.HALT), state)
+        assert effect.halted
+        assert state.pc == 4  # pc does not advance past halt
+
+    def test_nop_and_fork_advance(self):
+        state = ArchState(pc=0)
+        assert not execute(Instruction(op=Opcode.NOP), state).halted
+        assert state.pc == 1
+        execute(Instruction(op=Opcode.FORK, target=99), state)
+        assert state.pc == 2

@@ -1,0 +1,60 @@
+"""Determinism: the whole pipeline is a pure function of its inputs.
+
+Reproducibility is a first-class property for a simulator — every
+experiment table must regenerate bit-identically.  These tests pin it
+at each stage: profiling, distillation, the functional engine (traces,
+not just final states), and the timing replay.
+"""
+
+from repro.config import DistillConfig, MsspConfig
+from repro.distill import Distiller
+from repro.mssp import MsspEngine
+from repro.profiling import profile_program
+from repro.timing import simulate_mssp
+from repro.workloads import get_workload
+
+
+def pipeline(size=400):
+    instance = get_workload("hashlookup").instance(size)
+    profile = profile_program(instance.train_programs[0])
+    distillation = Distiller(DistillConfig(target_task_size=30)).distill(
+        instance.program, profile
+    )
+    result = MsspEngine(instance.program, distillation, MsspConfig()).run()
+    return profile, distillation, result
+
+
+class TestDeterminism:
+    def test_profiles_identical(self):
+        first, _, _ = pipeline()
+        second, _, _ = pipeline()
+        assert first.to_dict() == second.to_dict()
+
+    def test_distillation_identical(self):
+        _, first, _ = pipeline()
+        _, second, _ = pipeline()
+        assert first.distilled.code == second.distilled.code
+        assert dict(first.pc_map.resume) == dict(second.pc_map.resume)
+        assert dict(first.pc_map.jr_table) == dict(second.pc_map.jr_table)
+
+    def test_traces_identical(self):
+        _, _, first = pipeline()
+        _, _, second = pipeline()
+        assert first.records == second.records
+        assert first.counters.summary() == second.counters.summary()
+        assert first.final_state.diff(second.final_state) == []
+
+    def test_timing_identical(self):
+        _, _, result = pipeline()
+        a = simulate_mssp(result)
+        b = simulate_mssp(result)
+        assert a.summary() == b.summary()
+
+    def test_workload_instances_identical(self):
+        spec = get_workload("hashlookup")
+        first = spec.instance(300)
+        second = spec.instance(300)
+        assert first.program.code == second.program.code
+        assert dict(first.program.memory) == dict(second.program.memory)
+        for a, b in zip(first.train_programs, second.train_programs):
+            assert dict(a.memory) == dict(b.memory)

@@ -1,0 +1,98 @@
+"""Tests for the fault-injection utilities themselves."""
+
+from repro.config import DistillConfig
+from repro.distill import Distiller
+from repro.isa.asm import assemble
+from repro.isa.instructions import Opcode
+from repro.mssp.faults import corrupt_distilled, random_garbage_master
+from repro.profiling import profile_program
+
+SOURCE = """
+main:   li r1, 60
+loop:   addi r1, r1, -1
+        add r2, r2, r1
+        sw r2, 100(zero)
+        bne r1, zero, loop
+        halt
+"""
+
+
+def distilled():
+    program = assemble(SOURCE)
+    profile = profile_program(program)
+    result = Distiller(DistillConfig(target_task_size=10)).distill(
+        program, profile
+    )
+    return program, result
+
+
+class TestCorruptDistilled:
+    def test_deterministic(self):
+        program, result = distilled()
+        a = corrupt_distilled(result.distilled, len(program.code), seed=5)
+        b = corrupt_distilled(result.distilled, len(program.code), seed=5)
+        assert a.code == b.code
+
+    def test_seeds_differ(self):
+        program, result = distilled()
+        a = corrupt_distilled(
+            result.distilled, len(program.code), seed=5, severity=0.9
+        )
+        b = corrupt_distilled(
+            result.distilled, len(program.code), seed=6, severity=0.9
+        )
+        assert a.code != b.code
+
+    def test_zero_severity_is_identity(self):
+        program, result = distilled()
+        same = corrupt_distilled(
+            result.distilled, len(program.code), seed=5, severity=0.0
+        )
+        assert same.code == result.distilled.code
+
+    def test_output_is_valid_program(self):
+        program, result = distilled()
+        corrupted = corrupt_distilled(
+            result.distilled, len(program.code), seed=1, severity=1.0
+        )
+        # Program.__post_init__ validates branch targets; reaching here
+        # means validation passed.  Entry and memory preserved:
+        assert corrupted.entry == result.distilled.entry
+        assert dict(corrupted.memory) == dict(result.distilled.memory)
+
+    def test_name_marks_corruption(self):
+        program, result = distilled()
+        corrupted = corrupt_distilled(
+            result.distilled, len(program.code), seed=1
+        )
+        assert "corrupted" in corrupted.name
+
+
+class TestRandomGarbageMaster:
+    def test_deterministic(self):
+        program = assemble(SOURCE)
+        a, map_a = random_garbage_master(program, seed=3)
+        b, map_b = random_garbage_master(program, seed=3)
+        assert a.code == b.code
+        assert dict(map_a.resume) == dict(map_b.resume)
+
+    def test_always_halts_structurally(self):
+        program = assemble(SOURCE)
+        for seed in range(10):
+            garbage, _ = random_garbage_master(program, seed=seed)
+            assert garbage.code[-1].op is Opcode.HALT
+
+    def test_map_covers_entry_and_forks(self):
+        program = assemble(SOURCE)
+        garbage, pc_map = random_garbage_master(program, seed=9)
+        assert pc_map.is_anchor(program.entry)
+        for instr in garbage.code:
+            if instr.op is Opcode.FORK:
+                assert pc_map.is_anchor(int(instr.target))
+
+    def test_length_range_respected(self):
+        program = assemble(SOURCE)
+        garbage, _ = random_garbage_master(
+            program, seed=1, length_range=(6, 6)
+        )
+        assert len(garbage.code) == 6

@@ -1,0 +1,131 @@
+"""Unit tests for the master processor."""
+
+import pytest
+
+from repro.config import MsspConfig
+from repro.isa.asm import assemble
+from repro.machine.state import ArchState
+from repro.mssp.master import Master, MasterEventKind
+
+DISTILLED = assemble(
+    """
+    main:   li r1, 2
+    loop:   fork 10
+            addi r1, r1, -1
+            sw r1, 200(zero)
+            bne r1, zero, loop
+            halt
+    """
+)
+
+
+def started_master(config=None, arch=None, pc=0):
+    master = Master(DISTILLED, config or MsspConfig())
+    master.restart(arch or ArchState(), pc)
+    return master
+
+
+class TestEvents:
+    def test_fork_event(self):
+        master = started_master()
+        event = master.run_until_fork()
+        assert event.kind is MasterEventKind.FORK
+        assert event.anchor == 10
+        assert event.instrs == 2  # li + fork
+        assert event.checkpoint.regs[1] == 2
+
+    def test_fork_checkpoint_carries_dirty_memory(self):
+        master = started_master()
+        master.run_until_fork()  # first fork: nothing stored yet
+        event = master.run_until_fork()
+        assert event.kind is MasterEventKind.FORK
+        assert event.checkpoint.mem == {200: 1}
+
+    def test_halt_event(self):
+        master = started_master()
+        kinds = []
+        while True:
+            event = master.run_until_fork()
+            kinds.append(event.kind)
+            if event.kind is not MasterEventKind.FORK:
+                break
+        assert kinds == [
+            MasterEventKind.FORK, MasterEventKind.FORK, MasterEventKind.HALT
+        ]
+
+    def test_trap_on_bad_pc(self):
+        master = started_master(pc=999)
+        event = master.run_until_fork()
+        assert event.kind is MasterEventKind.TRAP
+
+    def test_timeout_on_infinite_loop(self):
+        looping = assemble("main: j main\nhalt")
+        master = Master(looping, MsspConfig(max_master_instrs_per_task=50))
+        master.restart(ArchState(), 0)
+        event = master.run_until_fork()
+        assert event.kind is MasterEventKind.TIMEOUT
+        assert event.instrs == 50
+
+    def test_requires_restart(self):
+        master = Master(DISTILLED, MsspConfig())
+        with pytest.raises(RuntimeError):
+            master.run_until_fork()
+
+
+class TestStateSeeding:
+    def test_registers_seeded_from_arch(self):
+        arch = ArchState()
+        arch.write_reg(5, 77)
+        program = assemble("fork 3\nhalt")
+        master = Master(program, MsspConfig())
+        master.restart(arch, 0)
+        event = master.run_until_fork()
+        assert event.checkpoint.regs[5] == 77
+
+    def test_memory_reads_from_restart_snapshot(self):
+        arch = ArchState(mem={100: 5})
+        program = assemble("lw r1, 100(zero)\nfork 3\nhalt")
+        master = Master(program, MsspConfig())
+        master.restart(arch, 0)
+        # Architected state changes after restart must not be visible:
+        # the master runs ahead of commits by design.
+        arch.store(100, 999)
+        event = master.run_until_fork()
+        assert event.checkpoint.regs[1] == 5
+
+    def test_dirty_memory_reset_on_restart(self):
+        arch = ArchState()
+        master = started_master(arch=arch)
+        master.run_until_fork()
+        master.run_until_fork()  # has dirty mem now
+        master.restart(arch, 0)
+        event = master.run_until_fork()
+        assert event.checkpoint.mem == {}
+
+    def test_delta_mode_ships_only_recent_writes(self):
+        arch = ArchState()
+        master = Master(DISTILLED, MsspConfig(checkpoint_mode="delta"))
+        master.restart(arch, 0)
+        first = master.run_until_fork()
+        assert first.checkpoint.mem == {}
+        second = master.run_until_fork()
+        assert second.checkpoint.mem == {200: 1}
+        # The master's own view still sees all of its writes.
+        third = master.run_until_fork()
+        assert third.kind is MasterEventKind.HALT
+
+    def test_cumulative_mode_ships_everything_since_restart(self):
+        arch = ArchState()
+        master = Master(DISTILLED, MsspConfig(checkpoint_mode="cumulative"))
+        master.restart(arch, 0)
+        master.run_until_fork()
+        event = master.run_until_fork()
+        assert event.checkpoint.mem == {200: 1}
+
+    def test_counters(self):
+        master = started_master()
+        while master.run_until_fork().kind is MasterEventKind.FORK:
+            pass
+        assert master.restarts == 1
+        # li fork | addi sw bne fork | addi sw bne -> 9 (halt not counted)
+        assert master.total_instrs == 9

@@ -1,0 +1,142 @@
+"""Property-based tests of MSSP's headline guarantee.
+
+The claim under test (the MICRO paper's thesis, formalized by the
+companion paper): **nothing the fast path does can affect correctness**.
+For any original program, any distillation configuration, any training
+input, and even adversarially corrupted or entirely random distilled
+programs and pc maps, MSSP's final architected state equals sequential
+execution of the original program — and the trace is a jumping
+refinement of SEQ.
+"""
+
+import dataclasses
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DistillConfig, MsspConfig
+from repro.distill import Distiller
+from repro.distill.pc_map import PcMap
+from repro.formal.refinement import assert_jumping_refinement, replay_trace
+from repro.isa.program import Program
+from repro.machine.interpreter import run_to_halt
+from repro.mssp import MsspEngine
+from repro.mssp.faults import corrupt_distilled, random_garbage_master
+from repro.profiling import profile_program
+
+from tests.strategies import terminating_programs
+
+#: Small budgets keep adversarial cases (looping masters etc.) fast.
+FAST_CONFIG = MsspConfig(
+    max_task_instrs=2_000, max_master_instrs_per_task=2_000,
+    max_total_instrs=5_000_000,
+)
+
+DISTILL_CONFIGS = [
+    DistillConfig(target_task_size=8),
+    DistillConfig(
+        target_task_size=20, branch_bias_threshold=0.9, min_branch_count=2,
+        value_spec_min_count=2,
+    ),
+    DistillConfig(
+        target_task_size=50, branch_bias_threshold=0.99,
+        cold_threshold=0.01, value_spec_min_count=4,
+    ),
+    DistillConfig(target_task_size=10).without_pass("dce"),
+    DistillConfig(target_task_size=10).without_pass("branch_removal"),
+]
+
+
+def check_equivalence(program: Program, distilled, pc_map, config=FAST_CONFIG):
+    engine = MsspEngine(program, (distilled, pc_map), config)
+    result = engine.run()
+    reference = run_to_halt(program, max_steps=config.max_total_instrs)
+    assert result.final_state.diff(reference.state) == [], (
+        result.final_state.diff(reference.state)
+    )
+    assert result.counters.total_instrs == reference.steps
+    assert_jumping_refinement(program, result)
+    return result
+
+
+class TestRealDistillerEquivalence:
+    @given(terminating_programs(), st.sampled_from(DISTILL_CONFIGS))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalent_for_any_program_and_config(self, program, config):
+        profile = profile_program(program, max_steps=2_000_000)
+        result = Distiller(config).distill(program, profile)
+        check_equivalence(program, result.distilled, result.pc_map)
+
+    @given(terminating_programs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalent_under_training_input_mismatch(self, program, seed):
+        """Profile on one data image, evaluate on a perturbed one."""
+        profile = profile_program(program, max_steps=2_000_000)
+        result = Distiller(DISTILL_CONFIGS[1]).distill(program, profile)
+        rng = random.Random(seed)
+        perturbed_data = {
+            address: rng.randint(-100, 100)
+            for address in range(0x100, 0x100 + 8)
+        }
+        evaluated = program.updated_memory(perturbed_data)
+        check_equivalence(evaluated, result.distilled, result.pc_map)
+
+
+class TestAdversarialMasters:
+    @given(terminating_programs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_corrupted_distilled_cannot_break_correctness(self, program, seed):
+        profile = profile_program(program, max_steps=2_000_000)
+        result = Distiller(DistillConfig(target_task_size=10)).distill(
+            program, profile
+        )
+        corrupted = corrupt_distilled(
+            result.distilled, len(program.code), seed, severity=0.2
+        )
+        check_equivalence(program, corrupted, result.pc_map)
+
+    @given(terminating_programs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_random_garbage_master_cannot_break_correctness(self, program, seed):
+        garbage, pc_map = random_garbage_master(program, seed)
+        check_equivalence(program, garbage, pc_map)
+
+    @given(terminating_programs(), st.sampled_from(DISTILL_CONFIGS))
+    @settings(max_examples=15, deadline=None)
+    def test_delta_checkpoints_equivalent(self, program, config):
+        """Delta checkpoint shipping changes bandwidth, never results."""
+        profile = profile_program(program, max_steps=2_000_000)
+        result = Distiller(config).distill(program, profile)
+        delta_config = dataclasses.replace(
+            FAST_CONFIG, checkpoint_mode="delta"
+        )
+        check_equivalence(
+            program, result.distilled, result.pc_map, config=delta_config
+        )
+
+    @given(terminating_programs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_throttled_engine_is_still_equivalent(self, program, seed):
+        """Dual-mode throttling changes the execution plan, never results."""
+        garbage, pc_map = random_garbage_master(program, seed)
+        config = dataclasses.replace(
+            FAST_CONFIG, throttle_threshold=0.5, throttle_window=4,
+            throttle_chunk=50,
+        )
+        check_equivalence(program, garbage, pc_map, config=config)
+
+
+class TestRefinementReplay:
+    @given(terminating_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_replay_reports_jump_totals(self, program):
+        profile = profile_program(program, max_steps=2_000_000)
+        result = Distiller(DistillConfig(target_task_size=10)).distill(
+            program, profile
+        )
+        outcome = MsspEngine(program, result, FAST_CONFIG).run()
+        report = replay_trace(program, outcome)
+        assert report.ok, report.issues
+        assert report.jumped_instrs == outcome.counters.committed_instrs
+        assert report.jumps == outcome.counters.tasks_committed

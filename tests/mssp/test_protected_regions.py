@@ -1,0 +1,183 @@
+"""Tests for protected (non-idempotent / memory-mapped I/O) regions.
+
+The guarantee under test — the companion paper's named extension —
+is *exactly-once, in-order* device access: speculative execution never
+touches a protected cell, and the machine's observable I/O sequence is
+identical to sequential execution's.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.config import DistillConfig, MsspConfig
+from repro.distill import Distiller
+from repro.errors import MsspError, ProtectedAccessError
+from repro.isa.asm import assemble
+from repro.machine import run_to_halt
+from repro.machine.state import ArchState
+from repro.mssp import MsspEngine, SlaveView, Checkpoint
+from repro.mssp.regions import ProtectedRegions, sequential_device_trace
+from repro.mssp.slave import execute_task
+from repro.mssp.task import SquashReason, Task
+from repro.profiling import profile_program
+
+from tests.strategies import terminating_programs
+
+#: I/O: one "status register" at 0x8000 and a "data port" at 0x8001.
+IO_BASE = 0x8000
+REGIONS = ((IO_BASE, IO_BASE + 4),)
+
+IO_PROGRAM = f"""
+main:   li r1, 40
+        li r4, 0
+loop:   addi r1, r1, -1
+        add r4, r4, r1
+        andi r2, r1, 7
+        bne r2, zero, skip       # every 8th iteration: device write
+        sw r1, {IO_BASE + 1}(zero)
+skip:   bne r1, zero, loop
+        sw r4, 0x900(zero)
+        lw r5, {IO_BASE}(zero)   # final device read
+        sw r5, 0x901(zero)
+        halt
+"""
+
+
+class TestProtectedRegions:
+    def test_membership(self):
+        regions = ProtectedRegions([(10, 20), (30, 31)])
+        assert 10 in regions and 19 in regions and 30 in regions
+        assert 9 not in regions and 20 not in regions and 31 not in regions
+        assert len(regions) == 2
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(MsspError):
+            ProtectedRegions([(5, 5)])
+        with pytest.raises(MsspError):
+            ProtectedRegions([(10, 20), (15, 25)])
+
+    def test_from_config(self):
+        assert ProtectedRegions.from_config(None) is None
+        assert ProtectedRegions.from_config(()) is None
+        assert ProtectedRegions.from_config(((1, 2),)) is not None
+
+
+class TestSlaveAborts:
+    def test_view_raises_before_store(self):
+        regions = ProtectedRegions(REGIONS)
+        view = SlaveView(
+            Checkpoint(regs=tuple([0] * 32)), ArchState(), pc=0,
+            regions=regions,
+        )
+        with pytest.raises(ProtectedAccessError):
+            view.store(IO_BASE, 1)
+        assert view.live_out_mem() == {}  # nothing leaked
+
+    def test_view_raises_before_load(self):
+        regions = ProtectedRegions(REGIONS)
+        view = SlaveView(
+            Checkpoint(regs=tuple([0] * 32)), ArchState(), pc=0,
+            regions=regions,
+        )
+        with pytest.raises(ProtectedAccessError):
+            view.load(IO_BASE + 2)
+        assert view.live_in_mem == {}
+
+    def test_task_aborts_at_access(self):
+        program = assemble(IO_PROGRAM)
+        regions = ProtectedRegions(REGIONS)
+        task = Task(
+            tid=0, start_pc=0,
+            checkpoint=Checkpoint.exact(ArchState(pc=0)), exact=True,
+            end_pc=None,
+        )
+        execute_task(program, task, ArchState(pc=0), 10_000, regions=regions)
+        assert task.protected_access
+        # The aborting instruction is the device store, not executed.
+        assert program.code[task.end_state_pc].is_store
+        assert IO_BASE + 1 not in task.live_out_mem
+
+    def test_verify_reports_protected(self):
+        from repro.mssp.verify import verify_task
+
+        program = assemble(IO_PROGRAM)
+        regions = ProtectedRegions(REGIONS)
+        arch = ArchState(pc=0)
+        task = Task(
+            tid=0, start_pc=0, checkpoint=Checkpoint.exact(arch), exact=True,
+            end_pc=None,
+        )
+        execute_task(program, task, arch, 10_000, regions=regions)
+        outcome = verify_task(task, arch)
+        assert not outcome.ok
+        assert outcome.reason is SquashReason.PROTECTED
+
+
+def run_mssp_io(program, distillation=None):
+    if distillation is None:
+        profile = profile_program(program)
+        distillation = Distiller(
+            DistillConfig(target_task_size=20, min_branch_count=4)
+        ).distill(program, profile)
+    config = MsspConfig(protected_regions=REGIONS)
+    return MsspEngine(program, distillation, config).run()
+
+
+class TestExactlyOnce:
+    def test_state_equivalence_with_io(self):
+        program = assemble(IO_PROGRAM)
+        result = run_mssp_io(program)
+        reference = run_to_halt(program)
+        assert result.final_state.diff(reference.state) == []
+
+    def test_device_trace_matches_sequential(self):
+        """The headline property: identical I/O sequences."""
+        program = assemble(IO_PROGRAM)
+        result = run_mssp_io(program)
+        expected = sequential_device_trace(
+            program, ProtectedRegions(REGIONS)
+        )
+        assert result.device_trace == expected
+        # 5 stores (iterations 32, 24, 16, 8 and 0... the 0th happens at
+        # r1 == 0 too) plus the final read.
+        stores = [a for a in result.device_trace if a.is_store]
+        loads = [a for a in result.device_trace if not a.is_store]
+        assert len(stores) == 5
+        assert len(loads) == 1
+        assert result.counters.device_accesses == len(result.device_trace)
+
+    def test_protected_squashes_recorded(self):
+        program = assemble(IO_PROGRAM)
+        result = run_mssp_io(program)
+        assert result.counters.squash_reasons.get("protected-access", 0) > 0
+
+    def test_no_device_trace_without_regions(self):
+        program = assemble(IO_PROGRAM)
+        profile = profile_program(program)
+        distillation = Distiller(
+            DistillConfig(target_task_size=20, min_branch_count=4)
+        ).distill(program, profile)
+        result = MsspEngine(program, distillation).run()
+        assert result.device_trace == []
+
+    @given(terminating_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_random_programs_io_sequence_preserved(self, program):
+        """Random programs with their data region marked as a device:
+        MSSP's access sequence equals SEQ's, and state still matches."""
+        regions_spec = ((0x100, 0x110),)  # half the strategy's data region
+        profile = profile_program(program, max_steps=2_000_000)
+        distillation = Distiller(DistillConfig(target_task_size=10)).distill(
+            program, profile
+        )
+        config = MsspConfig(
+            protected_regions=regions_spec,
+            max_task_instrs=2_000, max_master_instrs_per_task=2_000,
+        )
+        result = MsspEngine(program, distillation, config).run()
+        reference = run_to_halt(program, max_steps=2_000_000)
+        assert result.final_state.diff(reference.state) == []
+        expected = sequential_device_trace(
+            program, ProtectedRegions(regions_spec), max_steps=2_000_000
+        )
+        assert result.device_trace == expected

@@ -1,0 +1,157 @@
+"""Unit tests for slave-side task execution and live-in/out recording."""
+
+from repro.isa.asm import assemble
+from repro.isa.registers import NUM_REGS
+from repro.machine.state import ArchState
+from repro.mssp.slave import SlaveView, execute_task
+from repro.mssp.task import Checkpoint, Task, TaskStatus
+
+
+def ckpt(regs=None, mem=None):
+    values = [0] * NUM_REGS
+    for index, value in (regs or {}).items():
+        values[index] = value
+    return Checkpoint(regs=tuple(values), mem=dict(mem or {}))
+
+
+def make_task(start_pc, checkpoint=None, end_pc=None, tid=0):
+    return Task(
+        tid=tid, start_pc=start_pc,
+        checkpoint=checkpoint or ckpt(), end_pc=end_pc,
+    )
+
+
+class TestSlaveViewRegisters:
+    def test_read_before_write_records_live_in(self):
+        view = SlaveView(ckpt({3: 7}), ArchState(), pc=0)
+        assert view.read_reg(3) == 7
+        assert view.live_in_regs == {3: 7}
+
+    def test_write_then_read_records_nothing(self):
+        view = SlaveView(ckpt({3: 7}), ArchState(), pc=0)
+        view.write_reg(3, 9)
+        assert view.read_reg(3) == 9
+        assert view.live_in_regs == {}
+
+    def test_r0_reads_zero_even_if_checkpoint_corrupted(self):
+        view = SlaveView(ckpt({0: 999}), ArchState(), pc=0)
+        assert view.read_reg(0) == 0
+        assert view.live_in_regs == {}
+
+    def test_live_in_recorded_once(self):
+        view = SlaveView(ckpt({3: 7}), ArchState(), pc=0)
+        view.read_reg(3)
+        view.read_reg(3)
+        assert view.live_in_regs == {3: 7}
+
+    def test_live_out_regs_only_written(self):
+        view = SlaveView(ckpt({3: 7}), ArchState(), pc=0)
+        view.write_reg(4, 1)
+        view.write_reg(5, 2)
+        view.write_reg(0, 3)  # discarded
+        assert view.live_out_regs() == {4: 1, 5: 2}
+
+
+class TestSlaveViewMemory:
+    def test_lookup_priority_own_then_ckpt_then_arch(self):
+        arch = ArchState(mem={10: 1, 20: 2, 30: 3})
+        view = SlaveView(ckpt(mem={20: 22, 30: 33}), arch, pc=0)
+        view.store(30, 333)
+        assert view.load(30) == 333  # own write wins
+        assert view.load(20) == 22   # checkpoint beats architected
+        assert view.load(10) == 1    # architected fallback
+
+    def test_live_in_mem_records_first_read_value(self):
+        arch = ArchState(mem={10: 1})
+        view = SlaveView(ckpt(mem={20: 22}), arch, pc=0)
+        view.load(10)
+        view.load(20)
+        view.store(40, 4)
+        view.load(40)  # own store: not a live-in
+        assert view.live_in_mem == {10: 1, 20: 22}
+
+    def test_live_in_value_sticky(self):
+        """The *first* observed value is what verification checks."""
+        arch = ArchState(mem={10: 1})
+        view = SlaveView(ckpt(), arch, pc=0)
+        assert view.load(10) == 1
+        arch.store(10, 99)  # should never happen mid-task, but be safe
+        assert view.load(10) == 1
+        assert view.live_in_mem == {10: 1}
+
+    def test_arch_never_written(self):
+        arch = ArchState()
+        view = SlaveView(ckpt(), arch, pc=0)
+        view.store(5, 50)
+        assert arch.load(5) == 0
+        assert view.live_out_mem() == {5: 50}
+
+
+class TestExecuteTask:
+    PROGRAM = assemble(
+        """
+        main:   li r1, 3
+        loop:   addi r1, r1, -1
+                add r2, r2, r1
+                bne r1, zero, loop
+                sw r2, 100(zero)
+                halt
+        """
+    )
+
+    def test_runs_to_end_pc(self):
+        arch = ArchState(pc=0)
+        task = make_task(0, end_pc=4)
+        execute_task(self.PROGRAM, task, arch, max_instrs=100)
+        assert task.status is TaskStatus.COMPLETED
+        assert task.end_state_pc == 4
+        assert not task.overrun and not task.faulted and not task.halted
+        assert task.n_instrs == 10  # li + 3 * (addi, add, bne)
+
+    def test_runs_to_halt_when_final(self):
+        arch = ArchState(pc=0)
+        task = make_task(0, end_pc=None)
+        execute_task(self.PROGRAM, task, arch, max_instrs=100)
+        assert task.halted
+        assert task.end_state_pc == 5
+        assert task.live_out_mem == {100: 3}
+
+    def test_start_equals_end_runs_full_iteration(self):
+        """A self-anchor task executes one whole loop trip, not zero steps."""
+        arch = ArchState(pc=1)
+        task = make_task(1, checkpoint=ckpt({1: 3}), end_pc=1)
+        execute_task(self.PROGRAM, task, arch, max_instrs=100)
+        assert task.n_instrs == 3  # addi, add, bne (taken)
+        assert task.end_state_pc == 1
+
+    def test_overrun_detected(self):
+        arch = ArchState(pc=1)
+        # r1 large: cannot finish within budget.
+        task = make_task(1, checkpoint=ckpt({1: 10_000}), end_pc=4)
+        execute_task(self.PROGRAM, task, arch, max_instrs=50)
+        assert task.overrun
+        assert task.n_instrs == 50
+
+    def test_fault_detected(self):
+        program = assemble("jr r5\nhalt")
+        arch = ArchState(pc=0)
+        task = make_task(0, checkpoint=ckpt({5: 12_345}), end_pc=None)
+        execute_task(program, task, arch, max_instrs=50)
+        assert task.faulted
+        assert not task.overrun
+
+    def test_live_ins_reflect_checkpoint_values(self):
+        arch = ArchState(pc=1)
+        task = make_task(1, checkpoint=ckpt({1: 2, 2: 10}), end_pc=4)
+        execute_task(self.PROGRAM, task, arch, max_instrs=100)
+        assert task.live_in_regs == {1: 2, 2: 10}
+        assert task.live_out_regs[1] == 0
+        assert task.live_out_regs[2] == 11  # 10 + 1 + 0
+
+    def test_live_in_count_includes_pc(self):
+        arch = ArchState(pc=0)
+        task = make_task(0, end_pc=4)
+        execute_task(self.PROGRAM, task, arch, max_instrs=100)
+        assert task.live_in_count == len(task.live_in_regs) + len(
+            task.live_in_mem
+        ) + 1

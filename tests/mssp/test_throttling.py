@@ -1,0 +1,104 @@
+"""Tests for dual-mode throttling (revert-to-sequential under
+persistent misspeculation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DistillConfig, MsspConfig
+from repro.distill import Distiller
+from repro.isa.asm import assemble
+from repro.machine import run_to_halt
+from repro.mssp import MsspEngine
+from repro.mssp.faults import corrupt_distilled
+from repro.profiling import profile_program
+
+LOOP = """
+main:   li r1, 800
+loop:   addi r1, r1, -1
+        add r2, r2, r1
+        lw r3, 500(zero)
+        add r2, r2, r3
+        bne r1, zero, loop
+        sw r2, 0x900(zero)
+        halt
+        .data 500
+        .word 3
+"""
+
+FAST = MsspConfig(max_task_instrs=2_000, max_master_instrs_per_task=2_000)
+
+
+def hostile_setup():
+    """A heavily corrupted master that squashes most tasks."""
+    program = assemble(LOOP)
+    profile = profile_program(program)
+    distillation = Distiller(DistillConfig(target_task_size=20)).distill(
+        program, profile
+    )
+    corrupted = corrupt_distilled(
+        distillation.distilled, len(program.code), seed=7, severity=0.5
+    )
+    return program, corrupted, distillation.pc_map
+
+
+class TestThrottling:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MsspConfig(throttle_threshold=0.0)
+        with pytest.raises(ValueError):
+            MsspConfig(throttle_threshold=1.5)
+        with pytest.raises(ValueError):
+            MsspConfig(throttle_window=0)
+        MsspConfig(throttle_threshold=0.5)  # valid
+
+    def test_throttling_fires_under_hostile_master(self):
+        program, corrupted, pc_map = hostile_setup()
+        config = dataclasses.replace(
+            FAST, throttle_threshold=0.5, throttle_window=4,
+            throttle_chunk=200,
+        )
+        result = MsspEngine(program, (corrupted, pc_map), config).run()
+        assert result.counters.throttle_episodes > 0
+
+    def test_throttling_preserves_equivalence(self):
+        program, corrupted, pc_map = hostile_setup()
+        config = dataclasses.replace(
+            FAST, throttle_threshold=0.5, throttle_window=4,
+            throttle_chunk=200,
+        )
+        result = MsspEngine(program, (corrupted, pc_map), config).run()
+        reference = run_to_halt(program)
+        assert result.final_state.diff(reference.state) == []
+        assert result.counters.total_instrs == reference.steps
+
+    def test_throttling_reduces_wasted_attempts(self):
+        """With throttling, far fewer doomed tasks are attempted."""
+        program, corrupted, pc_map = hostile_setup()
+        plain = MsspEngine(program, (corrupted, pc_map), FAST).run()
+        throttled_config = dataclasses.replace(
+            FAST, throttle_threshold=0.5, throttle_window=4,
+            throttle_chunk=400,
+        )
+        throttled = MsspEngine(
+            program, (corrupted, pc_map), throttled_config
+        ).run()
+        assert (
+            throttled.counters.tasks_squashed < plain.counters.tasks_squashed
+        )
+
+    def test_throttling_idle_on_healthy_master(self):
+        program = assemble(LOOP)
+        profile = profile_program(program)
+        distillation = Distiller(DistillConfig(target_task_size=20)).distill(
+            program, profile
+        )
+        config = dataclasses.replace(
+            FAST, throttle_threshold=0.5, throttle_window=4,
+        )
+        result = MsspEngine(program, distillation, config).run()
+        assert result.counters.throttle_episodes == 0
+        assert result.counters.squash_rate == 0.0
+
+    def test_disabled_by_default(self):
+        assert MsspConfig().throttle_threshold is None

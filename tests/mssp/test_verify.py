@@ -1,0 +1,113 @@
+"""Unit tests for the verify/commit unit — the correctness keystone."""
+
+from repro.isa.registers import NUM_REGS
+from repro.machine.state import ArchState
+from repro.mssp.task import Checkpoint, SquashReason, Task, TaskStatus
+from repro.mssp.verify import commit_task, squash_task, verify_task
+
+
+def completed_task(**overrides):
+    task = Task(
+        tid=0, start_pc=5,
+        checkpoint=Checkpoint(regs=tuple([0] * NUM_REGS)),
+        end_pc=9,
+    )
+    task.status = TaskStatus.COMPLETED
+    task.end_state_pc = 9
+    for name, value in overrides.items():
+        setattr(task, name, value)
+    return task
+
+
+class TestVerify:
+    def test_clean_task_passes(self):
+        arch = ArchState(pc=5, mem={100: 7})
+        arch.write_reg(1, 3)
+        task = completed_task(
+            live_in_regs={1: 3}, live_in_mem={100: 7}, n_instrs=4
+        )
+        outcome = verify_task(task, arch)
+        assert outcome.ok
+        assert outcome.reason is SquashReason.NONE
+        assert outcome.checked == 3  # pc + 1 reg + 1 mem
+        assert outcome.mismatched == 0
+
+    def test_wrong_start_pc(self):
+        arch = ArchState(pc=6)
+        outcome = verify_task(completed_task(), arch)
+        assert not outcome.ok
+        assert outcome.reason is SquashReason.WRONG_START_PC
+
+    def test_register_mismatch(self):
+        arch = ArchState(pc=5)
+        arch.write_reg(1, 99)
+        outcome = verify_task(completed_task(live_in_regs={1: 3}), arch)
+        assert not outcome.ok
+        assert outcome.reason is SquashReason.REGISTER_LIVE_IN
+        assert "r1" in outcome.detail
+
+    def test_memory_mismatch(self):
+        arch = ArchState(pc=5)
+        outcome = verify_task(completed_task(live_in_mem={100: 7}), arch)
+        assert not outcome.ok
+        assert outcome.reason is SquashReason.MEMORY_LIVE_IN
+        assert "mem[100]" in outcome.detail
+
+    def test_all_mismatches_counted(self):
+        arch = ArchState(pc=6)  # wrong pc too
+        outcome = verify_task(
+            completed_task(live_in_regs={1: 3, 2: 4}, live_in_mem={100: 7}),
+            arch,
+        )
+        assert outcome.mismatched == 4
+        assert outcome.checked == 4
+        # First failure kind wins the reason field.
+        assert outcome.reason is SquashReason.WRONG_START_PC
+
+    def test_overrun_fails_before_any_value_check(self):
+        arch = ArchState(pc=5)
+        outcome = verify_task(completed_task(overrun=True), arch)
+        assert not outcome.ok
+        assert outcome.reason is SquashReason.OVERRUN
+
+    def test_fault_fails(self):
+        arch = ArchState(pc=5)
+        outcome = verify_task(completed_task(faulted=True), arch)
+        assert outcome.reason is SquashReason.FAULT
+
+    def test_zero_live_in_value_matches_unmapped_memory(self):
+        """Sparse memory: a recorded 0 live-in equals an absent cell."""
+        arch = ArchState(pc=5)
+        outcome = verify_task(completed_task(live_in_mem={4242: 0}), arch)
+        assert outcome.ok
+
+
+class TestCommitAndSquash:
+    def test_commit_superimposes_and_jumps(self):
+        arch = ArchState(pc=5, mem={100: 1, 200: 2})
+        arch.write_reg(7, 7)
+        task = completed_task(
+            live_out_regs={1: 10}, live_out_mem={100: 11}, n_instrs=4
+        )
+        commit_task(task, arch)
+        assert arch.pc == 9
+        assert arch.read_reg(1) == 10
+        assert arch.read_reg(7) == 7      # untouched cells survive
+        assert arch.load(100) == 11
+        assert arch.load(200) == 2
+        assert task.status is TaskStatus.COMMITTED
+
+    def test_commit_of_halted_task_lands_on_halt_pc(self):
+        arch = ArchState(pc=5)
+        task = completed_task(halted=True, end_state_pc=42, end_pc=None)
+        commit_task(task, arch)
+        assert arch.pc == 42
+
+    def test_squash_leaves_arch_untouched(self):
+        arch = ArchState(pc=5, mem={100: 1})
+        snapshot = arch.copy()
+        task = completed_task(live_out_regs={1: 10}, live_out_mem={100: 11})
+        squash_task(task, SquashReason.REGISTER_LIVE_IN)
+        assert arch == snapshot
+        assert task.status is TaskStatus.SQUASHED
+        assert task.squash_reason is SquashReason.REGISTER_LIVE_IN

@@ -1,0 +1,153 @@
+"""Tests for the profiler and profile data model."""
+
+import pytest
+
+from repro.isa.asm import assemble
+from repro.machine.state import ArchState
+from repro.profiling import (
+    VALUE_HISTOGRAM_CAP,
+    BranchProfile,
+    LoadProfile,
+    Profile,
+    profile_many,
+    profile_program,
+)
+
+BIASED = """
+main:   li r1, 100
+        li r3, 7
+loop:   addi r1, r1, -1
+        beq r1, r3, rare      # taken exactly once in 100 iterations
+back:   bne r1, zero, loop
+        halt
+rare:   addi r2, r2, 1
+        j back
+"""
+
+LOADS = """
+main:   li r1, 10
+loop:   lw r2, 500(zero)      # stable: always the same cell, never stored
+        lw r3, 600(zero)      # will be stored to below
+        sw r1, 600(zero)
+        addi r1, r1, -1
+        bne r1, zero, loop
+        halt
+        .data 500
+        .word 42
+"""
+
+
+class TestExecCounts:
+    def test_counts_and_total(self):
+        profile = profile_program(assemble(BIASED))
+        assert profile.total_instructions == sum(profile.exec_counts)
+        assert profile.exec_counts[2] == 100  # loop body addi
+        assert profile.exec_counts[0] == 1
+
+    def test_hotness_and_cold(self):
+        profile = profile_program(assemble(BIASED))
+        assert profile.hotness(2) > 0.2
+        assert profile.is_cold(6, threshold=0.05)  # the rare block
+        assert not profile.is_cold(2, threshold=0.05)
+
+    def test_block_count_query(self):
+        profile = profile_program(assemble(BIASED))
+        assert profile.block_count(2) == 100
+
+
+class TestBranchProfiles:
+    def test_bias_of_rare_branch(self):
+        profile = profile_program(assemble(BIASED))
+        branch = profile.branch_bias(3)  # beq r1, r3, rare
+        assert branch is not None
+        assert branch.taken == 1
+        assert branch.not_taken == 99
+        assert branch.bias == pytest.approx(0.99)
+        assert branch.dominant_taken is False
+
+    def test_loop_branch_mostly_taken(self):
+        profile = profile_program(assemble(BIASED))
+        branch = profile.branch_bias(4)  # bne back-edge
+        assert branch.dominant_taken is True
+        assert branch.taken == 99
+        assert branch.not_taken == 1
+
+    def test_empty_branch_profile(self):
+        empty = BranchProfile()
+        assert empty.bias == 0.0
+        assert empty.count == 0
+
+
+class TestLoadProfiles:
+    def test_stable_load_detected(self):
+        profile = profile_program(assemble(LOADS))
+        assert profile.stable_load_value(1) == 42
+
+    def test_stored_address_disqualifies(self):
+        profile = profile_program(assemble(LOADS))
+        assert profile.stable_load_value(2) is None
+        assert 600 in profile.stored_addresses
+
+    def test_min_count_respected(self):
+        profile = profile_program(
+            assemble("lw r1, 500(zero)\nhalt\n.data 500\n.word 9")
+        )
+        assert profile.stable_load_value(0, min_count=2) is None
+        assert profile.stable_load_value(0, min_count=1) == 9
+
+    def test_polymorphic_cap(self):
+        load = LoadProfile()
+        for value in range(VALUE_HISTOGRAM_CAP + 1):
+            load.observe(100 + value, value)
+        assert load.polymorphic
+        assert load.dominant_value() is None
+        # Further observations are cheap no-ops.
+        load.observe(0, 0)
+        assert load.values == {}
+
+    def test_dominant_value_share(self):
+        load = LoadProfile()
+        load.observe(1, 5)
+        load.observe(1, 5)
+        load.observe(1, 7)
+        value, share = load.dominant_value()
+        assert value == 5
+        assert share == pytest.approx(2 / 3)
+
+
+class TestMerge:
+    def test_merge_sums_counts(self):
+        program = assemble(BIASED)
+        first = profile_program(program)
+        second = profile_program(program)
+        merged = first.merge(second)
+        assert merged.total_instructions == 2 * first.total_instructions
+        assert merged.branches[3].taken == 2
+
+    def test_merge_rejects_different_programs(self):
+        a = profile_program(assemble(BIASED))
+        b = profile_program(assemble(LOADS))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_profile_many(self):
+        program = assemble(BIASED)
+        merged = profile_many(
+            program,
+            [ArchState.initial(program), ArchState.initial(program)],
+        )
+        assert merged.total_instructions > 0
+        assert merged.branches[3].count == 200
+
+    def test_profile_many_requires_input(self):
+        with pytest.raises(ValueError):
+            profile_many(assemble(BIASED), [])
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        profile = profile_program(assemble(BIASED))
+        summary = profile.summary()
+        assert summary["total_instructions"] == profile.total_instructions
+        assert 0 < summary["static_coverage"] <= 1.0
+        assert summary["branch_sites"] == 2.0

@@ -1,0 +1,82 @@
+"""Round-trip tests for profile serialization."""
+
+import json
+
+from hypothesis import given, settings
+
+from repro.isa.asm import assemble
+from repro.profiling import Profile, profile_program
+
+from tests.strategies import terminating_programs
+
+SOURCE = """
+main:   li r1, 50
+loop:   addi r1, r1, -1
+        lw r2, 500(zero)
+        add r3, r3, r2
+        sw r3, 600(zero)
+        andi r4, r1, 7
+        bne r4, zero, skip
+        addi r5, r5, 1
+skip:   bne r1, zero, loop
+        halt
+        .data 500
+        .word 9
+"""
+
+
+def profiles_equal(a: Profile, b: Profile) -> bool:
+    return a.to_dict() == b.to_dict()
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        profile = profile_program(assemble(SOURCE))
+        again = Profile.from_dict(profile.to_dict())
+        assert profiles_equal(profile, again)
+
+    def test_json_roundtrip(self):
+        profile = profile_program(assemble(SOURCE))
+        text = json.dumps(profile.to_dict())
+        again = Profile.from_dict(json.loads(text))
+        assert profiles_equal(profile, again)
+
+    def test_queries_survive_roundtrip(self):
+        program = assemble(SOURCE)
+        profile = profile_program(program)
+        again = Profile.from_dict(json.loads(json.dumps(profile.to_dict())))
+        for pc in range(len(program.code)):
+            assert profile.exec_count(pc) == again.exec_count(pc)
+            assert profile.stable_load_value(pc) == again.stable_load_value(pc)
+            assert profile.dead_store_addresses(pc) == (
+                again.dead_store_addresses(pc)
+            )
+        for pc, branch in profile.branches.items():
+            assert again.branches[pc].bias == branch.bias
+
+    def test_distillation_identical_from_restored_profile(self):
+        from repro.config import DistillConfig
+        from repro.distill import Distiller
+
+        program = assemble(SOURCE)
+        profile = profile_program(program)
+        restored = Profile.from_dict(profile.to_dict())
+        config = DistillConfig(target_task_size=12, min_branch_count=4)
+        original = Distiller(config).distill(program, profile)
+        rebuilt = Distiller(config).distill(program, restored)
+        assert original.distilled.code == rebuilt.distilled.code
+        assert dict(original.pc_map.resume) == dict(rebuilt.pc_map.resume)
+
+    @given(terminating_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_random_program_roundtrip(self, program):
+        profile = profile_program(program, max_steps=2_000_000)
+        again = Profile.from_dict(json.loads(json.dumps(profile.to_dict())))
+        assert profiles_equal(profile, again)
+
+    def test_merge_after_roundtrip(self):
+        program = assemble(SOURCE)
+        first = profile_program(program)
+        second = Profile.from_dict(first.to_dict())
+        merged = first.merge(second)
+        assert merged.total_instructions == 2 * first.total_instructions

@@ -1,0 +1,94 @@
+"""Tests for table rendering and summary statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import Table, geomean, mean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1))
+    def test_bounded_by_min_max(self, values):
+        result = geomean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_scale_equivariance(self, values, factor):
+        scaled = geomean([v * factor for v in values])
+        assert scaled == pytest.approx(geomean(values) * factor, rel=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1))
+    def test_never_exceeds_arithmetic_mean(self, values):
+        assert geomean(values) <= mean(values) + 1e-9
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestTable:
+    def test_renders_header_and_rows(self):
+        table = Table(["a", "bee"], title="demo")
+        table.add_row(1, 2.5).add_row("x", 3)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert "2.500" in text  # default float format
+        assert "x" in text
+
+    def test_column_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row("longest-name-here", 1)
+        table.add_row("short", 22)
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(["only"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_custom_float_format(self):
+        table = Table(["v"], float_format="{:.1f}")
+        table.add_row(3.14159)
+        assert "3.1" in table.render()
+        assert "3.14" not in table.render()
+
+    def test_empty_table_renders(self):
+        text = Table(["a", "b"]).render()
+        assert "a" in text and "b" in text
+
+    def test_str_equals_render(self):
+        table = Table(["x"]).add_row(1)
+        assert str(table) == table.render()
+
+    def test_bool_cells_render_as_words(self):
+        table = Table(["flag"]).add_row(True)
+        assert "True" in table.render()

@@ -1,0 +1,163 @@
+"""Shared hypothesis strategies for the test suite.
+
+Provides random instructions (for encode/decode and render/parse
+round-trips) and random *terminating* programs (for differential testing
+of MSSP against the sequential reference).
+
+Termination is guaranteed by construction: generated programs consist of
+straight-line ALU/memory code, forward-only branches, and counted loops
+whose trip counts are fixed small constants, ending in ``halt``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from hypothesis import strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import (
+    Format,
+    Instruction,
+    Opcode,
+)
+from repro.isa.program import Program
+
+registers = st.integers(min_value=0, max_value=31)
+immediates = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+big_immediates = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+targets = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def instructions(draw) -> Instruction:
+    """A random well-formed instruction (targets are numeric)."""
+    op = draw(st.sampled_from(list(Opcode)))
+    fmt = op.format
+    if fmt == Format.R3:
+        return Instruction(
+            op=op, rd=draw(registers), rs=draw(registers), rt=draw(registers)
+        )
+    if fmt == Format.I2:
+        return Instruction(
+            op=op, rd=draw(registers), rs=draw(registers), imm=draw(immediates)
+        )
+    if fmt == Format.LI:
+        return Instruction(op=op, rd=draw(registers), imm=draw(big_immediates))
+    if fmt == Format.MOV:
+        return Instruction(op=op, rd=draw(registers), rs=draw(registers))
+    if fmt == Format.LOAD:
+        return Instruction(
+            op=op, rd=draw(registers), rs=draw(registers), imm=draw(immediates)
+        )
+    if fmt == Format.STORE:
+        return Instruction(
+            op=op, rt=draw(registers), rs=draw(registers), imm=draw(immediates)
+        )
+    if fmt == Format.BR:
+        return Instruction(
+            op=op, rs=draw(registers), rt=draw(registers), target=draw(targets)
+        )
+    if fmt == Format.J:
+        return Instruction(op=op, target=draw(targets))
+    if fmt == Format.JR:
+        return Instruction(op=op, rs=draw(registers))
+    return Instruction(op=op)
+
+
+_ALU_R3 = [
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD, Opcode.AND,
+    Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.SLT,
+    Opcode.SLE, Opcode.SEQ, Opcode.SNE,
+]
+_ALU_I2 = [
+    Opcode.ADDI, Opcode.MULI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SLLI, Opcode.SRLI, Opcode.SLTI,
+]
+
+#: Registers random programs compute in (r0 stays the architectural zero,
+#: and high registers are reserved for loop counters / addressing).
+_WORK_REGS = list(range(1, 12))
+_DATA_BASE = 0x100
+_DATA_WORDS = 32
+
+
+def _emit_random_straightline(
+    builder: ProgramBuilder, rng: random.Random, length: int
+) -> None:
+    """Emit ``length`` side-effect-bounded random instructions."""
+    for _ in range(length):
+        choice = rng.random()
+        if choice < 0.55:
+            op = rng.choice(_ALU_R3)
+            builder._emit(op, (
+                rng.choice(_WORK_REGS), rng.choice(_WORK_REGS),
+                rng.choice(_WORK_REGS),
+            ))
+        elif choice < 0.75:
+            op = rng.choice(_ALU_I2)
+            builder._emit(op, (
+                rng.choice(_WORK_REGS), rng.choice(_WORK_REGS),
+                rng.randint(-64, 64),
+            ))
+        elif choice < 0.83:
+            builder.li(rng.choice(_WORK_REGS), rng.randint(-1000, 1000))
+        elif choice < 0.92:
+            # Bounded load: address computed into r12 by masking.
+            src = rng.choice(_WORK_REGS)
+            builder.andi(12, src, _DATA_WORDS - 1)
+            builder.addi(12, 12, _DATA_BASE)
+            builder.lw(rng.choice(_WORK_REGS), 12, 0)
+        else:
+            # Bounded store, same masked addressing.
+            src = rng.choice(_WORK_REGS)
+            builder.andi(12, src, _DATA_WORDS - 1)
+            builder.addi(12, 12, _DATA_BASE)
+            builder.sw(rng.choice(_WORK_REGS), 12, 0)
+
+
+@st.composite
+def terminating_programs(draw) -> Program:
+    """A random program guaranteed to halt.
+
+    Shape: a counted outer loop (fixed trip count) around random
+    straight-line bodies with optional forward branches and optional
+    calls to a random leaf subroutine (exercising jal/jr and the
+    distiller's return-address translation); always ends in ``halt``.
+    Memory accesses are masked into a small data region so runs stay
+    bounded and comparable.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    rng = random.Random(seed)
+    builder = ProgramBuilder(name=f"random-{seed}")
+    trip_count = rng.randint(1, 12)
+    n_blocks = rng.randint(1, 4)
+    has_subroutine = rng.random() < 0.5
+
+    builder.alloc("data", [rng.randint(-100, 100) for _ in range(_DATA_WORDS)])
+    # Data region lives at a fixed address for masked access.
+    for offset in range(_DATA_WORDS):
+        builder.poke(_DATA_BASE + offset, rng.randint(-100, 100))
+
+    builder.label("main")
+    builder.li(13, trip_count)  # loop counter, untouched by bodies
+    builder.label("outer")
+    for block in range(n_blocks):
+        _emit_random_straightline(builder, rng, rng.randint(2, 8))
+        if has_subroutine and rng.random() < 0.6:
+            builder.jal("leaf")
+        if rng.random() < 0.5:
+            # Forward branch over a short alternative body.
+            skip = f"skip_{block}"
+            builder.blt(rng.choice(_WORK_REGS), rng.choice(_WORK_REGS), skip)
+            _emit_random_straightline(builder, rng, rng.randint(1, 5))
+            builder.label(skip)
+    builder.addi(13, 13, -1)
+    builder.bne(13, 0, "outer")
+    builder.halt()
+    if has_subroutine:
+        builder.label("leaf")
+        _emit_random_straightline(builder, rng, rng.randint(1, 6))
+        builder.jr(31)
+    return builder.build()

@@ -1,0 +1,59 @@
+"""Tests for the top-level convenience API (the README quickstart)."""
+
+from repro import (
+    ArchState,
+    Program,
+    ProgramBuilder,
+    assemble,
+    disassemble,
+    distill_program,
+    run_mssp,
+    run_sequential,
+    __version__,
+)
+
+SOURCE = """
+main:   li   r1, 200
+loop:   addi r1, r1, -1
+        add  r2, r2, r1
+        bne  r1, zero, loop
+        sw   r2, 0x900(zero)
+        halt
+"""
+
+
+class TestQuickstartPath:
+    def test_readme_snippet_works(self):
+        program = assemble(SOURCE)
+        reference = run_sequential(program)
+        result = run_mssp(program)
+        assert result.final_state.diff(reference.state) == []
+        assert result.counters.summary()["tasks_committed"] > 0
+
+    def test_distill_program_default_profile(self):
+        program = assemble(SOURCE)
+        result = distill_program(program)
+        assert result.distilled.halts
+        assert result.pc_map.is_anchor(program.entry)
+
+    def test_distill_program_explicit_profile(self):
+        from repro.profiling import profile_program
+
+        program = assemble(SOURCE)
+        profile = profile_program(program)
+        result = distill_program(program, profile=profile)
+        assert result.report.original_static == len(program.code)
+
+    def test_run_mssp_with_explicit_distillation(self):
+        program = assemble(SOURCE)
+        distillation = distill_program(program)
+        result = run_mssp(program, distilled=distillation)
+        reference = run_sequential(program)
+        assert result.final_state.diff(reference.state) == []
+
+    def test_exports(self):
+        assert isinstance(__version__, str)
+        assert Program is not None
+        assert ProgramBuilder is not None
+        assert ArchState is not None
+        assert callable(disassemble)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonexistent"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["list"],
+            ["seq", "compress"],
+            ["seq", "compress", "--size", "100"],
+            ["distill", "crc", "--show-asm"],
+            ["run", "compress", "--slaves", "4", "--task-size", "50"],
+            ["suite"],
+        ],
+    )
+    def test_accepts_valid_invocations(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "interp" in out
+
+    def test_seq(self, capsys):
+        assert main(["seq", "compress", "--size", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "halted after" in out
+        assert "result[0]" in out
+
+    def test_distill(self, capsys):
+        assert main(["distill", "compress", "--size", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "static:" in out
+        assert "dynamic:" in out
+
+    def test_distill_show_asm(self, capsys):
+        assert main(
+            ["distill", "compress", "--size", "300", "--show-asm"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fork" in out
+
+    def test_run(self, capsys):
+        assert main(
+            ["run", "compress", "--size", "300", "--slaves", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "equivalent to SEQ" in out
+        assert "speedup" in out
+
+    def test_run_with_task_size(self, capsys):
+        assert main(
+            ["run", "compress", "--size", "300", "--task-size", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_timeline(self, capsys):
+        assert main(
+            ["timeline", "compress", "--size", "300", "--slaves", "2",
+             "--width", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "master" in out
+        assert "slave 0" in out
+        assert "legend" in out

@@ -1,0 +1,143 @@
+"""Validation tests for the configuration dataclasses."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    BaselineConfig,
+    DistillConfig,
+    MsspConfig,
+    OOO_BASELINE,
+    SEQUENTIAL_BASELINE,
+    TimingConfig,
+)
+from repro.errors import DistillError, TimingError
+
+
+class TestDistillConfig:
+    def test_defaults_valid(self):
+        DistillConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_task_size": 1},
+            {"branch_bias_threshold": 0.4},
+            {"branch_bias_threshold": 1.1},
+            {"cold_threshold": -0.1},
+            {"cold_threshold": 1.0},
+            {"max_anchors": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(DistillError):
+            DistillConfig(**kwargs)
+
+    def test_without_pass_round_trip(self):
+        config = DistillConfig()
+        for name in ("branch_removal", "cold_code", "value_spec", "dce",
+                     "jump_threading"):
+            variant = config.without_pass(name)
+            assert getattr(variant, f"enable_{name}") is False
+            # Original untouched (frozen semantics).
+            assert getattr(config, f"enable_{name}") is True
+
+    def test_without_pass_unknown(self):
+        with pytest.raises(DistillError):
+            DistillConfig().without_pass("inlining")
+
+    def test_hashable_for_caching(self):
+        assert hash(DistillConfig()) == hash(DistillConfig())
+
+
+class TestMsspConfig:
+    def test_defaults_valid(self):
+        config = MsspConfig()
+        assert config.throttle_threshold is None
+        assert config.checkpoint_mode == "cumulative"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_task_instrs": 0},
+            {"max_master_instrs_per_task": 0},
+            {"recovery_max_instrs": 0},
+            {"max_total_instrs": 0},
+            {"throttle_window": 0},
+            {"throttle_chunk": 0},
+            {"throttle_threshold": 0.0},
+            {"throttle_threshold": 1.01},
+            {"checkpoint_mode": "bogus"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            MsspConfig(**kwargs)
+
+    def test_delta_mode_accepted(self):
+        assert MsspConfig(checkpoint_mode="delta").checkpoint_mode == "delta"
+
+    def test_protected_regions_stored(self):
+        config = MsspConfig(protected_regions=((1, 2), (5, 9)))
+        assert config.protected_regions == ((1, 2), (5, 9))
+
+
+class TestTimingConfig:
+    def test_defaults_valid(self):
+        TimingConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_slaves": 0},
+            {"master_cpi": 0.0},
+            {"slave_cpi": -1.0},
+            {"spawn_latency": -1.0},
+            {"commit_latency": -0.5},
+            {"squash_penalty": -1.0},
+            {"restart_latency": -1.0},
+            {"checkpoint_word_latency": -0.1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(TimingError):
+            TimingConfig(**kwargs)
+
+    def test_scaled_latencies(self):
+        base = TimingConfig(
+            spawn_latency=10, commit_latency=4, squash_penalty=6,
+            restart_latency=2, checkpoint_word_latency=0.5,
+        )
+        doubled = base.scaled_latencies(2.0)
+        assert doubled.spawn_latency == 20
+        assert doubled.commit_latency == 8
+        assert doubled.squash_penalty == 12
+        assert doubled.restart_latency == 4
+        assert doubled.checkpoint_word_latency == 1.0
+        # Non-latency fields unchanged.
+        assert doubled.n_slaves == base.n_slaves
+        assert doubled.master_cpi == base.master_cpi
+
+    def test_scaled_latencies_rejects_negative(self):
+        with pytest.raises(TimingError):
+            TimingConfig().scaled_latencies(-1.0)
+
+    def test_zero_scale_is_free_interconnect(self):
+        free = TimingConfig().scaled_latencies(0.0)
+        assert free.spawn_latency == 0.0
+        assert free.commit_latency == 0.0
+
+
+class TestBaselines:
+    def test_builtin_baselines(self):
+        assert SEQUENTIAL_BASELINE.cpi == 1.0
+        assert OOO_BASELINE.cpi < SEQUENTIAL_BASELINE.cpi
+
+    def test_rejects_nonpositive_cpi(self):
+        with pytest.raises(TimingError):
+            BaselineConfig(name="x", cpi=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SEQUENTIAL_BASELINE.cpi = 2.0

@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_class",
+        [
+            errors.IsaError,
+            errors.AssemblerError,
+            errors.ExecutionError,
+            errors.InvalidPcError,
+            errors.StepLimitExceeded,
+            errors.AnalysisError,
+            errors.DistillError,
+            errors.MsspError,
+            errors.ProtectedAccessError,
+            errors.TimingError,
+            errors.WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_class):
+        assert issubclass(exc_class, errors.ReproError)
+
+    def test_execution_error_subtypes(self):
+        assert issubclass(errors.InvalidPcError, errors.ExecutionError)
+        assert issubclass(errors.StepLimitExceeded, errors.ExecutionError)
+
+
+class TestMessages:
+    def test_assembler_error_line_prefix(self):
+        error = errors.AssemblerError("bad operand", line=7)
+        assert "line 7" in str(error)
+        assert error.line == 7
+
+    def test_assembler_error_without_line(self):
+        error = errors.AssemblerError("bad operand")
+        assert "line" not in str(error)
+
+    def test_invalid_pc_carries_fields(self):
+        error = errors.InvalidPcError(42, 10)
+        assert error.pc == 42
+        assert error.text_size == 10
+        assert "42" in str(error)
+
+    def test_step_limit_carries_limit(self):
+        error = errors.StepLimitExceeded(1000)
+        assert error.limit == 1000
+
+    def test_protected_access_describes_direction(self):
+        store = errors.ProtectedAccessError(5, is_store=True)
+        load = errors.ProtectedAccessError(5, is_store=False)
+        assert "store" in str(store)
+        assert "load" in str(load)
+        assert store.address == load.address == 5

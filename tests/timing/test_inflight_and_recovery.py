@@ -1,0 +1,123 @@
+"""Tests for checkpoint-buffer backpressure and recovery chunking."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DistillConfig, MsspConfig, TimingConfig
+from repro.distill import Distiller
+from repro.distill.pc_map import PcMap
+from repro.errors import TimingError
+from repro.isa.asm import assemble
+from repro.machine import run_to_halt
+from repro.machine.state import ArchState
+from repro.mssp import MsspEngine
+from repro.mssp.engine import MsspResult
+from repro.mssp.trace import MsspCounters, TaskAttemptRecord
+from repro.profiling import profile_program
+from repro.timing import simulate_mssp
+
+
+def synthetic(records):
+    return MsspResult(
+        final_state=ArchState(), halted=True, records=records,
+        counters=MsspCounters(),
+    )
+
+
+def task(tid, n=10, master=1):
+    return TaskAttemptRecord(
+        tid=tid, start_pc=0, end_pc=1, n_instrs=n, master_instrs=master,
+        committed=True,
+    )
+
+
+FREE = TimingConfig(
+    n_slaves=16, master_cpi=0.1, slave_cpi=1.0, spawn_latency=0.0,
+    commit_latency=0.0, squash_penalty=0.0, restart_latency=0.0,
+)
+
+
+class TestMaxInflight:
+    def test_validation(self):
+        with pytest.raises(TimingError):
+            TimingConfig(max_inflight=0)
+        TimingConfig(max_inflight=4)
+        TimingConfig(max_inflight=None)
+
+    def test_depth_one_serializes(self):
+        """With a single checkpoint buffer the machine is fully serial."""
+        records = [task(i, n=100) for i in range(5)]
+        config = dataclasses.replace(FREE, max_inflight=1)
+        cycles = simulate_mssp(synthetic(records), config).total_cycles
+        # Task i+1 cannot spawn before task i commits.
+        assert cycles == pytest.approx(5 * 100, rel=0.02)
+
+    def test_unbounded_pipelines(self):
+        records = [task(i, n=100) for i in range(5)]
+        cycles = simulate_mssp(synthetic(records), FREE).total_cycles
+        assert cycles < 5 * 100 * 0.5  # heavy overlap
+
+    def test_deeper_buffer_never_slower(self):
+        records = [task(i, n=40) for i in range(20)]
+        series = []
+        for depth in (1, 2, 4, 8, None):
+            config = dataclasses.replace(FREE, max_inflight=depth)
+            series.append(
+                simulate_mssp(synthetic(records), config).total_cycles
+            )
+        assert series == sorted(series, reverse=True)
+
+
+class TestRecoveryChunking:
+    def test_long_anchorless_stretch_is_chunked(self):
+        """A program whose anchors are unreachable late in the run makes
+        recovery run to halt; a small recovery_max_instrs splits that
+        into multiple episodes without changing the result."""
+        program = assemble(
+            """
+            main:   li r1, 40
+            loop:   addi r1, r1, -1
+                    add r2, r2, r1
+                    bne r1, zero, loop
+            tail:   li r3, 400
+            t2:     addi r3, r3, -1
+                    add r2, r2, r3
+                    bne r3, zero, t2
+                    sw r2, 0x900(zero)
+                    halt
+            """
+        )
+        # Anchor only at the first loop: the tail loop (the bulk of the
+        # run) is covered by recovery.
+        distilled = assemble("fork 1\nj 0\nhalt")
+        pc_map = PcMap(resume={0: 0, 1: 1}, entry_orig=0)
+        config = MsspConfig(
+            recovery_max_instrs=100,
+            max_master_instrs_per_task=50,
+        )
+        result = MsspEngine(program, (distilled, pc_map), config).run()
+        reference = run_to_halt(program)
+        assert result.final_state.diff(reference.state) == []
+        # The ~1200-instruction tail was split into >= 2 episodes.
+        assert result.counters.recovery_episodes >= 2
+        for record in result.recovery_records:
+            assert record.n_instrs <= 100 + 1
+
+    def test_default_cap_invisible_on_workloads(self):
+        program = assemble(
+            """
+            main:   li r1, 50
+            loop:   addi r1, r1, -1
+                    add r2, r2, r1
+                    bne r1, zero, loop
+                    halt
+            """
+        )
+        profile = profile_program(program)
+        distillation = Distiller(DistillConfig(target_task_size=12)).distill(
+            program, profile
+        )
+        result = MsspEngine(program, distillation).run()
+        reference = run_to_halt(program)
+        assert result.final_state.diff(reference.state) == []

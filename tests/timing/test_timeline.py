@@ -1,0 +1,127 @@
+"""Tests for schedule capture and timeline rendering."""
+
+import pytest
+
+from repro.config import DistillConfig, TimingConfig
+from repro.distill import Distiller
+from repro.errors import TimingError
+from repro.isa.asm import assemble
+from repro.mssp import MsspEngine
+from repro.profiling import profile_program
+from repro.timing import render_timeline, simulate_mssp, utilization
+
+SOURCE = """
+main:   li r1, 120
+loop:   addi r1, r1, -1
+        add r2, r2, r1
+        lw r3, 500(zero)
+        add r2, r2, r3
+        bne r1, zero, loop
+        sw r2, 0x900(zero)
+        halt
+        .data 500
+        .word 3
+"""
+
+
+@pytest.fixture(scope="module")
+def run():
+    program = assemble(SOURCE)
+    profile = profile_program(program)
+    distillation = Distiller(DistillConfig(target_task_size=25)).distill(
+        program, profile
+    )
+    return MsspEngine(program, distillation).run()
+
+
+class TestScheduleCapture:
+    def test_disabled_by_default(self, run):
+        breakdown = simulate_mssp(run, TimingConfig())
+        assert breakdown.schedule == []
+
+    def test_entries_cover_all_records(self, run):
+        breakdown = simulate_mssp(run, TimingConfig(), schedule=True)
+        tasks = [e for e in breakdown.schedule if e.kind == "task"]
+        assert len(tasks) == len(run.task_records)
+
+    def test_entry_time_ordering(self, run):
+        breakdown = simulate_mssp(run, TimingConfig(), schedule=True)
+        for entry in breakdown.schedule:
+            assert entry.spawn <= entry.close
+            assert entry.spawn <= entry.start <= entry.done <= entry.commit
+            assert entry.commit <= breakdown.total_cycles + 1e-9
+
+    def test_commits_in_order(self, run):
+        breakdown = simulate_mssp(run, TimingConfig(), schedule=True)
+        commits = [
+            e.commit for e in breakdown.schedule if e.kind == "task"
+        ]
+        assert commits == sorted(commits)
+
+    def test_slave_slots_never_overlap(self, run):
+        breakdown = simulate_mssp(run, TimingConfig(), schedule=True)
+        by_slot = {}
+        for entry in breakdown.schedule:
+            if entry.kind == "task":
+                by_slot.setdefault(entry.slot, []).append(entry)
+        for entries in by_slot.values():
+            entries.sort(key=lambda e: e.start)
+            for first, second in zip(entries, entries[1:]):
+                assert second.start >= first.done - 1e-9
+
+    def test_schedule_flag_does_not_change_cycles(self, run):
+        plain = simulate_mssp(run, TimingConfig())
+        with_schedule = simulate_mssp(run, TimingConfig(), schedule=True)
+        assert plain.total_cycles == with_schedule.total_cycles
+
+
+class TestRendering:
+    def test_renders_all_lanes(self, run):
+        config = TimingConfig(n_slaves=4)
+        breakdown = simulate_mssp(run, config, schedule=True)
+        text = render_timeline(breakdown, width=60)
+        assert "master" in text
+        assert "slave 0" in text
+        assert "commit" in text
+        assert "#" in text and "=" in text and "C" in text
+
+    def test_requires_schedule(self, run):
+        breakdown = simulate_mssp(run, TimingConfig())
+        with pytest.raises(TimingError):
+            render_timeline(breakdown)
+
+    def test_window_validation(self, run):
+        breakdown = simulate_mssp(run, TimingConfig(), schedule=True)
+        with pytest.raises(TimingError):
+            render_timeline(breakdown, start=100, end=100)
+
+    def test_line_widths_consistent(self, run):
+        breakdown = simulate_mssp(run, TimingConfig(), schedule=True)
+        lines = render_timeline(breakdown, width=40).splitlines()[1:]
+        assert len({len(line) for line in lines}) == 1
+
+    def test_partial_window(self, run):
+        breakdown = simulate_mssp(run, TimingConfig(), schedule=True)
+        full = render_timeline(breakdown, width=50)
+        early = render_timeline(
+            breakdown, width=50, end=breakdown.total_cycles / 4
+        )
+        assert full != early
+
+
+class TestUtilization:
+    def test_in_unit_interval(self, run):
+        config = TimingConfig(n_slaves=4)
+        breakdown = simulate_mssp(run, config, schedule=True)
+        value = utilization(breakdown, 4)
+        assert 0.0 < value <= 1.0
+
+    def test_fewer_slaves_busier(self, run):
+        low = simulate_mssp(run, TimingConfig(n_slaves=2), schedule=True)
+        high = simulate_mssp(run, TimingConfig(n_slaves=8), schedule=True)
+        assert utilization(low, 2) > utilization(high, 8)
+
+    def test_requires_schedule(self, run):
+        breakdown = simulate_mssp(run, TimingConfig())
+        with pytest.raises(TimingError):
+            utilization(breakdown, 8)
