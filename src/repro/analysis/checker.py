@@ -1,0 +1,780 @@
+"""Static soundness checker for Z-ISA programs, distiller IR, and pc maps.
+
+MSSP's runtime correctness story never depends on the distiller (every
+task is verified before commit), but an *unsound* distiller pass is still
+a bug — it shows up as a mysterious squash storm instead of a diagnostic.
+This module is the LLVM-verifier analogue for this codebase: a set of
+cheap static checks, each with a stable ID, that pin every structural
+invariant the distiller and the pc map are supposed to maintain.  See
+``docs/static-checks.md`` for the catalogue and the paper/DESIGN.md
+obligation each check discharges.
+
+Three check layers, mirroring the three artifacts:
+
+* :func:`check_program` / :func:`check_code` — any flat Z-ISA
+  instruction sequence: target ranges, ``jal`` link-register adjacency,
+  may-reach-undef register dataflow, unreachable code, fall-off-the-end;
+* :func:`check_ir` — the distiller's block IR between passes: name and
+  successor integrity, ``TRAP_BLOCK`` edge discipline, fork use-set
+  consistency against original-program liveness, ``orig_pc`` provenance;
+* :func:`check_distillation` — the final distilled program against its
+  :class:`~repro.distill.pc_map.PcMap`: resume/arrival placement, the
+  return-pc (``jr``) table's layout round-trip, fork/anchor coverage.
+
+Checks *report*; they never raise.  The distiller's
+``verify_after_each_pass`` debug mode and the ``repro lint`` CLI
+subcommand turn error findings into :class:`~repro.errors.CheckFailure`
+and a nonzero exit status respectively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS, RA, ZERO
+
+#: Check catalogue: stable ID -> one-line invariant.  ``docs/static-checks.md``
+#: documents each entry; a test asserts the two stay in sync.
+CHECKS: Dict[str, str] = {
+    # -- flat program checks -------------------------------------------------
+    "PROG001": "every branch/jump target lies inside the text section",
+    "PROG002": "no unresolved symbolic (label) targets survive assembly",
+    "PROG003": "no reachable path falls off the end of the text",
+    "PROG004": "no reachable use of a register that may still be undefined",
+    "PROG005": "all instructions are reachable from the entry point",
+    "PROG006": "every jal has a return site (jal never ends the text)",
+    "PROG007": "a halt instruction is reachable from the entry point",
+    "PROG008": "jr only appears where return sites are known",
+    # -- distiller IR checks -------------------------------------------------
+    "IR001": "IR block names are unique",
+    "IR002": "the IR entry block exists",
+    "IR003": "every symbolic successor (target/fallthrough) names a block",
+    "IR004": "the trap block is a lone halt with no successors",
+    "IR005": "instruction provenance (orig_pc) points into the original text",
+    "IR006": "each fork's use set covers original-program liveness at its anchor",
+    "IR007": "required-adjacent fallthroughs (jal return sites) exist",
+    "IR008": "all IR blocks are reachable from the entry block",
+    "IR009": "no two forks share an anchor",
+    "IR010": "every fork anchor is an original-program block leader",
+    # -- pc-map / distilled-artifact checks ---------------------------------
+    "MAP001": "every resume pc lies inside the distilled text",
+    "MAP002": "each anchor resumes immediately after its own fork",
+    "MAP003": "each arrival pc is the start of its anchor's distilled block",
+    "MAP004": "the jr table round-trips return pcs through layout",
+    "MAP005": "every fork instruction's target is a mapped anchor",
+    "MAP006": "the pc map covers the original program's entry point",
+    "MAP007": "every anchor is a valid original-program pc",
+}
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are soundness violations (the artifact breaks an
+    invariant the engine or the distiller relies on); ``WARNING``
+    findings are suspicious-but-legal (dead code, may-undefined reads —
+    the machine zero-initializes registers, so these cannot fault).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class CheckFinding:
+    """One diagnostic: a check ID, a severity, and a location."""
+
+    check_id: str
+    severity: Severity
+    message: str
+    #: Location in the checked artifact's own pc space (flat programs
+    #: and distilled artifacts), when known.
+    pc: Optional[int] = None
+    #: IR block name, for IR-layer findings.
+    block: Optional[str] = None
+    #: Original-program provenance, when known.
+    orig_pc: Optional[int] = None
+
+    def location(self) -> str:
+        parts: List[str] = []
+        if self.block is not None:
+            parts.append(f"block {self.block}")
+        if self.pc is not None:
+            parts.append(f"pc {self.pc}")
+        if self.orig_pc is not None:
+            parts.append(f"orig pc {self.orig_pc}")
+        return ", ".join(parts) if parts else "program"
+
+    def render(self) -> str:
+        return (
+            f"{self.severity.value}[{self.check_id}] "
+            f"{self.location()}: {self.message}"
+        )
+
+
+@dataclass
+class CheckReport:
+    """All findings from one checker run over one artifact."""
+
+    subject: str
+    findings: List[CheckFinding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[CheckFinding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[CheckFinding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error* findings exist (warnings are allowed)."""
+        return not self.errors
+
+    def extend(self, other: "CheckReport") -> None:
+        self.findings.extend(other.findings)
+
+    def render(self, show_warnings: bool = True) -> str:
+        status = "ok" if self.ok else "FAIL"
+        lines = [
+            f"{self.subject}: {status} "
+            f"({len(self.errors)} errors, {len(self.warnings)} warnings)"
+        ]
+        for finding in self.findings:
+            if finding.severity is Severity.WARNING and not show_warnings:
+                continue
+            lines.append("  " + finding.render())
+        return "\n".join(lines)
+
+
+def _finding(
+    report: CheckReport,
+    check_id: str,
+    severity: Severity,
+    message: str,
+    pc: Optional[int] = None,
+    block: Optional[str] = None,
+    orig_pc: Optional[int] = None,
+) -> None:
+    assert check_id in CHECKS, f"unregistered check id {check_id!r}"
+    report.findings.append(
+        CheckFinding(
+            check_id=check_id, severity=severity, message=message,
+            pc=pc, block=block, orig_pc=orig_pc,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: flat Z-ISA instruction sequences
+# ---------------------------------------------------------------------------
+
+
+def check_program(
+    program: Program, subject: Optional[str] = None
+) -> CheckReport:
+    """Statically check an assembled :class:`Program`."""
+    return check_code(
+        program.code, program.entry, subject=subject or program.name
+    )
+
+
+def check_code(
+    code: Sequence[Instruction],
+    entry: int = 0,
+    subject: str = "code",
+    jr_targets: Iterable[int] = (),
+) -> CheckReport:
+    """Statically check a raw instruction sequence.
+
+    Unlike the :class:`Program` constructor this never raises — it
+    reports, which is what lets tests feed it deliberately corrupted
+    code.  ``jr_targets`` supplies extra known indirect-jump landing
+    sites (a distilled program's ``jr`` goes through the pc map's jr
+    table; passing its values here lets reachability flow through
+    returns).
+    """
+    report = CheckReport(subject=subject)
+    size = len(code)
+    if size == 0:
+        _finding(report, "PROG003", Severity.ERROR, "program has no code")
+        return report
+    if not 0 <= entry < size:
+        _finding(
+            report, "PROG001", Severity.ERROR,
+            f"entry point {entry} outside text [0, {size})",
+        )
+        return report
+
+    # Structural per-instruction checks (targets, jal adjacency).
+    return_sites = sorted(
+        {pc + 1 for pc, i in enumerate(code) if i.op is Opcode.JAL}
+        | {t for t in jr_targets if 0 <= t < size}
+    )
+    for pc, instr in enumerate(code):
+        target = instr.target
+        if isinstance(target, str):
+            _finding(
+                report, "PROG002", Severity.ERROR,
+                f"unresolved symbolic target {target!r}", pc=pc,
+            )
+            continue
+        if instr.op is Opcode.FORK:
+            if not isinstance(target, int) or target < 0:
+                _finding(
+                    report, "PROG001", Severity.ERROR,
+                    f"fork target {target!r} is not a valid original pc",
+                    pc=pc,
+                )
+            continue
+        if target is not None and not 0 <= target < size:
+            _finding(
+                report, "PROG001", Severity.ERROR,
+                f"{instr.op.mnemonic} target {target} outside text "
+                f"[0, {size})", pc=pc,
+            )
+        if instr.op is Opcode.JAL and pc + 1 >= size:
+            _finding(
+                report, "PROG006", Severity.ERROR,
+                "jal at the last pc: its link register would point past "
+                "the end of the text", pc=pc,
+            )
+
+    if report.errors:
+        # Successor computation below assumes in-range targets.
+        return report
+
+    successors = _instruction_successors(code, return_sites)
+    reachable = _reachable_pcs(successors, entry, size)
+
+    # PROG003: fall-off-the-end, PROG007: reachable halt, PROG008: blind jr.
+    halt_reachable = False
+    for pc in sorted(reachable):
+        instr = code[pc]
+        if instr.op is Opcode.HALT:
+            halt_reachable = True
+        if instr.op is Opcode.JR and not return_sites:
+            _finding(
+                report, "PROG008", Severity.WARNING,
+                "jr with no statically known return sites (no jal in this "
+                "text and no jr table supplied)", pc=pc,
+            )
+        if size in successors[pc]:
+            _finding(
+                report, "PROG003", Severity.ERROR,
+                "control can run past the end of the text "
+                f"({instr.op.mnemonic} falls through to pc {size})", pc=pc,
+            )
+    if not halt_reachable:
+        _finding(
+            report, "PROG007", Severity.WARNING,
+            "no halt instruction is reachable from the entry point",
+        )
+
+    # PROG005: unreachable code, reported as contiguous ranges.
+    for start, end in _unreachable_ranges(reachable, size):
+        span = f"pc {start}" if end == start + 1 else f"pcs {start}-{end - 1}"
+        _finding(
+            report, "PROG005", Severity.WARNING,
+            f"unreachable code ({span}, {end - start} instructions)",
+            pc=start,
+        )
+
+    _check_may_undef(report, code, successors, reachable, entry)
+    return report
+
+
+def _instruction_successors(
+    code: Sequence[Instruction], return_sites: List[int]
+) -> List[List[int]]:
+    """Per-pc successor pcs; ``len(code)`` encodes falling off the end."""
+    size = len(code)
+    successors: List[List[int]] = []
+    for pc, instr in enumerate(code):
+        if instr.op is Opcode.HALT:
+            successors.append([])
+        elif instr.is_branch:
+            successors.append([pc + 1, int(instr.target)])
+        elif instr.op in (Opcode.J, Opcode.JAL):
+            successors.append([int(instr.target)])
+        elif instr.op is Opcode.JR:
+            successors.append(list(return_sites))
+        else:  # straight-line (fork included: sequentially it is a nop)
+            successors.append([pc + 1])
+    return successors
+
+
+def _reachable_pcs(
+    successors: List[List[int]], entry: int, size: int
+) -> Set[int]:
+    seen: Set[int] = set()
+    stack = [entry]
+    while stack:
+        pc = stack.pop()
+        if pc in seen or pc >= size:
+            continue
+        seen.add(pc)
+        stack.extend(successors[pc])
+    return seen
+
+
+def _unreachable_ranges(
+    reachable: Set[int], size: int
+) -> List[Tuple[int, int]]:
+    """Maximal [start, end) runs of unreachable pcs."""
+    ranges: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    for pc in range(size + 1):
+        dead = pc < size and pc not in reachable
+        if dead and start is None:
+            start = pc
+        elif not dead and start is not None:
+            ranges.append((start, pc))
+            start = None
+    return ranges
+
+
+#: Bitmask with every register marked defined.
+_ALL_DEFINED = (1 << NUM_REGS) - 1
+
+
+def _check_may_undef(
+    report: CheckReport,
+    code: Sequence[Instruction],
+    successors: List[List[int]],
+    reachable: Set[int],
+    entry: int,
+) -> None:
+    """PROG004: forward must-be-defined dataflow (bitmask lattice).
+
+    A register is *may-undefined* at a pc if some path from the entry
+    reaches that pc without writing it.  Reading one is legal (the
+    machine zero-initializes the register file) but is either dead code
+    or an unintended dependency on the boot value, so it is a warning.
+    Registers are defined at entry only for ``r0`` (architecturally
+    constant); ``jal`` defines ``ra``.
+    """
+    size = len(code)
+    # defined_in[pc]: bitmask of registers defined on *every* path to pc.
+    defined_in: Dict[int, int] = {pc: _ALL_DEFINED for pc in reachable}
+    defined_in[entry] = 1 << ZERO
+    worklist = [entry]
+    while worklist:
+        pc = worklist.pop()
+        mask = defined_in[pc]
+        instr = code[pc]
+        for reg in instr.defs():
+            mask |= 1 << reg
+        if instr.op is Opcode.JAL:
+            mask |= 1 << RA
+        for succ in successors[pc]:
+            if succ >= size or succ not in reachable:
+                continue
+            merged = defined_in[succ] & mask
+            if merged != defined_in[succ]:
+                defined_in[succ] = merged
+                worklist.append(succ)
+    seen: Set[Tuple[int, int]] = set()
+    for pc in sorted(reachable):
+        mask = defined_in[pc]
+        for reg in sorted(code[pc].uses()):
+            if reg == ZERO or mask & (1 << reg):
+                continue
+            if (pc, reg) in seen:
+                continue
+            seen.add((pc, reg))
+            _finding(
+                report, "PROG004", Severity.WARNING,
+                f"r{reg} may be read before any definition "
+                f"(defaults to the boot value 0)", pc=pc,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: the distiller IR
+# ---------------------------------------------------------------------------
+
+
+def check_ir(ir, pass_name: Optional[str] = None) -> CheckReport:
+    """Statically check a :class:`~repro.distill.ir.DistillIR` snapshot.
+
+    ``pass_name`` labels the report after the pass that just ran (used
+    by the distiller's ``verify_after_each_pass`` mode).
+    """
+    from repro.distill.ir import TRAP_BLOCK
+
+    label = f"ir after {pass_name}" if pass_name else "ir"
+    report = CheckReport(subject=f"{ir.program.name}: {label}")
+    orig_size = len(ir.program.code)
+
+    names: List[str] = [block.name for block in ir.blocks]
+    name_set: Set[str] = set()
+    for name in names:
+        if name in name_set:
+            _finding(
+                report, "IR001", Severity.ERROR,
+                "duplicate IR block name", block=name,
+            )
+        name_set.add(name)
+    if ir.entry_name not in name_set:
+        _finding(
+            report, "IR002", Severity.ERROR,
+            f"entry block {ir.entry_name!r} does not exist",
+        )
+
+    fork_sites: List[Tuple[str, object]] = []  # (block name, DInstr)
+    for block in ir.blocks:
+        last = block.last
+        if last is not None and isinstance(last.instr.target, str):
+            if last.instr.target not in name_set:
+                _finding(
+                    report, "IR003", Severity.ERROR,
+                    f"terminator targets missing block "
+                    f"{last.instr.target!r}",
+                    block=block.name, orig_pc=last.orig_pc,
+                )
+        if block.fallthrough is not None and block.fallthrough not in name_set:
+            _finding(
+                report, "IR003", Severity.ERROR,
+                f"fallthrough names missing block {block.fallthrough!r}",
+                block=block.name,
+            )
+        if block.requires_adjacent_fallthrough and block.fallthrough is None:
+            _finding(
+                report, "IR007", Severity.ERROR,
+                "block requires an adjacent fallthrough but has none "
+                "(its jal return site was deleted)", block=block.name,
+            )
+        if block.name == TRAP_BLOCK:
+            shape_ok = (
+                len(block.instrs) == 1
+                and block.instrs[0].instr.op is Opcode.HALT
+                and block.fallthrough is None
+            )
+            if not shape_ok:
+                _finding(
+                    report, "IR004", Severity.ERROR,
+                    "trap block must be a lone halt with no successors",
+                    block=block.name,
+                )
+        for dinstr in block.instrs:
+            if dinstr.orig_pc is not None and not (
+                0 <= dinstr.orig_pc < orig_size
+            ):
+                _finding(
+                    report, "IR005", Severity.ERROR,
+                    f"provenance orig_pc {dinstr.orig_pc} outside the "
+                    f"original text [0, {orig_size})", block=block.name,
+                )
+            if dinstr.instr.op is Opcode.FORK:
+                fork_sites.append((block.name, dinstr))
+
+    _check_ir_forks(report, ir, fork_sites, orig_size)
+
+    if ir.entry_name in name_set:
+        reachable = ir.reachable_names()
+        for block in ir.blocks:
+            if block.name not in reachable:
+                _finding(
+                    report, "IR008", Severity.WARNING,
+                    "IR block unreachable from the entry block "
+                    "(awaiting pruning)", block=block.name,
+                )
+    return report
+
+
+def _check_ir_forks(
+    report: CheckReport,
+    ir,
+    fork_sites: List[Tuple[str, object]],
+    orig_size: int,
+) -> None:
+    """IR006/IR009/IR010: fork anchors and their liveness use sets."""
+    if not fork_sites:
+        return
+    from repro.analysis.cfg import build_cfg
+    from repro.analysis.liveness import compute_liveness
+
+    cfg = build_cfg(ir.program)
+    liveness = compute_liveness(cfg)
+    anchors_seen: Set[int] = set()
+    for block_name, dinstr in fork_sites:
+        target = dinstr.instr.target
+        if not isinstance(target, int) or not 0 <= target < orig_size:
+            _finding(
+                report, "IR006", Severity.ERROR,
+                f"fork target {target!r} is not an original-program pc",
+                block=block_name,
+            )
+            continue
+        if target in anchors_seen:
+            _finding(
+                report, "IR009", Severity.ERROR,
+                f"duplicate fork anchor for original pc {target}",
+                block=block_name, orig_pc=target,
+            )
+        anchors_seen.add(target)
+        anchor_block = cfg.block_at(target)
+        if anchor_block.start != target:
+            _finding(
+                report, "IR010", Severity.ERROR,
+                f"fork anchor {target} is not a block leader in the "
+                "original program", block=block_name, orig_pc=target,
+            )
+            continue
+        if dinstr.uses_override is None:
+            _finding(
+                report, "IR006", Severity.ERROR,
+                "fork carries no liveness use set (uses_override is None); "
+                "DCE could delete the anchor's live-in producers",
+                block=block_name, orig_pc=target,
+            )
+            continue
+        required = {
+            reg
+            for reg in liveness.live_in[anchor_block.index]
+            if reg != ZERO
+        }
+        missing = sorted(required - set(dinstr.uses_override))
+        if missing:
+            regs = ", ".join(f"r{reg}" for reg in missing)
+            _finding(
+                report, "IR006", Severity.ERROR,
+                f"fork use set drops anchor-live registers {regs} "
+                "(live at the anchor in the original program)",
+                block=block_name, orig_pc=target,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Layer 3: the distilled artifact against its pc map
+# ---------------------------------------------------------------------------
+
+
+def check_distillation(
+    original: Program,
+    distilled: Program,
+    pc_map,
+    subject: Optional[str] = None,
+) -> CheckReport:
+    """Check the distilled program plus its :class:`PcMap` as one artifact."""
+    report = check_code(
+        distilled.code,
+        distilled.entry,
+        subject=subject or distilled.name,
+        jr_targets=pc_map.jr_table.values(),
+    )
+    size_o = len(original.code)
+    size_d = len(distilled.code)
+
+    # Fork sites in the distilled text, keyed by original anchor pc.
+    fork_by_anchor: Dict[int, int] = {}
+    for pc, instr in enumerate(distilled.code):
+        if instr.op is not Opcode.FORK:
+            continue
+        anchor = instr.target
+        if not isinstance(anchor, int):
+            continue  # PROG001 already reported
+        if anchor in fork_by_anchor:
+            _finding(
+                report, "MAP002", Severity.ERROR,
+                f"second fork for anchor {anchor} "
+                f"(first at pc {fork_by_anchor[anchor]})",
+                pc=pc, orig_pc=anchor,
+            )
+            continue
+        fork_by_anchor[anchor] = pc
+        if anchor not in pc_map.resume:
+            _finding(
+                report, "MAP005", Severity.ERROR,
+                f"fork target {anchor} has no resume entry in the pc map "
+                "(the engine could never restart the master after this "
+                "task)", pc=pc, orig_pc=anchor,
+            )
+
+    if pc_map.entry_orig != original.entry:
+        _finding(
+            report, "MAP006", Severity.ERROR,
+            f"pc map entry_orig {pc_map.entry_orig} differs from the "
+            f"original entry {original.entry}",
+        )
+
+    block_starts = sorted(set(distilled.symbols.values()))
+    for orig in sorted(pc_map.arrival):
+        if orig not in pc_map.resume:
+            _finding(
+                report, "MAP003", Severity.ERROR,
+                f"arrival entry for {orig}, which is not an anchor",
+                orig_pc=orig,
+            )
+    for anchor in sorted(pc_map.resume):
+        resume = pc_map.resume[anchor]
+        if not 0 <= anchor < size_o:
+            _finding(
+                report, "MAP007", Severity.ERROR,
+                f"anchor {anchor} outside the original text [0, {size_o})",
+                orig_pc=anchor,
+            )
+            continue
+        if not 0 <= resume < size_d:
+            _finding(
+                report, "MAP001", Severity.ERROR,
+                f"resume pc {resume} outside the distilled text "
+                f"[0, {size_d})", orig_pc=anchor,
+            )
+            continue
+        fork_pc = fork_by_anchor.get(anchor)
+        if fork_pc is not None:
+            if resume != fork_pc + 1:
+                _finding(
+                    report, "MAP002", Severity.ERROR,
+                    f"anchor resumes at {resume} but its fork sits at "
+                    f"{fork_pc} (resume must be the pc immediately after "
+                    "the fork, or a restarted master re-forks its open "
+                    "task)", pc=resume, orig_pc=anchor,
+                )
+            _check_arrival(
+                report, pc_map, anchor, fork_pc, block_starts, size_d
+            )
+        elif not (
+            anchor == pc_map.entry_orig and resume == distilled.entry
+        ):
+            _finding(
+                report, "MAP002", Severity.ERROR,
+                f"anchor {anchor} has no fork in the distilled text and "
+                "is not the entry fallback", pc=resume, orig_pc=anchor,
+            )
+
+    for ret_pc, dist_pc in sorted(pc_map.jr_table.items()):
+        if not 0 <= ret_pc < size_o:
+            _finding(
+                report, "MAP004", Severity.ERROR,
+                f"jr table key {ret_pc} outside the original text "
+                f"[0, {size_o})", orig_pc=ret_pc,
+            )
+            continue
+        if not 0 <= dist_pc < size_d:
+            _finding(
+                report, "MAP004", Severity.ERROR,
+                f"jr table maps return pc {ret_pc} outside the distilled "
+                f"text (to {dist_pc})", orig_pc=ret_pc,
+            )
+            continue
+        laid_out = distilled.symbols.get(f"B{ret_pc}")
+        if laid_out is None:
+            _finding(
+                report, "MAP004", Severity.ERROR,
+                f"jr table return pc {ret_pc} has no distilled block "
+                f"B{ret_pc} (its return site did not survive layout)",
+                pc=dist_pc, orig_pc=ret_pc,
+            )
+        elif laid_out != dist_pc:
+            _finding(
+                report, "MAP004", Severity.ERROR,
+                f"jr table maps return pc {ret_pc} to {dist_pc} but "
+                f"layout placed block B{ret_pc} at {laid_out}",
+                pc=dist_pc, orig_pc=ret_pc,
+            )
+    return report
+
+
+def _check_arrival(
+    report: CheckReport,
+    pc_map,
+    anchor: int,
+    fork_pc: int,
+    block_starts: List[int],
+    size_d: int,
+) -> None:
+    """MAP003: the anchor's arrival pc is its fork block's first pc."""
+    arrival = pc_map.arrival.get(anchor)
+    if arrival is None:
+        _finding(
+            report, "MAP003", Severity.ERROR,
+            f"fork anchor {anchor} has no arrival entry (the master "
+            "could not count arrivals for strided tasks)",
+            pc=fork_pc, orig_pc=anchor,
+        )
+        return
+    if not 0 <= arrival < size_d:
+        _finding(
+            report, "MAP003", Severity.ERROR,
+            f"arrival pc {arrival} outside the distilled text "
+            f"[0, {size_d})", orig_pc=anchor,
+        )
+        return
+    # The block holding the fork, per layout's own symbol table.
+    containing = None
+    for start in block_starts:
+        if start <= fork_pc:
+            containing = start
+        else:
+            break
+    if arrival not in block_starts or arrival != containing:
+        _finding(
+            report, "MAP003", Severity.ERROR,
+            f"arrival pc {arrival} is not the start of the block holding "
+            f"the anchor's fork (expected {containing})",
+            pc=arrival, orig_pc=anchor,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Static squash prediction (the engine's opt-in cross-check)
+# ---------------------------------------------------------------------------
+
+#: Squash reasons possible even under a perfectly sound (semantics-
+#: preserving) distillation: budget bounds and protected-region policy
+#: are engine configuration, not distiller soundness.
+SOUND_SQUASH_REASONS: FrozenSet[str] = frozenset(
+    {"overrun", "master-timeout", "protected-access"}
+)
+
+#: Squash reasons an *approximating* pass can additionally cause: once
+#: the master's state may diverge from the original program's, any
+#: live-in, control, or termination deviation follows.
+APPROXIMATION_SQUASH_REASONS: FrozenSet[str] = SOUND_SQUASH_REASONS | frozenset(
+    {"wrong-start-pc", "register-live-in", "memory-live-in", "fault"}
+)
+
+
+def predicted_squash_reasons(distillation) -> FrozenSet[str]:
+    """Squash reasons this distillation can legitimately produce.
+
+    Reads the :class:`~repro.distill.distiller.DistillReport` pass
+    statistics: a distillation in which no approximating transformation
+    fired (no specialized load, eliminated store, asserted branch, or
+    deleted cold block) predicts the original program exactly, so any
+    data-driven squash indicates a distiller or engine bug.  The MSSP
+    engine's ``assert_static_soundness`` mode enforces exactly this.
+    """
+    stats = distillation.report.pass_stats
+
+    def count(pass_name: str, attr: str) -> int:
+        pass_stats = stats.get(pass_name)
+        return getattr(pass_stats, attr, 0) if pass_stats is not None else 0
+
+    approximated = (
+        count("value_spec", "specialized")
+        or count("store_elim", "eliminated")
+        or count("branch_removal", "asserted_taken")
+        or count("branch_removal", "asserted_not_taken")
+        or count("cold_code", "blocks_removed")
+    )
+    if approximated:
+        return APPROXIMATION_SQUASH_REASONS
+    return SOUND_SQUASH_REASONS

@@ -15,6 +15,9 @@ Subcommands
     timing; print the statistics row.
 ``suite``
     The E1-style table over every workload.
+``lint``
+    Static soundness report: check a workload's original program, its
+    distillation (with per-pass IR verification), and the pc map.
 """
 
 from __future__ import annotations
@@ -72,6 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("suite", help="run the whole suite (E1-style table)")
+
+    lint = sub.add_parser(
+        "lint", help="statically check a workload's distillation"
+    )
+    lint.add_argument(
+        "workload", nargs="?", choices=sorted(WORKLOADS), default=None,
+        help="workload to lint (or use --all)",
+    )
+    lint.add_argument(
+        "--all", action="store_true", dest="lint_all",
+        help="lint every registered workload",
+    )
+    lint.add_argument("--size", type=int, default=None)
+    lint.add_argument(
+        "--task-size", type=int, default=None,
+        help="target dynamic instructions per task",
+    )
 
     report = sub.add_parser(
         "report", help="write a markdown report of a suite run"
@@ -207,6 +227,62 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.checker import check_distillation, check_program
+    from repro.distill.distiller import Distiller
+    from repro.errors import CheckFailure, DistillError
+    from repro.experiments.harness import training_profile
+
+    if args.lint_all:
+        names = sorted(WORKLOADS)
+    elif args.workload is not None:
+        names = [args.workload]
+    else:
+        print("lint: give a workload name or --all", file=sys.stderr)
+        return 2
+
+    base = _distill_config(args) or DistillConfig()
+    config = dataclasses.replace(base, verify_after_each_pass=True)
+    failures = 0
+    warnings = 0
+    for name in names:
+        instance = get_workload(name).instance(args.size)
+        program_report = check_program(instance.program, subject=name)
+        print(program_report.render())
+        warnings += len(program_report.warnings)
+        if not program_report.ok:
+            failures += 1
+            continue
+        try:
+            distillation = Distiller(config).distill(
+                instance.program, training_profile(instance)
+            )
+        except CheckFailure as failure:
+            failures += 1
+            stage = failure.pass_name or "?"
+            print(f"{name}: distillation FAIL in pass {stage!r}")
+            for finding in failure.findings:
+                print(f"  {finding.render()}")
+            continue
+        except DistillError as error:
+            failures += 1
+            print(f"{name}: distillation FAIL: {error}")
+            continue
+        artifact_report = check_distillation(
+            instance.program, distillation.distilled, distillation.pc_map,
+            subject=f"{name}: distilled",
+        )
+        print(artifact_report.render())
+        warnings += len(artifact_report.warnings)
+        if not artifact_report.ok:
+            failures += 1
+    verdict = "clean" if not failures else f"{failures} FAILED"
+    print(
+        f"lint: {len(names)} workload(s), {verdict}, {warnings} warning(s)"
+    )
+    return 1 if failures else 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
@@ -226,6 +302,7 @@ COMMANDS = {
     "run": cmd_run,
     "timeline": cmd_timeline,
     "suite": cmd_suite,
+    "lint": cmd_lint,
     "report": cmd_report,
 }
 

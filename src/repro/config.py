@@ -31,6 +31,13 @@ class DistillConfig:
     ``target_task_size`` — desired dynamic instructions per task; fork
     placement selects anchors so the expected inter-fork distance
     approximates it.
+
+    ``verify_after_each_pass`` — debug mode: run the static IR checker
+    (:mod:`repro.analysis.checker`) after every pass and the artifact
+    checker after layout, raising :class:`~repro.errors.CheckFailure`
+    the moment a pass breaks an invariant.  Off by default (the checks
+    are cheap but not free); ``repro lint`` and the property-test suite
+    turn it on.
     """
 
     target_task_size: int = 150
@@ -47,6 +54,7 @@ class DistillConfig:
     enable_store_elim: bool = True
     enable_dce: bool = True
     enable_jump_threading: bool = True
+    verify_after_each_pass: bool = False
 
     def __post_init__(self) -> None:
         if self.target_task_size < 2:
@@ -112,6 +120,14 @@ class MsspConfig:
     recovery_max_instrs: int = 1_000_000
     #: Global safety valve on total committed instructions.
     max_total_instrs: int = 200_000_000
+    #: Opt-in engine assertion: cross-check every squash cause against
+    #: the statically predicted unsound sites of the distillation (see
+    #: :func:`repro.analysis.checker.predicted_squash_reasons`).  A
+    #: squash the static analysis says cannot happen raises
+    #: :class:`~repro.errors.MsspError` instead of being silently
+    #: recovered from.  Requires a full DistillationResult (the
+    #: prediction reads the distiller's pass statistics).
+    assert_static_soundness: bool = False
 
     def __post_init__(self) -> None:
         for name in (

@@ -27,12 +27,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.cfg import build_cfg
+from repro.analysis.checker import check_distillation, check_ir
 from repro.analysis.dominators import DominatorTree
 from repro.analysis.liveness import compute_liveness
 from repro.analysis.loops import find_loops
 from repro.config import DistillConfig
-from repro.distill.ir import lift_to_ir
-from repro.distill.layout import layout_ir
+from repro.distill.ir import DistillIR, lift_to_ir
+from repro.distill.layout import (
+    PASS_INVARIANTS as _layout_invariants,
+    layout_ir,
+)
 from repro.distill.passes.branch_removal import run_branch_removal
 from repro.distill.passes.cold_code import run_cold_code
 from repro.distill.passes.dce import run_dce
@@ -40,8 +44,31 @@ from repro.distill.passes.fork_placement import run_fork_placement
 from repro.distill.passes.store_elim import run_store_elim
 from repro.distill.passes.value_spec import run_value_spec
 from repro.distill.pc_map import PcMap
+from repro.distill.passes import (
+    branch_removal as _branch_removal_module,
+    cold_code as _cold_code_module,
+    dce as _dce_module,
+    fork_placement as _fork_placement_module,
+    store_elim as _store_elim_module,
+    value_spec as _value_spec_module,
+)
+from repro.errors import CheckFailure
 from repro.isa.program import Program
 from repro.profiling.profile_data import Profile
+
+#: Invariant declarations per pipeline stage: what each pass promises the
+#: IR (or the final artifact) still satisfies when it returns.  Used to
+#: annotate :class:`~repro.errors.CheckFailure` diagnostics; the check
+#: IDs are catalogued in docs/static-checks.md.
+PASS_INVARIANTS: Dict[str, tuple] = {
+    "value_spec": _value_spec_module.PASS_INVARIANTS,
+    "store_elim": _store_elim_module.PASS_INVARIANTS,
+    "branch_removal": _branch_removal_module.PASS_INVARIANTS,
+    "cold_code": _cold_code_module.PASS_INVARIANTS,
+    "fork_placement": _fork_placement_module.PASS_INVARIANTS,
+    "dce": _dce_module.PASS_INVARIANTS,
+    "layout": _layout_invariants,
+}
 
 
 @dataclass
@@ -95,29 +122,37 @@ class Distiller:
         loops = find_loops(cfg, domtree)
         liveness = compute_liveness(cfg)
         ir = lift_to_ir(program, cfg)
+        self._verify_ir(ir, "lift")
         original_static = len(program.code)
         pass_stats: Dict[str, object] = {}
 
         if config.enable_value_spec:
             pass_stats["value_spec"] = run_value_spec(ir, profile, config)
+            self._verify_ir(ir, "value_spec")
         if config.enable_store_elim:
             pass_stats["store_elim"] = run_store_elim(ir, profile, config)
+            self._verify_ir(ir, "store_elim")
         if config.enable_branch_removal:
             pass_stats["branch_removal"] = run_branch_removal(
                 ir, profile, cfg, domtree, loops, config
             )
+            self._verify_ir(ir, "branch_removal")
         if config.enable_cold_code:
             pass_stats["cold_code"] = run_cold_code(ir, profile, config)
+            self._verify_ir(ir, "cold_code")
         fork_stats = run_fork_placement(
             ir, profile, cfg, loops, liveness, config
         )
         pass_stats["fork_placement"] = fork_stats
+        self._verify_ir(ir, "fork_placement")
         if config.enable_dce:
             pass_stats["dce"] = run_dce(ir, config)
+            self._verify_ir(ir, "dce")
 
         distilled, pc_map = layout_ir(
             ir, jump_threading=config.enable_jump_threading
         )
+        self._verify_artifact(program, distilled, pc_map)
         report = DistillReport(
             original_static=original_static,
             distilled_static=len(distilled.code),
@@ -129,6 +164,41 @@ class Distiller:
             original=program, distilled=distilled, pc_map=pc_map,
             report=report,
         )
+
+    # -- verify_after_each_pass debug mode -----------------------------------
+
+    def _verify_ir(self, ir: DistillIR, pass_name: str) -> None:
+        """Raise :class:`CheckFailure` if ``pass_name`` broke an invariant."""
+        if not self.config.verify_after_each_pass:
+            return
+        report = check_ir(ir, pass_name=pass_name)
+        if report.ok:
+            return
+        declared = PASS_INVARIANTS.get(pass_name, ())
+        broken = sorted(
+            {f.check_id for f in report.errors} & set(declared)
+        )
+        note = f" (declared invariants broken: {', '.join(broken)})" if (
+            broken
+        ) else ""
+        raise CheckFailure(
+            f"distiller pass {pass_name!r} left the IR unsound{note}",
+            pass_name=pass_name,
+            findings=report.errors,
+        )
+
+    def _verify_artifact(
+        self, original: Program, distilled: Program, pc_map: PcMap
+    ) -> None:
+        if not self.config.verify_after_each_pass:
+            return
+        report = check_distillation(original, distilled, pc_map)
+        if not report.ok:
+            raise CheckFailure(
+                "layout produced an unsound distilled program / pc map",
+                pass_name="layout",
+                findings=report.errors,
+            )
 
 
 def distill_with_default_profile(

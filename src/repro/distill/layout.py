@@ -22,6 +22,15 @@ from repro.errors import DistillError
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program
 
+#: Checker invariants the layout stage must establish on the final
+#: artifact (docs/static-checks.md): in-range targets with no symbolic
+#: leftovers, no fall-off-the-end, and a pc map whose resume/arrival/jr
+#: tables agree with the code it just emitted.
+PASS_INVARIANTS = (
+    "PROG001", "PROG002", "PROG003", "PROG006",
+    "MAP001", "MAP002", "MAP003", "MAP004", "MAP005", "MAP006", "MAP007",
+)
+
 
 def layout_ir(
     ir: DistillIR, name: Optional[str] = None, jump_threading: bool = True

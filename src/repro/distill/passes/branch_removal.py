@@ -37,6 +37,13 @@ from repro.distill.ir import DistillIR
 from repro.isa.instructions import Instruction, Opcode
 from repro.profiling.profile_data import Profile
 
+#: Checker invariants this pass must leave intact (docs/static-checks.md).
+#: Branch assertion rewrites terminators and clears fallthroughs; every
+#: surviving symbolic edge must still resolve (IR003) and stranded
+#: rare-path blocks may only become *unreachable* (IR008 warning), never
+#: dangle.
+PASS_INVARIANTS = ("IR001", "IR002", "IR003", "IR004", "IR005")
+
 
 @dataclass
 class BranchRemovalStats:

@@ -21,6 +21,12 @@ from repro.config import DistillConfig
 from repro.distill.ir import DistillIR
 from repro.profiling.profile_data import Profile
 
+#: Checker invariants this pass must leave intact (docs/static-checks.md).
+#: Block deletion is where dangling edges are easiest to create: every
+#: edge into deleted code must be retargeted at the trap (IR003/IR004),
+#: and protected jal return sites must survive (IR007).
+PASS_INVARIANTS = ("IR001", "IR002", "IR003", "IR004", "IR005", "IR007")
+
 
 @dataclass
 class ColdCodeStats:

@@ -27,6 +27,15 @@ from repro.config import DistillConfig
 from repro.distill.ir import DBlock, DistillIR
 from repro.isa.registers import ZERO
 
+#: Checker invariants this pass must leave intact (docs/static-checks.md).
+#: DCE deletes pure instructions only, so block edges survive; the
+#: critical obligation is IR006 — fork use sets must keep anchor-live
+#: registers' producers alive, which is exactly what this pass consults
+#: them for.
+PASS_INVARIANTS = (
+    "IR001", "IR002", "IR003", "IR004", "IR005", "IR006", "IR009", "IR010",
+)
+
 
 @dataclass
 class DceStats:

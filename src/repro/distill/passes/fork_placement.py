@@ -49,6 +49,16 @@ from repro.profiling.profile_data import Profile
 #: A loop must cover this share of the training run to earn an anchor.
 MIN_REGION_SHARE = 0.02
 
+#: Checker invariants this pass must leave intact (docs/static-checks.md).
+#: Fork placement is the pass that *establishes* the fork discipline:
+#: anchors at original block leaders (IR010), one fork per anchor
+#: (IR009), and use sets covering original-program liveness at the
+#: anchor (IR006) — plus block-structure integrity across the strided
+#: block splits it performs.
+PASS_INVARIANTS = (
+    "IR001", "IR002", "IR003", "IR004", "IR005", "IR006", "IR009", "IR010",
+)
+
 
 @dataclass(frozen=True)
 class AnchorPlan:

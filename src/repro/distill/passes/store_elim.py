@@ -26,6 +26,11 @@ from repro.distill.ir import DistillIR
 from repro.isa.instructions import Opcode
 from repro.profiling.profile_data import Profile
 
+#: Checker invariants this pass must leave intact (docs/static-checks.md).
+#: Deleting non-terminator stores cannot change control flow, so the
+#: full block-structure group must survive unchanged.
+PASS_INVARIANTS = ("IR001", "IR002", "IR003", "IR004", "IR005", "IR008")
+
 
 @dataclass
 class StoreElimStats:

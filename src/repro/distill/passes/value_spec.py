@@ -18,6 +18,12 @@ from repro.distill.ir import DistillIR
 from repro.isa.instructions import Instruction, Opcode
 from repro.profiling.profile_data import Profile
 
+#: Checker invariants this pass must leave intact (docs/static-checks.md).
+#: Value specialization rewrites instructions in place — it must not
+#: disturb block structure (IR001-IR004), provenance (IR005), or the
+#: trap/reachability discipline (IR008).
+PASS_INVARIANTS = ("IR001", "IR002", "IR003", "IR004", "IR005", "IR008")
+
 
 @dataclass
 class ValueSpecStats:

@@ -58,6 +58,26 @@ class DistillError(ReproError):
     """The distiller could not produce a distilled program."""
 
 
+class CheckFailure(ReproError):
+    """A static soundness check reported errors.
+
+    Raised by the distiller's ``verify_after_each_pass`` debug mode the
+    moment a pass breaks an invariant.  Carries the offending pass name
+    and the error findings (see :mod:`repro.analysis.checker`), each of
+    which knows its check ID, block, and instruction provenance.
+    """
+
+    def __init__(self, message, pass_name=None, findings=()):
+        self.pass_name = pass_name
+        self.findings = tuple(findings)
+        details = "; ".join(f.render() for f in self.findings[:3])
+        if details:
+            message = f"{message}: {details}"
+        if len(self.findings) > 3:
+            message += f" (+{len(self.findings) - 3} more)"
+        super().__init__(message)
+
+
 class MsspError(ReproError):
     """Violation of an internal invariant of the MSSP engine."""
 

@@ -5,6 +5,13 @@ from repro.experiments.harness import (
     PreparedWorkload,
     evaluate,
     prepare,
+    training_profile,
 )
 
-__all__ = ["EvaluationRow", "PreparedWorkload", "evaluate", "prepare"]
+__all__ = [
+    "EvaluationRow",
+    "PreparedWorkload",
+    "evaluate",
+    "prepare",
+    "training_profile",
+]

@@ -157,6 +157,16 @@ def distilled_dynamic_length(
     return master.run_standalone(boot, max_steps=max_steps)
 
 
+def training_profile(instance: WorkloadInstance) -> Profile:
+    """The merged training-input profile for ``instance``.
+
+    The standalone entry point for tools (``repro lint``, tests) that
+    need the same profile :func:`prepare` would use without paying for
+    the sequential/distilled dynamic-length measurements.
+    """
+    return _profile_for(instance, "train")
+
+
 def _profile_for(instance: WorkloadInstance, source: str) -> Profile:
     from repro.profiling import profile_program
 

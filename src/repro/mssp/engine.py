@@ -98,6 +98,18 @@ class MsspEngine:
         self.regions = ProtectedRegions.from_config(
             self.config.protected_regions
         )
+        self._allowed_squash_reasons: Optional[frozenset] = None
+        if self.config.assert_static_soundness:
+            if not isinstance(distillation, DistillationResult):
+                raise MsspError(
+                    "assert_static_soundness needs a DistillationResult "
+                    "(its pass statistics predict the legal squash causes)"
+                )
+            from repro.analysis.checker import predicted_squash_reasons
+
+            self._allowed_squash_reasons = predicted_squash_reasons(
+                distillation
+            )
 
     # -- public API ---------------------------------------------------------------
 
@@ -154,6 +166,7 @@ class MsspEngine:
                         )
                     )
                     squash_task(open_task, SquashReason.MASTER_TIMEOUT)
+                    self._assert_predicted(SquashReason.MASTER_TIMEOUT, None)
                     counters.tasks_squashed += 1
                     counters.note_squash_reason(
                         SquashReason.MASTER_TIMEOUT.value
@@ -254,6 +267,7 @@ class MsspEngine:
             n_loads=task.n_loads,
             master_loads=event.loads,
             squash_reason=outcome.reason.value,
+            origin_pc=outcome.origin_pc,
             live_ins_checked=outcome.checked,
             live_ins_mismatched=outcome.mismatched,
             exact=task.exact,
@@ -268,6 +282,7 @@ class MsspEngine:
             counters.committed_instrs += task.n_instrs
             return True, task.halted
         squash_task(task, outcome.reason)
+        self._assert_predicted(outcome.reason, outcome.origin_pc)
         counters.tasks_squashed += 1
         counters.squashed_instrs += task.n_instrs
         counters.note_squash_reason(outcome.reason.value)
@@ -336,6 +351,25 @@ class MsspEngine:
             n_instrs=steps, halted=halted,
             resumed_at=None if halted else arch.pc,
             n_loads=loads,
+        )
+
+    def _assert_predicted(
+        self, reason: SquashReason, origin_pc: Optional[int]
+    ) -> None:
+        """Cross-check a squash cause against the static prediction.
+
+        Active only under ``config.assert_static_soundness``: a squash
+        whose cause no distiller pass statistic can account for means
+        either the distillation pipeline or the checker's model of it is
+        wrong, so fail loudly instead of silently recovering.
+        """
+        allowed = self._allowed_squash_reasons
+        if allowed is None or reason.value in allowed:
+            return
+        where = f" (origin pc {origin_pc})" if origin_pc is not None else ""
+        raise MsspError(
+            f"statically unpredicted squash cause {reason.value!r}{where}: "
+            f"pass statistics only license {sorted(allowed)}"
         )
 
     def _check_budget(self, counters: MsspCounters) -> None:

@@ -31,6 +31,10 @@ class TaskAttemptRecord:
     #: specialization exists to shrink this number.
     master_loads: int = 0
     squash_reason: str = "none"
+    #: Original-program pc a squash is attributed to (the anchor for
+    #: live-in/control mismatches, the slave's stopping pc for
+    #: fault/overrun/protected); ``None`` for committed tasks.
+    origin_pc: Optional[int] = None
     live_ins_checked: int = 0
     live_ins_mismatched: int = 0
     exact: bool = False

@@ -36,6 +36,11 @@ class VerifyOutcome:
     checked: int
     mismatched: int
     detail: str = ""
+    #: Original-program pc the failure is attributed to: the task's
+    #: anchor for live-in/control mismatches (the distiller's prediction
+    #: for that anchor was wrong), or the pc the slave stopped at for
+    #: faults/overruns/protected accesses.  ``None`` on success.
+    origin_pc: Optional[int] = None
 
 
 def verify_task(task: Task, arch: ArchState) -> VerifyOutcome:
@@ -44,6 +49,7 @@ def verify_task(task: Task, arch: ArchState) -> VerifyOutcome:
         return VerifyOutcome(
             False, SquashReason.FAULT, task.live_in_count, 0,
             detail=f"speculative execution faulted at pc {task.end_state_pc}",
+            origin_pc=task.end_state_pc,
         )
     if task.protected_access:
         return VerifyOutcome(
@@ -52,11 +58,13 @@ def verify_task(task: Task, arch: ArchState) -> VerifyOutcome:
                 f"pc {task.end_state_pc} would access a protected region; "
                 "deferring to non-speculative execution"
             ),
+            origin_pc=task.end_state_pc,
         )
     if task.overrun:
         return VerifyOutcome(
             False, SquashReason.OVERRUN, task.live_in_count, 0,
             detail=f"no arrival at end pc within {task.n_instrs} instructions",
+            origin_pc=task.end_state_pc,
         )
     checked = 1  # the start pc
     mismatched = 0
@@ -89,6 +97,7 @@ def verify_task(task: Task, arch: ArchState) -> VerifyOutcome:
     return VerifyOutcome(
         ok=mismatched == 0, reason=reason, checked=checked,
         mismatched=mismatched, detail=detail,
+        origin_pc=None if mismatched == 0 else task.start_pc,
     )
 
 

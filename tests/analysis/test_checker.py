@@ -1,0 +1,481 @@
+"""Tests for the static soundness checker (``repro.analysis.checker``).
+
+The seeded-mutation tests are the checker's own acceptance suite: each
+corrupts one artifact in one specific way (a branch target, a fork's
+live-in set, a pc-map entry) and asserts the checker flags it with the
+*right* check ID — not merely that it complains.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.checker import (
+    APPROXIMATION_SQUASH_REASONS,
+    CHECKS,
+    SOUND_SQUASH_REASONS,
+    Severity,
+    check_code,
+    check_distillation,
+    check_ir,
+    check_program,
+    predicted_squash_reasons,
+)
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import find_loops
+from repro.config import DistillConfig
+from repro.distill.distiller import PASS_INVARIANTS, Distiller
+from repro.distill.ir import lift_to_ir
+from repro.distill.passes.fork_placement import run_fork_placement
+from repro.distill.pc_map import PcMap
+from repro.errors import CheckFailure
+from repro.isa.asm import assemble
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import ZERO
+from repro.profiling import profile_program
+from tests.distill.conftest import RICH_SOURCE
+
+
+@pytest.fixture
+def rich_program():
+    return assemble(RICH_SOURCE, name="rich")
+
+
+@pytest.fixture
+def rich_profile(rich_program):
+    return profile_program(rich_program)
+
+
+def error_ids(report):
+    return {f.check_id for f in report.errors}
+
+
+def warning_ids(report):
+    return {f.check_id for f in report.warnings}
+
+
+# -- layer 1: flat programs -------------------------------------------------
+
+
+class TestCheckProgram:
+    def test_clean_program_has_no_errors(self, rich_program):
+        report = check_program(rich_program)
+        assert report.ok
+        assert not report.errors
+
+    def test_empty_code_is_prog003(self):
+        report = check_code([])
+        assert error_ids(report) == {"PROG003"}
+
+    def test_entry_out_of_range_is_prog001(self):
+        code = [Instruction(op=Opcode.HALT)]
+        report = check_code(code, entry=5)
+        assert error_ids(report) == {"PROG001"}
+
+    def test_corrupt_branch_target_is_prog001(self, rich_program):
+        # Seeded mutation: retarget one conditional branch past the text.
+        code = list(rich_program.code)
+        branch_pc = next(
+            pc for pc, i in enumerate(code) if i.is_branch
+        )
+        code[branch_pc] = code[branch_pc].with_target(len(code) + 40)
+        report = check_code(code, rich_program.entry)
+        assert "PROG001" in error_ids(report)
+        assert any(
+            f.check_id == "PROG001" and f.pc == branch_pc
+            for f in report.errors
+        )
+
+    def test_symbolic_target_is_prog002(self):
+        code = [
+            Instruction(op=Opcode.J, target="label"),
+            Instruction(op=Opcode.HALT),
+        ]
+        report = check_code(code)
+        assert "PROG002" in error_ids(report)
+
+    def test_fall_off_end_is_prog003(self):
+        code = [Instruction(op=Opcode.ADDI, rd=1, rs=1, imm=1)]
+        report = check_code(code)
+        assert "PROG003" in error_ids(report)
+
+    def test_may_undefined_read_is_prog004_warning(self):
+        code = [
+            Instruction(op=Opcode.ADD, rd=1, rs=2, rt=3),
+            Instruction(op=Opcode.HALT),
+        ]
+        report = check_code(code)
+        assert report.ok  # warnings only
+        assert warning_ids(report) == {"PROG004"}
+        flagged = {f.pc for f in report.warnings}
+        assert flagged == {0}
+
+    def test_defined_on_every_path_is_clean(self):
+        # r1 is written on both branch arms before the merged read.
+        code = [
+            Instruction(op=Opcode.BEQ, rs=ZERO, rt=ZERO, target=3),
+            Instruction(op=Opcode.LI, rd=1, imm=1),
+            Instruction(op=Opcode.J, target=4),
+            Instruction(op=Opcode.LI, rd=1, imm=2),
+            Instruction(op=Opcode.ADD, rd=2, rs=1, rt=1),
+            Instruction(op=Opcode.HALT),
+        ]
+        report = check_code(code)
+        assert not report.findings
+
+    def test_unreachable_code_is_prog005_warning(self):
+        code = [
+            Instruction(op=Opcode.HALT),
+            Instruction(op=Opcode.ADDI, rd=1, rs=1, imm=1),
+            Instruction(op=Opcode.ADDI, rd=1, rs=1, imm=1),
+        ]
+        report = check_code(code)
+        assert report.ok
+        assert "PROG005" in warning_ids(report)
+        dead = next(f for f in report.warnings if f.check_id == "PROG005")
+        assert dead.pc == 1 and "pcs 1-2" in dead.message
+
+    def test_jal_at_last_pc_is_prog006(self):
+        code = [Instruction(op=Opcode.JAL, target=0)]
+        report = check_code(code)
+        assert "PROG006" in error_ids(report)
+
+    def test_no_reachable_halt_is_prog007_warning(self):
+        code = [Instruction(op=Opcode.J, target=0)]
+        report = check_code(code)
+        assert report.ok
+        assert "PROG007" in warning_ids(report)
+
+    def test_blind_jr_is_prog008_warning(self):
+        code = [Instruction(op=Opcode.JR, rs=1), Instruction(op=Opcode.HALT)]
+        report = check_code(code)
+        assert "PROG008" in warning_ids(report)
+        # A jr table entry supplies the landing site: warning disappears.
+        report = check_code(code, jr_targets=[1])
+        assert "PROG008" not in warning_ids(report)
+
+    def test_render_mentions_check_id(self):
+        report = check_code([Instruction(op=Opcode.J, target="x")])
+        text = report.render()
+        assert "PROG002" in text and "FAIL" in text
+
+
+# -- layer 2: the distiller IR ---------------------------------------------
+
+
+def _ir_with_forks(program, profile, target_task_size=40):
+    cfg = build_cfg(program)
+    domtree = DominatorTree(cfg)
+    loops = find_loops(cfg, domtree)
+    liveness = compute_liveness(cfg)
+    ir = lift_to_ir(program, cfg)
+    config = dataclasses.replace(
+        DistillConfig(), target_task_size=target_task_size
+    )
+    stats = run_fork_placement(ir, profile, cfg, loops, liveness, config)
+    assert stats.anchors, "fixture program must earn at least one anchor"
+    return ir, cfg, liveness
+
+
+def _find_fork(ir):
+    for block in ir.blocks:
+        for dinstr in block.instrs:
+            if dinstr.instr.op is Opcode.FORK:
+                return block, dinstr
+    raise AssertionError("no fork in IR")
+
+
+class TestCheckIr:
+    def test_lifted_ir_is_clean(self, rich_program):
+        ir = lift_to_ir(rich_program, build_cfg(rich_program))
+        report = check_ir(ir)
+        assert report.ok
+
+    def test_ir_with_forks_is_clean(self, rich_program, rich_profile):
+        ir, _, _ = _ir_with_forks(rich_program, rich_profile)
+        assert check_ir(ir, pass_name="fork_placement").ok
+
+    def test_duplicate_block_name_is_ir001(self, rich_program):
+        ir = lift_to_ir(rich_program, build_cfg(rich_program))
+        ir.blocks.append(ir.blocks[0])
+        assert "IR001" in error_ids(check_ir(ir))
+
+    def test_missing_entry_is_ir002(self, rich_program):
+        ir = lift_to_ir(rich_program, build_cfg(rich_program))
+        ir.entry_name = "nonexistent"
+        assert "IR002" in error_ids(check_ir(ir))
+
+    def test_dangling_fallthrough_is_ir003(self, rich_program):
+        ir = lift_to_ir(rich_program, build_cfg(rich_program))
+        victim = next(b for b in ir.blocks if b.fallthrough is not None)
+        victim.fallthrough = "__nope__"
+        report = check_ir(ir)
+        assert "IR003" in error_ids(report)
+        assert any(f.block == victim.name for f in report.errors)
+
+    def test_corrupt_orig_pc_is_ir005(self, rich_program):
+        ir = lift_to_ir(rich_program, build_cfg(rich_program))
+        block = next(b for b in ir.blocks if b.instrs)
+        block.instrs[0].orig_pc = len(rich_program.code) + 7
+        assert "IR005" in error_ids(check_ir(ir))
+
+    def test_dropped_fork_live_in_is_ir006(self, rich_program, rich_profile):
+        # Seeded mutation: strip one anchor-live register from a fork's
+        # use set — the exact bug that would let DCE delete a live-in
+        # producer the slaves depend on.
+        ir, cfg, liveness = _ir_with_forks(rich_program, rich_profile)
+        block, fork = _find_fork(ir)
+        anchor = int(fork.instr.target)
+        required = {
+            reg
+            for reg in liveness.live_in[cfg.block_of_pc[anchor]]
+            if reg != ZERO
+        }
+        assert required, "anchor must have live-in registers"
+        dropped = sorted(required)[0]
+        fork.uses_override = frozenset(fork.uses_override - {dropped})
+        report = check_ir(ir)
+        assert "IR006" in error_ids(report)
+        finding = next(f for f in report.errors if f.check_id == "IR006")
+        assert f"r{dropped}" in finding.message
+        assert finding.orig_pc == anchor
+
+    def test_missing_fork_use_set_is_ir006(self, rich_program, rich_profile):
+        ir, _, _ = _ir_with_forks(rich_program, rich_profile)
+        _, fork = _find_fork(ir)
+        fork.uses_override = None
+        assert "IR006" in error_ids(check_ir(ir))
+
+    def test_duplicate_anchor_is_ir009(self, rich_program, rich_profile):
+        ir, _, _ = _ir_with_forks(rich_program, rich_profile)
+        block, fork = _find_fork(ir)
+        block.instrs.insert(0, fork)
+        assert "IR009" in error_ids(check_ir(ir))
+
+    def test_non_leader_anchor_is_ir010(self, rich_program, rich_profile):
+        ir, cfg, _ = _ir_with_forks(rich_program, rich_profile)
+        _, fork = _find_fork(ir)
+        anchor = int(fork.instr.target)
+        mid_block = anchor + 1
+        assert cfg.block_at(mid_block).start != mid_block
+        fork.instr = fork.instr.with_target(mid_block)
+        assert "IR010" in error_ids(check_ir(ir))
+
+
+# -- layer 3: the distilled artifact and its pc map -------------------------
+
+
+@pytest.fixture
+def rich_distillation(rich_program, rich_profile):
+    return Distiller().distill(rich_program, rich_profile)
+
+
+def _replace_map(pc_map, **kwargs):
+    return PcMap(
+        resume=kwargs.get("resume", dict(pc_map.resume)),
+        entry_orig=kwargs.get("entry_orig", pc_map.entry_orig),
+        arrival=kwargs.get("arrival", dict(pc_map.arrival)),
+        jr_table=kwargs.get("jr_table", dict(pc_map.jr_table)),
+    )
+
+
+def _an_anchor(distillation):
+    """An anchor that is a real fork site (not the entry fallback)."""
+    return sorted(distillation.pc_map.arrival)[0]
+
+
+class TestCheckDistillation:
+    def test_real_distillation_is_clean(self, rich_program, rich_distillation):
+        report = check_distillation(
+            rich_program,
+            rich_distillation.distilled,
+            rich_distillation.pc_map,
+        )
+        assert report.ok, report.render()
+
+    def test_skewed_resume_is_map002(self, rich_program, rich_distillation):
+        # Seeded mutation: shift one anchor's resume pc off its fork.
+        pc_map = rich_distillation.pc_map
+        anchor = _an_anchor(rich_distillation)
+        resume = dict(pc_map.resume)
+        resume[anchor] += 1
+        report = check_distillation(
+            rich_program, rich_distillation.distilled,
+            _replace_map(pc_map, resume=resume),
+        )
+        assert "MAP002" in error_ids(report)
+
+    def test_skewed_arrival_is_map003(self, rich_program, rich_distillation):
+        pc_map = rich_distillation.pc_map
+        anchor = _an_anchor(rich_distillation)
+        arrival = dict(pc_map.arrival)
+        arrival[anchor] += 1
+        report = check_distillation(
+            rich_program, rich_distillation.distilled,
+            _replace_map(pc_map, arrival=arrival),
+        )
+        assert "MAP003" in error_ids(report)
+
+    def test_bogus_jr_entry_is_map004(self, rich_program, rich_distillation):
+        pc_map = rich_distillation.pc_map
+        jr_table = dict(pc_map.jr_table)
+        jr_table[5] = 0  # no block B5 survived layout at pc 0
+        report = check_distillation(
+            rich_program, rich_distillation.distilled,
+            _replace_map(pc_map, jr_table=jr_table),
+        )
+        assert "MAP004" in error_ids(report)
+
+    def test_unmapped_fork_is_map005(self, rich_program, rich_distillation):
+        pc_map = rich_distillation.pc_map
+        anchor = _an_anchor(rich_distillation)
+        resume = {k: v for k, v in pc_map.resume.items() if k != anchor}
+        resume.setdefault(
+            pc_map.entry_orig, rich_distillation.distilled.entry
+        )
+        report = check_distillation(
+            rich_program, rich_distillation.distilled,
+            _replace_map(pc_map, resume=resume),
+        )
+        assert "MAP005" in error_ids(report)
+
+    def test_wrong_entry_is_map006(self, rich_program, rich_distillation):
+        pc_map = rich_distillation.pc_map
+        anchor = _an_anchor(rich_distillation)
+        report = check_distillation(
+            rich_program, rich_distillation.distilled,
+            _replace_map(pc_map, entry_orig=anchor),
+        )
+        assert "MAP006" in error_ids(report)
+
+    def test_resume_out_of_range_is_map001(
+        self, rich_program, rich_distillation
+    ):
+        pc_map = rich_distillation.pc_map
+        anchor = _an_anchor(rich_distillation)
+        resume = dict(pc_map.resume)
+        resume[anchor] = 9999
+        report = check_distillation(
+            rich_program, rich_distillation.distilled,
+            _replace_map(pc_map, resume=resume),
+        )
+        assert "MAP001" in error_ids(report)
+
+    def test_anchor_out_of_range_is_map007(
+        self, rich_program, rich_distillation
+    ):
+        pc_map = rich_distillation.pc_map
+        resume = dict(pc_map.resume)
+        resume[9999] = 1
+        report = check_distillation(
+            rich_program, rich_distillation.distilled,
+            _replace_map(pc_map, resume=resume),
+        )
+        assert "MAP007" in error_ids(report)
+
+
+# -- the distiller's verify_after_each_pass mode ----------------------------
+
+
+class TestVerifyAfterEachPass:
+    def test_clean_distillation_passes(self, rich_program, rich_profile):
+        config = dataclasses.replace(
+            DistillConfig(), verify_after_each_pass=True
+        )
+        result = Distiller(config).distill(rich_program, rich_profile)
+        assert result.distilled.code
+
+    def test_corrupting_pass_raises_checkfailure(
+        self, rich_program, rich_profile, monkeypatch
+    ):
+        import repro.distill.distiller as distiller_module
+
+        real_dce = distiller_module.run_dce
+
+        def corrupting_dce(ir, config):
+            stats = real_dce(ir, config)
+            ir.blocks[0].fallthrough = "__nope__"
+            return stats
+
+        monkeypatch.setattr(distiller_module, "run_dce", corrupting_dce)
+        config = dataclasses.replace(
+            DistillConfig(), verify_after_each_pass=True
+        )
+        with pytest.raises(CheckFailure) as excinfo:
+            Distiller(config).distill(rich_program, rich_profile)
+        failure = excinfo.value
+        assert failure.pass_name == "dce"
+        assert any(f.check_id == "IR003" for f in failure.findings)
+        assert "IR003" in str(failure)
+
+    def test_off_by_default(self, rich_program, rich_profile, monkeypatch):
+        import repro.distill.distiller as distiller_module
+
+        real_dce = distiller_module.run_dce
+
+        def corrupting_dce(ir, config):
+            stats = real_dce(ir, config)
+            # Harmless in practice (layout never reads it back), but the
+            # checker would flag it; default mode must not.
+            for block in ir.blocks:
+                if block.instrs:
+                    block.instrs[0].orig_pc = 10_000
+                    break
+            return stats
+
+        monkeypatch.setattr(distiller_module, "run_dce", corrupting_dce)
+        Distiller().distill(rich_program, rich_profile)  # no raise
+
+
+# -- static squash prediction ----------------------------------------------
+
+
+class TestPredictedSquashReasons:
+    def test_approximating_distillation_predicts_data_squashes(
+        self, rich_distillation
+    ):
+        assert (
+            predicted_squash_reasons(rich_distillation)
+            == APPROXIMATION_SQUASH_REASONS
+        )
+
+    def test_exact_distillation_predicts_only_sound_squashes(
+        self, rich_program, rich_profile
+    ):
+        config = dataclasses.replace(
+            DistillConfig(),
+            enable_value_spec=False,
+            enable_store_elim=False,
+            enable_branch_removal=False,
+            enable_cold_code=False,
+        )
+        result = Distiller(config).distill(rich_program, rich_profile)
+        assert predicted_squash_reasons(result) == SOUND_SQUASH_REASONS
+
+
+# -- catalogue integrity ----------------------------------------------------
+
+
+class TestCatalogue:
+    def test_pass_invariants_reference_registered_checks(self):
+        for stage, ids in PASS_INVARIANTS.items():
+            unknown = [i for i in ids if i not in CHECKS]
+            assert not unknown, f"{stage} declares unknown checks {unknown}"
+
+    def test_every_stage_declares_invariants(self):
+        assert set(PASS_INVARIANTS) == {
+            "value_spec", "store_elim", "branch_removal", "cold_code",
+            "fork_placement", "dce", "layout",
+        }
+
+    def test_docs_catalogue_every_check(self):
+        docs = Path(__file__).resolve().parents[2] / "docs"
+        text = (docs / "static-checks.md").read_text()
+        missing = [cid for cid in CHECKS if cid not in text]
+        assert not missing, f"docs/static-checks.md misses {missing}"
+
+    def test_severities_are_exhaustive(self):
+        assert {s.value for s in Severity} == {"error", "warning"}

@@ -1,0 +1,52 @@
+"""Property test: distillation is statically sound on random programs.
+
+For any terminating program, the distiller either refuses cleanly
+(``DistillError``) or produces an artifact the static checker accepts —
+and with ``verify_after_each_pass`` on, every *intermediate* IR snapshot
+passes its checks too (a ``CheckFailure`` from any pass fails the test).
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.checker import check_distillation, check_program
+from repro.config import DistillConfig
+from repro.distill.distiller import Distiller
+from repro.errors import DistillError
+from repro.profiling import profile_program
+from tests.strategies import terminating_programs
+
+#: Aggressive knobs so small random programs actually get transformed
+#: (the defaults are tuned for the workload suite's sizes).
+AGGRESSIVE = dataclasses.replace(
+    DistillConfig(),
+    target_task_size=12,
+    branch_bias_threshold=0.9,
+    min_branch_count=2,
+    value_spec_min_count=2,
+    store_elim_min_count=2,
+    verify_after_each_pass=True,
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(terminating_programs())
+def test_distillation_is_statically_sound(program):
+    assert check_program(program).ok
+    profile = profile_program(program)
+    try:
+        # CheckFailure here means a pass broke a declared invariant on
+        # this input — exactly what the property forbids.  DistillError
+        # is a legitimate refusal (e.g. nothing worth distilling).
+        result = Distiller(AGGRESSIVE).distill(program, profile)
+    except DistillError:
+        return
+    report = check_distillation(
+        program, result.distilled, result.pc_map
+    )
+    assert report.ok, report.render()

@@ -1,0 +1,106 @@
+"""Tests for the engine's ``assert_static_soundness`` cross-check."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DistillConfig, MsspConfig
+from repro.distill.distiller import DistillationResult, Distiller
+from repro.errors import MsspError
+from repro.isa.asm import assemble
+from repro.isa.instructions import Opcode
+from repro.mssp.engine import MsspEngine
+from repro.profiling import profile_program
+from tests.distill.conftest import RICH_SOURCE
+
+ASSERTING = dataclasses.replace(MsspConfig(), assert_static_soundness=True)
+
+#: All approximating passes off: the distilled program must predict the
+#: original exactly, so only budget-class squashes are ever legal.
+EXACT = dataclasses.replace(
+    DistillConfig(),
+    enable_value_spec=False,
+    enable_store_elim=False,
+    enable_branch_removal=False,
+    enable_cold_code=False,
+)
+
+
+@pytest.fixture
+def rich_program():
+    return assemble(RICH_SOURCE, name="rich")
+
+
+@pytest.fixture
+def rich_profile(rich_program):
+    return profile_program(rich_program)
+
+
+class TestAssertStaticSoundness:
+    def test_real_distillation_runs_clean(self, rich_program, rich_profile):
+        distillation = Distiller().distill(rich_program, rich_profile)
+        engine = MsspEngine(rich_program, distillation, config=ASSERTING)
+        result = engine.run_and_check()
+        assert result.halted
+
+    def test_exact_distillation_runs_clean(self, rich_program, rich_profile):
+        distillation = Distiller(EXACT).distill(rich_program, rich_profile)
+        engine = MsspEngine(rich_program, distillation, config=ASSERTING)
+        result = engine.run_and_check()
+        assert result.halted
+        data_squashes = {
+            "wrong-start-pc", "register-live-in", "memory-live-in", "fault",
+        }
+        seen = set(result.counters.squash_reasons)
+        assert not (seen & data_squashes)
+
+    def test_requires_distillation_result(self, rich_program, rich_profile):
+        distillation = Distiller().distill(rich_program, rich_profile)
+        with pytest.raises(MsspError, match="assert_static_soundness"):
+            MsspEngine(
+                rich_program,
+                (distillation.distilled, distillation.pc_map),
+                config=ASSERTING,
+            )
+
+    def test_unpredicted_squash_raises(self, rich_program, rich_profile):
+        # An "exact" distillation whose code was corrupted behind the
+        # report's back: the master now mispredicts a live-in, but the
+        # pass statistics still claim nothing was approximated.
+        distillation = Distiller(EXACT).distill(rich_program, rich_profile)
+        code = list(distillation.distilled.code)
+        # The loop decrement `addi r1, r1, -1` (not the fork pass's
+        # scratch countdown, which slaves never read).
+        victim = next(
+            pc for pc, i in enumerate(code)
+            if i.op is Opcode.ADDI and i.rd == 1 and i.rs == 1
+            and i.imm == -1
+        )
+        code[victim] = dataclasses.replace(code[victim], imm=-2)
+        corrupted = dataclasses.replace(
+            distillation.distilled, code=tuple(code)
+        )
+        lying = DistillationResult(
+            original=distillation.original,
+            distilled=corrupted,
+            pc_map=distillation.pc_map,
+            report=distillation.report,
+        )
+        # Without the assertion the engine just squashes and recovers.
+        plain = MsspEngine(rich_program, lying).run_and_check()
+        assert plain.counters.tasks_squashed > 0
+        # With it, the unpredicted squash cause is a hard error.
+        engine = MsspEngine(rich_program, lying, config=ASSERTING)
+        with pytest.raises(MsspError, match="statically unpredicted"):
+            engine.run()
+
+    def test_squash_records_carry_origin_pc(self, rich_program, rich_profile):
+        distillation = Distiller().distill(rich_program, rich_profile)
+        result = MsspEngine(rich_program, distillation).run()
+        for record in result.task_records:
+            if record.committed:
+                assert record.origin_pc is None
+            elif record.squash_reason in (
+                "wrong-start-pc", "register-live-in", "memory-live-in"
+            ):
+                assert record.origin_pc == record.start_pc

@@ -23,6 +23,9 @@ class TestParser:
             ["distill", "crc", "--show-asm"],
             ["run", "compress", "--slaves", "4", "--task-size", "50"],
             ["suite"],
+            ["lint", "compress"],
+            ["lint", "--all"],
+            ["lint", "crc", "--size", "200", "--task-size", "40"],
         ],
     )
     def test_accepts_valid_invocations(self, argv):
@@ -69,6 +72,18 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "speedup" in out
+
+    def test_lint_single_workload(self, capsys):
+        assert main(["lint", "compress", "--size", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "compress: ok" in out
+        assert "compress: distilled: ok" in out
+        assert "lint: 1 workload(s), clean" in out
+
+    def test_lint_without_workload_or_all_fails(self, capsys):
+        assert main(["lint"]) == 2
+        err = capsys.readouterr().err
+        assert "--all" in err
 
     def test_timeline(self, capsys):
         assert main(

@@ -1,0 +1,41 @@
+"""Acceptance: every registered workload's distillation is lint-clean.
+
+This is the same contract ``repro lint --all`` enforces from the CLI,
+run at the test suite's small sizes: the original program, every
+intermediate IR state (via ``verify_after_each_pass``), and the final
+distilled-program/pc-map pair all pass the static checker with zero
+errors.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.checker import check_distillation, check_program
+from repro.config import DistillConfig
+from repro.distill.distiller import Distiller
+from repro.experiments.harness import training_profile
+from repro.workloads import get_workload
+from tests.workloads.test_suite import SMALL_SIZES
+
+VERIFYING = dataclasses.replace(
+    DistillConfig(), verify_after_each_pass=True
+)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+def test_workload_distillation_is_lint_clean(name):
+    instance = get_workload(name).instance(SMALL_SIZES[name])
+    program_report = check_program(instance.program, subject=name)
+    assert program_report.ok, program_report.render()
+    # verify_after_each_pass raises CheckFailure on any unsound
+    # intermediate IR state, so reaching the artifact check means every
+    # pass kept its declared invariants.
+    distillation = Distiller(VERIFYING).distill(
+        instance.program, training_profile(instance)
+    )
+    report = check_distillation(
+        instance.program, distillation.distilled, distillation.pc_map,
+        subject=f"{name}: distilled",
+    )
+    assert report.ok, report.render()
