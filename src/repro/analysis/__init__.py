@@ -8,6 +8,7 @@ from repro.analysis.checker import (
     CheckReport,
     Severity,
     check_code,
+    check_decoded,
     check_distillation,
     check_ir,
     check_program,
@@ -26,6 +27,7 @@ __all__ = [
     "CheckReport",
     "Severity",
     "check_code",
+    "check_decoded",
     "check_distillation",
     "check_ir",
     "check_program",

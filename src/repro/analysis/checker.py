@@ -9,7 +9,7 @@ invariant the distiller and the pc map are supposed to maintain.  See
 ``docs/static-checks.md`` for the catalogue and the paper/DESIGN.md
 obligation each check discharges.
 
-Three check layers, mirroring the three artifacts:
+Four check layers, mirroring the artifacts:
 
 * :func:`check_program` / :func:`check_code` — any flat Z-ISA
   instruction sequence: target ranges, ``jal`` link-register adjacency,
@@ -19,7 +19,11 @@ Three check layers, mirroring the three artifacts:
   consistency against original-program liveness, ``orig_pc`` provenance;
 * :func:`check_distillation` — the final distilled program against its
   :class:`~repro.distill.pc_map.PcMap`: resume/arrival placement, the
-  return-pc (``jr``) table's layout round-trip, fork/anchor coverage.
+  return-pc (``jr``) table's layout round-trip, fork/anchor coverage;
+* :func:`check_decoded` — a program's pre-decoded execution engine
+  (:mod:`repro.machine.decoded`): cache identity discipline, decode
+  metadata round-trip against the source instructions, superstep chain
+  structure.
 
 Checks *report*; they never raise.  The distiller's
 ``verify_after_each_pass`` debug mode and the ``repro lint`` CLI
@@ -77,6 +81,12 @@ CHECKS: Dict[str, str] = {
     "MAP005": "every fork instruction's target is a mapped anchor",
     "MAP006": "the pc map covers the original program's entry point",
     "MAP007": "every anchor is a valid original-program pc",
+    # -- decoded execution-engine checks -------------------------------------
+    "DEC001": "decoding is cached per program object and per mode",
+    "DEC002": "every decoded closure's bound facts round-trip to its source "
+              "instruction",
+    "DEC003": "superstep chains stop exactly at block terminators, with "
+              "correct halt flags",
 }
 
 
@@ -731,6 +741,101 @@ def _check_arrival(
             f"the anchor's fork (expected {containing})",
             pc=arrival, orig_pc=anchor,
         )
+
+
+# ---------------------------------------------------------------------------
+# Layer 4: the pre-decoded execution engine
+# ---------------------------------------------------------------------------
+
+
+def check_decoded(
+    program: Program, subject: Optional[str] = None
+) -> CheckReport:
+    """Check a program's decoding (:mod:`repro.machine.decoded`).
+
+    The decoded engine bakes each instruction's operands, immediates,
+    targets, and fall-through pc into a closure at decode time; a decoder
+    bug would misexecute silently at full speed.  This layer re-derives
+    the baked-in facts from the source :class:`Instruction` and compares
+    them against the decoding actually served by the cache — so ``repro
+    lint`` catches decoder/ISA drift (or a corrupted cache attachment)
+    statically, before the differential tests have to.
+    """
+    from repro.machine.decoded import _decode_meta, decode
+
+    report = CheckReport(subject=subject or f"{program.name}: decoded")
+    decoded = decode(program)
+
+    # DEC001: the cache returns one decoding per (program object, mode).
+    if decode(program) is not decoded:
+        _finding(
+            report, "DEC001", Severity.ERROR,
+            "repeated decode() calls returned distinct decodings for the "
+            "same program object (cache attachment broken)",
+        )
+    if decode(program, oracle=True) is decoded:
+        _finding(
+            report, "DEC001", Severity.ERROR,
+            "oracle-mode decode() returned the fast-mode decoding "
+            "(modes must cache separately)",
+        )
+
+    # DEC002: per-pc decode metadata round-trips to the source text.
+    size = len(program.code)
+    if decoded.size != size or len(decoded.steppers) != size or (
+        len(decoded.meta) != size
+    ):
+        _finding(
+            report, "DEC002", Severity.ERROR,
+            f"decoding covers {decoded.size} pcs "
+            f"({len(decoded.steppers)} steppers, {len(decoded.meta)} "
+            f"meta records) but the text has {size}",
+        )
+        return report
+    for pc, instr in enumerate(program.code):
+        expected = _decode_meta(pc, instr)
+        if decoded.meta[pc] != expected:
+            _finding(
+                report, "DEC002", Severity.ERROR,
+                f"decoded facts {decoded.meta[pc]!r} do not match the "
+                f"source instruction's {expected!r}", pc=pc,
+            )
+
+    # DEC003: superstep chains mirror the text's terminator structure.
+    if len(decoded.chains) != size or len(decoded.chain_halts) != size:
+        _finding(
+            report, "DEC003", Severity.ERROR,
+            f"chain tables cover {len(decoded.chains)} pcs but the text "
+            f"has {size}",
+        )
+        return report
+    end = size
+    halts = False
+    expected_spans = [0] * size
+    expected_halts = [False] * size
+    for pc in range(size - 1, -1, -1):
+        instr = program.code[pc]
+        if instr.is_terminator:
+            end = pc + 1
+            halts = instr.op is Opcode.HALT
+        expected_spans[pc] = end - pc
+        expected_halts[pc] = halts
+    for pc in range(size):
+        if len(decoded.chains[pc]) != expected_spans[pc]:
+            _finding(
+                report, "DEC003", Severity.ERROR,
+                f"chain spans {len(decoded.chains[pc])} instruction(s) "
+                f"but the block suffix from here holds "
+                f"{expected_spans[pc]}", pc=pc,
+            )
+        if decoded.chain_halts[pc] != expected_halts[pc]:
+            _finding(
+                report, "DEC003", Severity.ERROR,
+                f"chain halt flag is {decoded.chain_halts[pc]} but the "
+                f"terminator {'is' if expected_halts[pc] else 'is not'} "
+                "a halt", pc=pc,
+            )
+    return report
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,13 @@ Subcommands
     The E1-style table over every workload.
 ``lint``
     Static soundness report: check a workload's original program, its
-    distillation (with per-pass IR verification), and the pc map.
+    distillation (with per-pass IR verification), the pc map, and the
+    pre-decoded execution cache.
+``bench``
+    Performance measurement: interpreter microbenchmark (reference
+    ``execute`` loop vs the pre-decoded engine) plus the E-suite through
+    the persistent artifact cache; writes ``BENCH_summary.json`` and can
+    gate against a committed baseline.
 """
 
 from __future__ import annotations
@@ -91,6 +97,38 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--task-size", type=int, default=None,
         help="target dynamic instructions per task",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run the performance benchmark suite"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="shortcut for --scale 0.1 (CI smoke configuration)",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=None,
+        help="workload size scale factor (default: REPRO_BENCH_SCALE or 1.0)",
+    )
+    bench.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="subset of workloads (default: all)",
+    )
+    bench.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="evaluate workloads in N parallel processes",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_summary.json",
+        help="machine-readable summary path",
+    )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON to gate against (exit 1 on >30%% regression)",
+    )
+    bench.add_argument(
+        "--clear-cache", action="store_true",
+        help="drop the persistent artifact cache before running",
     )
 
     report = sub.add_parser(
@@ -228,7 +266,11 @@ def cmd_timeline(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.analysis.checker import check_distillation, check_program
+    from repro.analysis.checker import (
+        check_decoded,
+        check_distillation,
+        check_program,
+    )
     from repro.distill.distiller import Distiller
     from repro.errors import CheckFailure, DistillError
     from repro.experiments.harness import training_profile
@@ -251,6 +293,12 @@ def cmd_lint(args) -> int:
         print(program_report.render())
         warnings += len(program_report.warnings)
         if not program_report.ok:
+            failures += 1
+            continue
+        decoded_report = check_decoded(instance.program, subject=name)
+        print(decoded_report.render())
+        warnings += len(decoded_report.warnings)
+        if not decoded_report.ok:
             failures += 1
             continue
         try:
@@ -276,11 +324,78 @@ def cmd_lint(args) -> int:
         warnings += len(artifact_report.warnings)
         if not artifact_report.ok:
             failures += 1
+            continue
+        distilled_decoded = check_decoded(
+            distillation.distilled, subject=f"{name}: distilled decoded"
+        )
+        print(distilled_decoded.render())
+        warnings += len(distilled_decoded.warnings)
+        if not distilled_decoded.ok:
+            failures += 1
     verdict = "clean" if not failures else f"{failures} FAILED"
     print(
         f"lint: {len(names)} workload(s), {verdict}, {warnings} warning(s)"
     )
     return 1 if failures else 0
+
+
+def cmd_bench(args) -> int:
+    import os
+
+    from repro.experiments import cache as artifact_cache
+    from repro.experiments.bench import (
+        check_baseline,
+        run_bench,
+        write_summary,
+    )
+
+    if args.clear_cache:
+        removed = artifact_cache.clear()
+        print(f"cleared {removed} cached artifact(s)", file=sys.stderr)
+    scale = args.scale
+    if scale is None:
+        scale = 0.1 if args.quick else float(
+            os.environ.get("REPRO_BENCH_SCALE", "1.0")
+        )
+    summary = run_bench(
+        workloads=args.workloads, scale=scale, jobs=args.jobs
+    )
+    micro = summary["microbenchmark"]
+    print(
+        f"interpreter microbenchmark ({micro['workload']}, "
+        f"{micro['dynamic_instrs']} instrs):"
+    )
+    print(f"  reference execute() loop: "
+          f"{micro['legacy_instrs_per_sec']:>12,.0f} instrs/sec")
+    print(f"  pre-decoded engine:       "
+          f"{micro['decoded_instrs_per_sec']:>12,.0f} instrs/sec")
+    print(f"  speedup:                  {micro['speedup']:>12.2f}x")
+    table = Table(
+        ["workload", "size", "wall s", "Msim/s", "speedup", "cache"],
+        title=f"E-suite (scale {scale:g}, -j {args.jobs})",
+    )
+    for row in summary["suite"]:
+        table.add_row(
+            row["workload"], row["size"], f"{row['wall_seconds']:.3f}",
+            f"{row['instrs_per_sec'] / 1e6:.2f}",
+            f"{row['speedup']:.2f}", "hit" if row["cache_hit"] else "miss",
+        )
+    print(table.render())
+    print(
+        f"suite wall time {summary['suite_wall_seconds']:.2f}s, "
+        f"{summary['cache_hits']}/{len(summary['suite'])} cache hits "
+        f"({summary['cache_dir']})"
+    )
+    write_summary(summary, args.output)
+    print(f"wrote {args.output}")
+    if args.baseline is not None:
+        problems = check_baseline(summary, args.baseline)
+        for problem in problems:
+            print(f"bench: REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"bench: within baseline {args.baseline}")
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -303,6 +418,7 @@ COMMANDS = {
     "timeline": cmd_timeline,
     "suite": cmd_suite,
     "lint": cmd_lint,
+    "bench": cmd_bench,
     "report": cmd_report,
 }
 

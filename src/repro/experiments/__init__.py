@@ -4,6 +4,7 @@ from repro.experiments.harness import (
     EvaluationRow,
     PreparedWorkload,
     evaluate,
+    parallel_map,
     prepare,
     training_profile,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "EvaluationRow",
     "PreparedWorkload",
     "evaluate",
+    "parallel_map",
     "prepare",
     "training_profile",
 ]

@@ -1,0 +1,285 @@
+"""``repro bench``: the perf-measurement loop for the reproduction.
+
+Two stages, both emitted into a machine-readable ``BENCH_summary.json``:
+
+1. **Interpreter microbenchmark** — one workload run twice from boot to
+   halt: once through the seed's per-step
+   :func:`repro.machine.semantics.execute` dispatch loop (kept verbatim
+   below as :func:`reference_execute_loop`, the perf baseline), once
+   through the pre-decoded engine (:mod:`repro.machine.decoded`).
+   Reports instructions/second for both and their ratio; this is the
+   number the CI smoke job gates on (>30% regression against
+   ``benchmarks/baseline.json`` fails).
+
+2. **E-suite sweep** — the full workload pipeline (profile → distill →
+   MSSP functional run with equivalence check → timing replay) per
+   workload, through the persistent artifact cache
+   (:mod:`repro.experiments.cache`), recording per-workload wall time,
+   simulated instructions/second, speedup, and whether the expensive
+   stage hit the cache.  ``-j N`` fans workloads out over a process
+   pool (:func:`repro.experiments.harness.parallel_map`); workers share
+   the cache through the filesystem.
+
+The cached pipeline entry points (:func:`cached_prepare`,
+:func:`cached_functional_run`) are also what ``benchmarks/common.py``
+builds its per-process memo on, so pytest benchmark runs and the CLI
+share one on-disk artifact store.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import DistillConfig, MsspConfig, TimingConfig
+from repro.errors import InvalidPcError
+from repro.experiments import cache as artifact_cache
+from repro.experiments.harness import (
+    EvaluationRow,
+    PreparedWorkload,
+    evaluate,
+    parallel_map,
+    prepare,
+)
+from repro.isa.program import Program
+from repro.machine.interpreter import DEFAULT_STEP_LIMIT
+from repro.machine.decoded import decode
+from repro.machine.semantics import execute
+from repro.machine.state import ArchState
+from repro.mssp.engine import MsspResult
+from repro.timing import simulate_mssp
+from repro.workloads import WORKLOADS, get_workload
+
+#: Workload driving the interpreter microbenchmark (branchy, load/store
+#: heavy, representative dynamic mix).
+MICRO_WORKLOAD = "compress"
+
+#: Regression tolerance for the baseline gate: fail when decoded
+#: instructions/second fall below ``(1 - tolerance) * baseline``.
+BASELINE_TOLERANCE = 0.30
+
+
+def workload_size(name: str, scale: float = 1.0) -> int:
+    """The benchmark size for ``name`` at ``scale`` (floor of 4)."""
+    return max(4, int(get_workload(name).default_size * scale))
+
+
+# -- cached pipeline ----------------------------------------------------------
+
+
+def cached_prepare(
+    name: str,
+    size: Optional[int] = None,
+    distill_config: Optional[DistillConfig] = None,
+) -> Tuple[PreparedWorkload, bool]:
+    """Profile+distill through the persistent cache; ``(ready, hit)``."""
+    resolved = size if size is not None else workload_size(name)
+    instance = get_workload(name).instance(resolved)
+    content = artifact_cache.program_digest(instance.program)
+    key = artifact_cache.digest(name, resolved, content, distill_config)
+    return artifact_cache.fetch(
+        "prepared", key,
+        lambda: prepare(
+            get_workload(name), size=resolved, distill_config=distill_config
+        ),
+    )
+
+
+def cached_functional_run(
+    name: str,
+    size: Optional[int] = None,
+    distill_config: Optional[DistillConfig] = None,
+    mssp_config: Optional[MsspConfig] = None,
+) -> Tuple[PreparedWorkload, MsspResult, bool]:
+    """The equivalence-checked MSSP run through the persistent cache.
+
+    Returns ``(ready, result, hit)`` where ``hit`` reports whether the
+    *functional-run* artifact came from disk (the profile→distill→MSSP
+    stage was skipped entirely).
+    """
+    resolved = size if size is not None else workload_size(name)
+    instance = get_workload(name).instance(resolved)
+    content = artifact_cache.program_digest(instance.program)
+    key = artifact_cache.digest(
+        name, resolved, content, distill_config, mssp_config
+    )
+
+    def compute() -> Tuple[PreparedWorkload, MsspResult]:
+        ready, _ = cached_prepare(name, resolved, distill_config)
+        row = evaluate(ready, mssp_config=mssp_config)
+        return ready, row.mssp
+
+    pair, hit = artifact_cache.fetch("functional", key, compute)
+    return pair[0], pair[1], hit
+
+
+# -- stage 1: interpreter microbenchmark --------------------------------------
+
+
+def reference_execute_loop(
+    program: Program,
+    state: Optional[ArchState] = None,
+    max_steps: int = DEFAULT_STEP_LIMIT,
+) -> int:
+    """The seed interpreter loop, verbatim: per-step ``execute`` dispatch.
+
+    Kept as the microbenchmark baseline (and as a second oracle in the
+    differential tests) so the decoded engine's speedup is always
+    measured against the same code the seed shipped.
+    """
+    if state is None:
+        state = ArchState.initial(program)
+    code = program.code
+    size = len(code)
+    steps = 0
+    while True:
+        pc = state.pc
+        if not 0 <= pc < size:
+            raise InvalidPcError(pc, size)
+        effect = execute(code[pc], state)
+        if effect.halted:
+            return steps
+        steps += 1
+        if steps >= max_steps:
+            from repro.errors import StepLimitExceeded
+
+            raise StepLimitExceeded(max_steps)
+
+
+def microbenchmark(
+    workload: str = MICRO_WORKLOAD,
+    scale: float = 1.0,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Instructions/second of the reference loop vs the decoded engine."""
+    program = get_workload(workload).instance(
+        workload_size(workload, scale)
+    ).program
+    decoded = decode(program)  # decode cost paid up front, like real runs
+
+    def time_once(runner) -> Tuple[int, float]:
+        state = ArchState.initial(program)
+        start = time.perf_counter()
+        steps = runner(state)
+        return steps, time.perf_counter() - start
+
+    legacy_best = float("inf")
+    decoded_best = float("inf")
+    steps = 0
+    for _ in range(max(1, repeats)):
+        steps, elapsed = time_once(
+            lambda s: reference_execute_loop(program, s)
+        )
+        legacy_best = min(legacy_best, elapsed)
+        steps, elapsed = time_once(
+            lambda s: decoded.run(s, DEFAULT_STEP_LIMIT)[0]
+        )
+        decoded_best = min(decoded_best, elapsed)
+    legacy_ips = steps / legacy_best if legacy_best > 0 else float("inf")
+    decoded_ips = steps / decoded_best if decoded_best > 0 else float("inf")
+    return {
+        "workload": workload,
+        "dynamic_instrs": steps,
+        "legacy_instrs_per_sec": legacy_ips,
+        "decoded_instrs_per_sec": decoded_ips,
+        "speedup": decoded_ips / legacy_ips if legacy_ips else float("inf"),
+    }
+
+
+# -- stage 2: E-suite sweep ---------------------------------------------------
+
+
+def _bench_one(args: Tuple[str, float]) -> Dict[str, object]:
+    """One workload through the cached pipeline (process-pool worker)."""
+    name, scale = args
+    size = workload_size(name, scale)
+    start = time.perf_counter()
+    ready, result, hit = cached_functional_run(name, size=size)
+    breakdown = simulate_mssp(result, TimingConfig())
+    wall = time.perf_counter() - start
+    row = EvaluationRow(
+        name=name, seq_instrs=ready.seq_instrs, mssp=result,
+        breakdown=breakdown, seq_loads=ready.seq_loads,
+    )
+    simulated = (
+        result.counters.total_instrs + ready.seq_instrs  # engine + seq check
+    )
+    return {
+        "workload": name,
+        "size": size,
+        "wall_seconds": wall,
+        "cache_hit": hit,
+        "seq_instrs": ready.seq_instrs,
+        "simulated_instrs": simulated,
+        "instrs_per_sec": simulated / wall if wall > 0 else float("inf"),
+        "speedup": row.speedup,
+        "squash_rate": result.counters.squash_rate,
+    }
+
+
+def run_bench(
+    workloads: Optional[List[str]] = None,
+    scale: float = 1.0,
+    jobs: int = 1,
+    micro_repeats: int = 3,
+) -> Dict[str, object]:
+    """The full benchmark: microbenchmark + E-suite sweep; JSON-ready."""
+    names = list(workloads) if workloads else list(WORKLOADS)
+    micro = microbenchmark(scale=scale, repeats=micro_repeats)
+    suite_start = time.perf_counter()
+    rows = parallel_map(_bench_one, [(name, scale) for name in names], jobs)
+    suite_wall = time.perf_counter() - suite_start
+    return {
+        "schema": artifact_cache.CACHE_SCHEMA,
+        "scale": scale,
+        "jobs": jobs,
+        "microbenchmark": micro,
+        "suite": rows,
+        "suite_wall_seconds": suite_wall,
+        "cache_hits": sum(1 for r in rows if r["cache_hit"]),
+        "cache_dir": str(artifact_cache.cache_dir()),
+    }
+
+
+def write_summary(summary: Dict[str, object], path: str) -> None:
+    Path(path).write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+def check_baseline(
+    summary: Dict[str, object],
+    baseline_path: str,
+    tolerance: float = BASELINE_TOLERANCE,
+) -> List[str]:
+    """Regression check against a committed baseline; returns problems.
+
+    The baseline file records the *floor* throughput
+    (``decoded_instrs_per_sec``) and the minimum decoded-vs-legacy
+    ``speedup``; the current run fails when it regresses more than
+    ``tolerance`` below either.  An absent baseline file is an error
+    (the gate must never pass vacuously).
+    """
+    problems: List[str] = []
+    path = Path(baseline_path)
+    if not path.is_file():
+        return [f"baseline file {baseline_path} not found"]
+    baseline = json.loads(path.read_text())
+    micro = summary["microbenchmark"]
+    floor = baseline.get("decoded_instrs_per_sec")
+    if floor is not None:
+        allowed = floor * (1.0 - tolerance)
+        actual = micro["decoded_instrs_per_sec"]
+        if actual < allowed:
+            problems.append(
+                f"decoded interpreter throughput regressed: "
+                f"{actual:,.0f} instrs/sec < {allowed:,.0f} "
+                f"(baseline {floor:,.0f} - {tolerance:.0%})"
+            )
+    min_speedup = baseline.get("min_speedup")
+    if min_speedup is not None and micro["speedup"] < min_speedup:
+        problems.append(
+            f"decoded-vs-legacy speedup regressed: "
+            f"{micro['speedup']:.2f}x < required {min_speedup:.2f}x"
+        )
+    return problems

@@ -187,6 +187,26 @@ def _profile_for(instance: WorkloadInstance, source: str) -> Profile:
     return merged
 
 
+def parallel_map(fn, items, jobs: int = 1) -> list:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    ``jobs <= 1`` runs inline (no pool, no pickling requirements).  With
+    more jobs, ``fn`` and each item must be picklable (module-level
+    function, plain-data arguments); results come back in input order.
+    Workers share nothing in memory — pipelines that want reuse across
+    workers must go through the persistent artifact cache
+    (:mod:`repro.experiments.cache`), which is safe under concurrent
+    writers (atomic replace).
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
 def evaluate(
     prepared: PreparedWorkload,
     mssp_config: Optional[MsspConfig] = None,

@@ -61,6 +61,18 @@ class Program:
                     f"pc {pc}: target {target} outside text [0, {size})"
                 )
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle/deepcopy state: the dataclass fields only.
+
+        Runtime attachments (the pre-decoded execution cache, which holds
+        closures) are identity-scoped and must never travel with the
+        program's value.
+        """
+        return {
+            name: self.__dict__[name]
+            for name in ("code", "memory", "entry", "symbols", "name")
+        }
+
     # -- basic accessors -----------------------------------------------------
 
     def __len__(self) -> int:

@@ -5,6 +5,7 @@ and :func:`~repro.machine.interpreter.run` define what "correct execution"
 means for every other part of the system.
 """
 
+from repro.machine.decoded import DecodedProgram, decode
 from repro.machine.interpreter import (
     DEFAULT_STEP_LIMIT,
     Observer,
@@ -19,6 +20,8 @@ from repro.machine.semantics import StepEffect, execute
 from repro.machine.state import ArchState, MachineStateLike, wrap64
 
 __all__ = [
+    "DecodedProgram",
+    "decode",
     "DEFAULT_STEP_LIMIT",
     "Observer",
     "RunResult",

@@ -8,6 +8,13 @@ correctness is always judged against these functions.
 An optional observer receives every executed instruction together with its
 :class:`~repro.machine.semantics.StepEffect`; the profiler is implemented
 as such an observer.
+
+Execution dispatches through the pre-decoded engine
+(:mod:`repro.machine.decoded`), which is differentially tested to be
+observationally identical to :func:`repro.machine.semantics.execute`,
+the semantic oracle.  Effects handed to observers follow the decoded
+engine's interned-effect contract: treat them as immutable, snapshot
+fields rather than retaining the objects.
 """
 
 from __future__ import annotations
@@ -15,10 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.errors import InvalidPcError, StepLimitExceeded
+from repro.errors import InvalidPcError
 from repro.isa.instructions import Instruction
 from repro.isa.program import Program
-from repro.machine.semantics import StepEffect, execute
+from repro.machine.decoded import decode
+from repro.machine.semantics import StepEffect
 from repro.machine.state import ArchState
 
 #: Observer signature: (pc before execution, instruction, effect, state after).
@@ -39,10 +47,7 @@ class RunResult:
 
 def step(program: Program, state: ArchState) -> StepEffect:
     """Execute exactly one instruction of ``program`` at ``state.pc``."""
-    pc = state.pc
-    if not 0 <= pc < len(program.code):
-        raise InvalidPcError(pc, len(program.code))
-    return execute(program.code[pc], state)
+    return decode(program).step(state)
 
 
 def run(
@@ -59,26 +64,8 @@ def run(
     """
     if state is None:
         state = ArchState.initial(program)
-    code = program.code
-    size = len(code)
-    steps = 0
-    while True:
-        pc = state.pc
-        if not 0 <= pc < size:
-            raise InvalidPcError(pc, size)
-        instr = code[pc]
-        effect = execute(instr, state)
-        if effect.halted:
-            # The halt is observed (profilers must see halt blocks execute)
-            # but not counted as a step: a halted state is a fixed point.
-            if observer is not None:
-                observer(pc, instr, effect, state)
-            return RunResult(state=state, steps=steps, halted=True)
-        steps += 1
-        if observer is not None:
-            observer(pc, instr, effect, state)
-        if steps >= max_steps:
-            raise StepLimitExceeded(max_steps)
+    steps, halted = decode(program).run(state, max_steps, observer=observer)
+    return RunResult(state=state, steps=steps, halted=halted)
 
 
 def run_to_halt(program: Program, max_steps: int = DEFAULT_STEP_LIMIT) -> RunResult:
@@ -93,14 +80,14 @@ def seq(program: Program, state: ArchState, n: int) -> ArchState:
     state is a fixed point, so stepping past a ``halt`` is well-defined.
     """
     result = state.copy()
-    code = program.code
-    size = len(code)
+    decoded = decode(program)
+    steppers = decoded.steppers
+    size = decoded.size
     for _ in range(n):
         pc = result.pc
         if not 0 <= pc < size:
             raise InvalidPcError(pc, size)
-        effect = execute(code[pc], result)
-        if effect.halted:
+        if steppers[pc](result).halted:
             break
     return result
 

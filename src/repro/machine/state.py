@@ -96,8 +96,17 @@ class ArchState:
     # -- copying / comparison ---------------------------------------------------
 
     def copy(self) -> "ArchState":
-        """An independent deep copy."""
-        return ArchState(regs=self.regs, mem=self.mem, pc=self.pc)
+        """An independent deep copy.
+
+        Checkpoint/snapshot hot path: bypasses ``__init__`` (whose
+        generic constructors re-validate) and duplicates the slots with
+        ``list.copy``/``dict.copy`` directly.
+        """
+        clone = ArchState.__new__(ArchState)
+        clone.regs = self.regs.copy()
+        clone.mem = self.mem.copy()
+        clone.pc = self.pc
+        return clone
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ArchState):

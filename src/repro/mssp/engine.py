@@ -36,10 +36,10 @@ from typing import List, Optional, Union
 from repro.config import MsspConfig
 from repro.distill.distiller import DistillationResult
 from repro.distill.pc_map import PcMap
-from repro.errors import MsspError, StepLimitExceeded
+from repro.errors import InvalidPcError, MsspError, StepLimitExceeded
 from repro.isa.program import Program
+from repro.machine.decoded import decode
 from repro.machine.interpreter import run_to_halt
-from repro.machine.semantics import execute
 from repro.machine.state import ArchState
 from repro.mssp.master import Master, MasterEvent, MasterEventKind
 from repro.mssp.regions import DeviceAccess, ProtectedRegions
@@ -94,6 +94,7 @@ class MsspEngine:
         self.original = original
         self.distilled = distilled
         self.pc_map = pc_map
+        self._decoded_original = decode(original)
         self.config = config or MsspConfig()
         self.regions = ProtectedRegions.from_config(
             self.config.protected_regions
@@ -306,8 +307,9 @@ class MsspEngine:
         """
         anchors = self.pc_map.anchors
         regions = self.regions
-        code = self.original.code
-        size = len(code)
+        decoded = self._decoded_original
+        steppers = decoded.steppers
+        size = decoded.size
         steps = 0
         loads = 0
         halted = False
@@ -315,10 +317,8 @@ class MsspEngine:
         while True:
             pc = arch.pc
             if not 0 <= pc < size:
-                from repro.errors import InvalidPcError
-
                 raise InvalidPcError(pc, size)
-            effect = execute(code[pc], arch)
+            effect = steppers[pc](arch)
             if effect.halted:
                 halted = True
                 break

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 from repro.config import MsspConfig
 from repro.isa.instructions import Opcode
 from repro.isa.program import Program
-from repro.machine.semantics import execute
+from repro.machine.decoded import decode
 from repro.machine.state import ArchState, wrap64
 from repro.mssp.task import Checkpoint
 
@@ -115,6 +115,19 @@ class Master:
         self._arrivals: Dict[int, int] = {}
         self.total_instrs = 0
         self.restarts = 0
+        self._decoded = decode(distilled)
+        # Per-pc dispatch for the two opcodes the master hardware
+        # intercepts before execution: None for ordinary instructions,
+        # (FORK, anchor) for forks, (JR, rs) for indirect jumps (whose
+        # original-program return addresses translate through jr_table).
+        self._special: tuple = tuple(
+            (Opcode.FORK, int(instr.target))
+            if instr.op is Opcode.FORK
+            else (Opcode.JR, instr.rs)
+            if instr.op is Opcode.JR
+            else None
+            for instr in distilled.code
+        )
 
     def restart(self, arch: ArchState, distilled_pc: int) -> None:
         """Reseed the master from architected state at ``distilled_pc``."""
@@ -127,8 +140,9 @@ class Master:
         view = self._view
         if view is None:
             raise RuntimeError("master.restart() must be called first")
-        code = self.distilled.code
-        size = len(code)
+        size = self._decoded.size
+        steppers = self._decoded.steppers
+        special = self._special
         budget = self.config.max_master_instrs_per_task
         arrival_pcs = self.arrival_pcs
         arrivals = self._arrivals
@@ -141,8 +155,14 @@ class Master:
             if pc in arrival_pcs:
                 anchor = arrival_pcs[pc]
                 arrivals[anchor] = arrivals.get(anchor, 0) + 1
-            instr = code[pc]
-            if instr.op is Opcode.FORK:
+            dispatch = special[pc]
+            if dispatch is None:
+                effect = steppers[pc](view)
+                if effect.halted:
+                    return MasterEvent(MasterEventKind.HALT, executed, loads)
+                if effect.mem_addr is not None and not effect.is_store:
+                    loads += 1
+            elif dispatch[0] is Opcode.FORK:
                 view.pc = pc + 1
                 executed += 1
                 self.total_instrs += 1
@@ -152,24 +172,18 @@ class Master:
                     shipped = dict(view.dirty)
                 view.delta = {}
                 checkpoint = Checkpoint(regs=tuple(view.regs), mem=shipped)
-                anchor = int(instr.target)
+                anchor = dispatch[1]
                 count = max(1, arrivals.get(anchor, 0))
                 self._arrivals = {}
                 return MasterEvent(
                     MasterEventKind.FORK, executed, loads,
                     anchor=anchor, checkpoint=checkpoint, arrivals=count,
                 )
-            if instr.op is Opcode.JR:
-                target = self.jr_table.get(view.read_reg(instr.rs))
+            else:  # JR: translate the original return pc into our text.
+                target = self.jr_table.get(view.read_reg(dispatch[1]))
                 if target is None:
                     return MasterEvent(MasterEventKind.TRAP, executed, loads)
                 view.pc = target
-            else:
-                effect = execute(instr, view)
-                if effect.halted:
-                    return MasterEvent(MasterEventKind.HALT, executed, loads)
-                if effect.mem_addr is not None and not effect.is_store:
-                    loads += 1
             executed += 1
             self.total_instrs += 1
             if executed >= budget:
@@ -186,22 +200,22 @@ class Master:
         from repro.errors import StepLimitExceeded
 
         view = _MasterView(arch, self.distilled.entry)
-        code = self.distilled.code
-        size = len(code)
+        size = self._decoded.size
+        steppers = self._decoded.steppers
+        special = self._special
         executed = 0
         while True:
             pc = view.pc
             if not 0 <= pc < size:
                 return executed  # ran off the text: treat as terminated
-            instr = code[pc]
-            if instr.op is Opcode.JR:
-                target = self.jr_table.get(view.read_reg(instr.rs))
+            dispatch = special[pc]
+            if dispatch is not None and dispatch[0] is Opcode.JR:
+                target = self.jr_table.get(view.read_reg(dispatch[1]))
                 if target is None:
                     return executed
                 view.pc = target
-            else:
-                effect = execute(instr, view)
-                if effect.halted:
+            else:  # forks execute as fall-through, everything else as-is
+                if steppers[pc](view).halted:
                     return executed
             executed += 1
             if executed >= max_steps:

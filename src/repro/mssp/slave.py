@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ProtectedAccessError
 from repro.isa.program import Program
-from repro.machine.semantics import execute
+from repro.machine.decoded import decode
 from repro.machine.state import ArchState, wrap64
 from repro.mssp.regions import ProtectedRegions
 from repro.mssp.task import Checkpoint, Task, TaskStatus
@@ -124,8 +124,9 @@ def execute_task(
     access happens (``task.protected_access``).
     """
     view = SlaveView(task.checkpoint, arch, task.start_pc, regions=regions)
-    code = program.code
-    size = len(code)
+    decoded = decode(program)
+    steppers = decoded.steppers
+    size = decoded.size
     steps = 0
     loads = 0
     halted = False
@@ -140,7 +141,7 @@ def execute_task(
             faulted = True
             break
         try:
-            effect = execute(code[pc], view)
+            effect = steppers[pc](view)
         except ProtectedAccessError:
             protected = True
             break

@@ -18,6 +18,7 @@ from repro.analysis.checker import (
     SOUND_SQUASH_REASONS,
     Severity,
     check_code,
+    check_decoded,
     check_distillation,
     check_ir,
     check_program,
@@ -454,6 +455,73 @@ class TestPredictedSquashReasons:
         )
         result = Distiller(config).distill(rich_program, rich_profile)
         assert predicted_squash_reasons(result) == SOUND_SQUASH_REASONS
+
+
+# -- layer 4: the decoded execution engine ----------------------------------
+
+
+class TestCheckDecoded:
+    def test_clean_program_passes(self, rich_program):
+        report = check_decoded(rich_program)
+        assert report.ok
+        assert not report.findings
+
+    def test_distilled_program_passes(self, rich_program, rich_profile):
+        result = Distiller(DistillConfig()).distill(
+            rich_program, rich_profile
+        )
+        assert check_decoded(result.distilled).ok
+
+    def test_amnesiac_cache_is_dec001(self, rich_program):
+        # Seeded corruption: a cache attachment that forgets every entry
+        # makes decode() hand out a fresh decoding per call.
+        from repro.machine.decoded import decode
+
+        class Amnesiac(dict):
+            def get(self, key, default=None):
+                return None
+
+        decode(rich_program)
+        object.__setattr__(rich_program, "_decoded_cache", Amnesiac())
+        report = check_decoded(rich_program)
+        assert "DEC001" in error_ids(report)
+
+    def test_tampered_meta_is_dec002(self, rich_program):
+        from repro.machine.decoded import decode
+
+        decoded = decode(rich_program)
+        tampered = list(decoded.meta)
+        pc = len(tampered) // 2
+        tampered[pc] = tampered[pc][:-2] + (99, None)  # wrong fall-through
+        decoded.meta = tuple(tampered)
+        report = check_decoded(rich_program)
+        assert "DEC002" in error_ids(report)
+        assert any(
+            f.check_id == "DEC002" and f.pc == pc for f in report.errors
+        )
+
+    def test_truncated_chains_are_dec003(self, rich_program):
+        from repro.machine.decoded import decode
+
+        decoded = decode(rich_program)
+        chains = list(decoded.chains)
+        victim = next(
+            pc for pc, chain in enumerate(chains) if len(chain) > 1
+        )
+        chains[victim] = chains[victim][:-1]
+        decoded.chains = tuple(chains)
+        report = check_decoded(rich_program)
+        assert "DEC003" in error_ids(report)
+
+    def test_wrong_halt_flag_is_dec003(self, rich_program):
+        from repro.machine.decoded import decode
+
+        decoded = decode(rich_program)
+        flags = list(decoded.chain_halts)
+        flags[0] = not flags[0]
+        decoded.chain_halts = tuple(flags)
+        report = check_decoded(rich_program)
+        assert "DEC003" in error_ids(report)
 
 
 # -- catalogue integrity ----------------------------------------------------

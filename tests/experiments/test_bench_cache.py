@@ -1,0 +1,197 @@
+"""The persistent benchmark cache and the ``repro bench`` machinery."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.config import DistillConfig
+from repro.experiments import bench, cache
+from repro.isa.asm import assemble
+
+SMALL = 6  # tiny workload size so the pipeline stays fast in tests
+
+
+@pytest.fixture()
+def cache_root(tmp_path, monkeypatch):
+    """Point the persistent cache at a private tmpdir."""
+    root = tmp_path / "bench-cache"
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(root))
+    return root
+
+
+class TestCachePrimitives:
+    def test_fetch_computes_then_hits(self, cache_root):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"answer": 42}
+
+        value, hit = cache.fetch("unit", "k1", compute)
+        assert value == {"answer": 42} and not hit
+        value, hit = cache.fetch("unit", "k1", compute)
+        assert value == {"answer": 42} and hit
+        assert len(calls) == 1
+
+    def test_corrupt_entry_is_a_miss_and_gets_overwritten(self, cache_root):
+        cache.store("unit", "bad", [1, 2, 3])
+        path = cache_root / "unit-bad.pkl"
+        path.write_bytes(b"not a pickle")
+        assert cache.load("unit", "bad") is None
+        value, hit = cache.fetch("unit", "bad", lambda: "recomputed")
+        assert value == "recomputed" and not hit
+        assert pickle.loads(path.read_bytes()) == "recomputed"
+
+    def test_disabled_cache_never_persists(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", "off")
+        assert cache.cache_dir() is None
+        assert not cache.store("unit", "k", 1)
+        calls = []
+        for _ in range(2):
+            value, hit = cache.fetch(
+                "unit", "k", lambda: calls.append(1) or "fresh"
+            )
+            assert value == "fresh" and not hit
+        assert len(calls) == 2
+
+    def test_clear_by_kind(self, cache_root):
+        cache.store("alpha", "x", 1)
+        cache.store("alpha", "y", 2)
+        cache.store("beta", "z", 3)
+        assert cache.clear("alpha") == 2
+        assert cache.load("beta", "z") == 3
+        assert cache.clear() == 1
+
+
+class TestDigests:
+    def test_digest_sensitive_to_config(self):
+        base = cache.digest("compress", SMALL, DistillConfig())
+        tweaked = cache.digest(
+            "compress", SMALL, DistillConfig(target_task_size=7)
+        )
+        assert base != tweaked
+        assert base == cache.digest("compress", SMALL, DistillConfig())
+
+    def test_program_digest_tracks_content(self):
+        original = assemble(".text\nmain: li r1, 1\n halt\n")
+        edited_code = assemble(".text\nmain: li r1, 2\n halt\n")
+        edited_data = assemble(".text\nmain: li r1, 1\n halt\n.data\n.word 9")
+        digests = {
+            cache.program_digest(p)
+            for p in (original, edited_code, edited_data)
+        }
+        assert len(digests) == 3
+        twin = assemble(".text\nmain: li r1, 1\n halt\n")
+        assert cache.program_digest(twin) == cache.program_digest(original)
+
+
+class TestCachedPipeline:
+    def test_second_invocation_hits_persistent_cache(self, cache_root):
+        """Acceptance: rerunning an E-suite benchmark skips the pipeline."""
+        ready, result, hit = bench.cached_functional_run(
+            "compress", size=SMALL
+        )
+        assert not hit
+        again_ready, again_result, hit = bench.cached_functional_run(
+            "compress", size=SMALL
+        )
+        assert hit
+        # The disk round-trip must be observationally lossless.
+        assert again_result.final_state == result.final_state
+        assert again_result.counters == result.counters
+        assert again_ready.seq_instrs == ready.seq_instrs
+        # And the prepare stage was cached independently.
+        _, prepared_hit = bench.cached_prepare("compress", size=SMALL)
+        assert prepared_hit
+
+    def test_distinct_configs_do_not_collide(self, cache_root):
+        _, _, hit = bench.cached_functional_run("compress", size=SMALL)
+        assert not hit
+        _, _, hit = bench.cached_functional_run(
+            "compress", size=SMALL,
+            distill_config=DistillConfig(target_task_size=9),
+        )
+        assert not hit
+
+
+class TestRunBench:
+    def test_summary_shape_and_baseline_gate(self, cache_root, tmp_path):
+        summary = bench.run_bench(
+            workloads=["compress"], scale=0.02, jobs=1, micro_repeats=1
+        )
+        assert summary["schema"] == cache.CACHE_SCHEMA
+        micro = summary["microbenchmark"]
+        assert micro["decoded_instrs_per_sec"] > 0
+        assert len(summary["suite"]) == 1
+        row = summary["suite"][0]
+        assert row["workload"] == "compress"
+        assert row["simulated_instrs"] > 0 and row["wall_seconds"] >= 0
+
+        out = tmp_path / "BENCH_summary.json"
+        bench.write_summary(summary, str(out))
+        assert json.loads(out.read_text())["suite"][0]["workload"] == (
+            "compress"
+        )
+
+        passing = tmp_path / "baseline-pass.json"
+        passing.write_text(json.dumps(
+            {"decoded_instrs_per_sec": 1, "min_speedup": 0.0}
+        ))
+        assert bench.check_baseline(summary, str(passing)) == []
+
+        failing = tmp_path / "baseline-fail.json"
+        failing.write_text(json.dumps(
+            {"decoded_instrs_per_sec": 10 ** 15, "min_speedup": 10 ** 6}
+        ))
+        problems = bench.check_baseline(summary, str(failing))
+        assert len(problems) == 2
+        assert any("throughput regressed" in p for p in problems)
+        assert any("speedup regressed" in p for p in problems)
+
+    def test_missing_baseline_is_an_error(self, cache_root, tmp_path):
+        summary = {"microbenchmark": {}}
+        problems = bench.check_baseline(
+            summary, str(tmp_path / "nope.json")
+        )
+        assert problems and "not found" in problems[0]
+
+
+class TestCliBench:
+    def test_bench_command_smoke(self, cache_root, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_summary.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"decoded_instrs_per_sec": 1, "min_speedup": 0.0}
+        ))
+        argv = [
+            "bench", "--quick", "--scale", "0.02",
+            "--workloads", "compress",
+            "--output", str(out), "--baseline", str(baseline),
+        ]
+        assert main(argv) == 0
+        summary = json.loads(out.read_text())
+        assert summary["suite"][0]["cache_hit"] is False
+        captured = capsys.readouterr().out
+        assert "instrs/sec" in captured
+
+        # Second CLI invocation: everything expensive comes from disk.
+        assert main(argv) == 0
+        summary = json.loads(out.read_text())
+        assert summary["suite"][0]["cache_hit"] is True
+
+    def test_bench_fails_on_regression(self, cache_root, tmp_path):
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"decoded_instrs_per_sec": 10 ** 15}
+        ))
+        assert main([
+            "bench", "--quick", "--scale", "0.02",
+            "--workloads", "compress",
+            "--output", str(tmp_path / "s.json"),
+            "--baseline", str(baseline),
+        ]) == 1

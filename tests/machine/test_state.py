@@ -71,6 +71,38 @@ class TestCopyEquality:
         assert state.load(1) == 2
         assert state.pc == 3
 
+    def test_mutating_original_never_leaks_into_copy(self):
+        """Mutation isolation in the other direction, regs and mem.
+
+        ``copy()`` bypasses ``__init__`` with ``list.copy``/``dict.copy``
+        (checkpoint hot path); this pins that the containers really are
+        duplicated, not aliased.
+        """
+        state = ArchState(mem={7: 1}, pc=5)
+        state.write_reg(2, 11)
+        clone = state.copy()
+        assert clone.regs is not state.regs
+        assert clone.mem is not state.mem
+        state.write_reg(2, 99)
+        state.store(7, 42)
+        state.store(8, 8)
+        state.pc = 0
+        assert clone.read_reg(2) == 11
+        assert clone.load(7) == 1
+        assert clone.load(8) == 0
+        assert clone.pc == 5
+
+    def test_copy_preserves_semantics(self):
+        """The fast copy behaves exactly like a freshly built state."""
+        state = ArchState(mem={1: 2}, pc=3)
+        state.write_reg(4, -1)
+        clone = state.copy()
+        assert clone == state
+        clone.write_reg(0, 5)  # ZERO stays hardwired through the copy
+        assert clone.read_reg(0) == 0
+        clone.store(1, 0)  # sparse canonical form survives the copy
+        assert 1 not in clone.mem
+
     def test_equality_semantics(self):
         a = ArchState(mem={1: 2}, pc=0)
         b = ArchState(mem={1: 2}, pc=0)

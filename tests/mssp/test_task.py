@@ -1,0 +1,36 @@
+"""Checkpoint snapshotting: isolation from later architected mutation."""
+
+from repro.machine.state import ArchState
+from repro.mssp.task import Checkpoint
+
+
+class TestCheckpointSnapshot:
+    def test_exact_checkpoint_is_independent_of_state(self):
+        """A checkpoint must freeze the register file at capture time.
+
+        The engine opens the restart task's checkpoint from live
+        architected state and then keeps executing on that state; a
+        checkpoint aliasing the register list would silently corrupt the
+        task's live-in prediction.
+        """
+        arch = ArchState(pc=4)
+        arch.write_reg(3, 77)
+        checkpoint = Checkpoint.exact(arch)
+        arch.write_reg(3, -1)
+        arch.store(100, 5)
+        assert checkpoint.regs[3] == 77
+        assert checkpoint.mem == {}
+
+    def test_checkpoint_mem_not_aliased(self):
+        shipped = {10: 1}
+        checkpoint = Checkpoint(regs=(0,) * 32, mem=shipped)
+        shipped[10] = 2
+        shipped[11] = 3
+        # The master copies its dirty map before constructing the
+        # checkpoint; this documents that Checkpoint itself stores what
+        # it was given (the copy happens at the fork site).
+        assert checkpoint.mem is shipped
+
+    def test_len_counts_regs_plus_mem(self):
+        checkpoint = Checkpoint(regs=(0,) * 32, mem={1: 2, 3: 4})
+        assert len(checkpoint) == 34
