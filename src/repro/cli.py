@@ -68,6 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--task-size", type=int, default=None,
         help="target dynamic instructions per task",
     )
+    run.add_argument(
+        "--runtime", choices=("eager", "parallel"), default="eager",
+        help="execution strategy: eager in-process tasks, or a real "
+             "process pool of slave workers (bit-identical results)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="slave worker processes for --runtime parallel "
+             "(default: MsspConfig.num_slaves)",
+    )
 
     timeline = sub.add_parser(
         "timeline", help="render an ASCII execution timeline"
@@ -129,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--clear-cache", action="store_true",
         help="drop the persistent artifact cache before running",
+    )
+    bench.add_argument(
+        "--runtime", choices=("eager", "parallel"), default="eager",
+        help="also measure the parallel MSSP runtime's wall-clock "
+             "speedup per workload (-j sets the slave worker count)",
     )
 
     report = sub.add_parser(
@@ -207,9 +222,21 @@ def cmd_run(args) -> int:
         distill_config=_distill_config(args),
     )
     timing = dataclasses.replace(TimingConfig(), n_slaves=args.slaves)
-    row = evaluate(prepared, timing_config=timing)
+    mssp_config = None
+    if args.runtime != "eager":
+        from repro.config import MsspConfig
+
+        mssp_config = MsspConfig(runtime=args.runtime)
+        if args.workers is not None:
+            mssp_config = dataclasses.replace(
+                mssp_config, num_slaves=args.workers
+            )
+    row = evaluate(prepared, mssp_config=mssp_config, timing_config=timing)
     counters = row.counters
     print(f"{row.name}: equivalent to SEQ (checked)")
+    if mssp_config is not None:
+        print(f"  runtime:                 {mssp_config.runtime} "
+              f"({mssp_config.num_slaves} slave workers)")
     print(f"  sequential instructions: {row.seq_instrs}")
     print(f"  distillation ratio:      {prepared.distillation_ratio:.2f}")
     print(f"  tasks committed/squashed: "
@@ -358,7 +385,8 @@ def cmd_bench(args) -> int:
             os.environ.get("REPRO_BENCH_SCALE", "1.0")
         )
     summary = run_bench(
-        workloads=args.workloads, scale=scale, jobs=args.jobs
+        workloads=args.workloads, scale=scale, jobs=args.jobs,
+        runtime=args.runtime,
     )
     micro = summary["microbenchmark"]
     print(
@@ -381,6 +409,26 @@ def cmd_bench(args) -> int:
             f"{row['speedup']:.2f}", "hit" if row["cache_hit"] else "miss",
         )
     print(table.render())
+    if args.runtime == "parallel":
+        ptable = Table(
+            ["workload", "eager s", "parallel s", "measured", "identical"],
+            title=f"parallel runtime wall clock "
+                  f"({max(2, args.jobs)} slave workers, "
+                  f"{summary['cpu_count']} CPUs)",
+        )
+        for row in summary["suite"]:
+            ptable.add_row(
+                row["workload"],
+                f"{row['wall_eager_seconds']:.3f}",
+                f"{row['wall_parallel_seconds']:.3f}",
+                f"{row['measured_parallel_speedup']:.2f}x",
+                "yes" if row["parallel_identical"] else "NO",
+            )
+        print(ptable.render())
+        if not all(r["parallel_identical"] for r in summary["suite"]):
+            print("bench: parallel runtime DIVERGED from eager",
+                  file=sys.stderr)
+            return 1
     print(
         f"suite wall time {summary['suite_wall_seconds']:.2f}s, "
         f"{summary['cache_hits']}/{len(summary['suite'])} cache hits "

@@ -91,6 +91,13 @@ class MsspConfig:
     as non-idempotent (memory-mapped I/O): speculative execution aborts
     before touching them, and only non-speculative recovery may access
     them — exactly once each, in program order.
+
+    ``runtime`` selects the execution strategy: ``"eager"`` executes
+    every task inline in commit order (the functional reference model);
+    ``"parallel"`` pipelines the master ahead of a process pool of
+    ``num_slaves`` slave workers with in-order verify/commit
+    (:class:`repro.mssp.parallel.ParallelMsspEngine`).  Both runtimes
+    produce bit-identical :class:`~repro.mssp.engine.MsspResult`\\ s.
     """
 
     #: Hard cap on one task's dynamic length at a slave.
@@ -128,12 +135,21 @@ class MsspConfig:
     #: recovered from.  Requires a full DistillationResult (the
     #: prediction reads the distiller's pass statistics).
     assert_static_soundness: bool = False
+    #: Execution strategy; see class docstring.
+    runtime: str = "eager"
+    #: Worker processes backing the parallel runtime's slave pool.
+    num_slaves: int = 4
+    #: Tasks batched per process-pool dispatch in the parallel runtime
+    #: (amortizes IPC over several small tasks; the run-ahead window is
+    #: ``min(max_inflight_tasks, num_slaves * parallel_chunk_tasks)``).
+    parallel_chunk_tasks: int = 16
 
     def __post_init__(self) -> None:
         for name in (
             "max_task_instrs", "max_master_instrs_per_task",
             "max_inflight_tasks", "recovery_max_instrs", "max_total_instrs",
-            "throttle_window", "throttle_chunk",
+            "throttle_window", "throttle_chunk", "num_slaves",
+            "parallel_chunk_tasks",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be positive")
@@ -145,6 +161,8 @@ class MsspConfig:
             raise ValueError(
                 "checkpoint_mode must be 'cumulative' or 'delta'"
             )
+        if self.runtime not in ("eager", "parallel"):
+            raise ValueError("runtime must be 'eager' or 'parallel'")
 
 
 @dataclass(frozen=True)

@@ -191,6 +191,66 @@ def microbenchmark(
 # -- stage 2: E-suite sweep ---------------------------------------------------
 
 
+def measure_parallel_runtime(
+    name: str,
+    size: Optional[int] = None,
+    num_slaves: int = 2,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Wall-clock eager vs parallel runtime on one prepared workload.
+
+    Times ``repeats`` fresh runs of each engine on the same program and
+    distillation (best-of, so the parallel number reflects the steady
+    state with a warm worker pool rather than one-time spawn cost, which
+    is reported separately as ``wall_parallel_cold_seconds``) and checks
+    the two results are bit-identical.  Single-core hosts cap the
+    measured speedup at ~1.0x by construction — the workers timeshare
+    the one CPU — so ``cpu_count`` travels with the numbers.
+    """
+    from repro.mssp import MsspEngine, ParallelMsspEngine
+
+    ready, _ = cached_prepare(name, size=size)
+    program = ready.instance.program
+    distillation = ready.distillation
+
+    eager = MsspEngine(program, distillation)
+    walls_eager: List[float] = []
+    result_eager = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result_eager = eager.run()
+        walls_eager.append(time.perf_counter() - start)
+
+    config = MsspConfig(runtime="parallel", num_slaves=num_slaves)
+    walls_parallel: List[float] = []
+    result_parallel = None
+    with ParallelMsspEngine(program, distillation, config=config) as par:
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result_parallel = par.run()
+            walls_parallel.append(time.perf_counter() - start)
+        dispatch = par.dispatch_stats.summary()
+
+    identical = (
+        result_eager.records == result_parallel.records
+        and result_eager.counters == result_parallel.counters
+        and result_eager.device_trace == result_parallel.device_trace
+        and result_eager.final_state == result_parallel.final_state
+    )
+    wall_eager = min(walls_eager)
+    wall_parallel = min(walls_parallel)
+    return {
+        "wall_eager_seconds": wall_eager,
+        "wall_parallel_seconds": wall_parallel,
+        "wall_parallel_cold_seconds": walls_parallel[0],
+        "measured_parallel_speedup": (
+            wall_eager / wall_parallel if wall_parallel > 0 else float("inf")
+        ),
+        "parallel_identical": identical,
+        "dispatch": dispatch,
+    }
+
+
 def _bench_one(args: Tuple[str, float]) -> Dict[str, object]:
     """One workload through the cached pipeline (process-pool worker)."""
     name, scale = args
@@ -224,17 +284,41 @@ def run_bench(
     scale: float = 1.0,
     jobs: int = 1,
     micro_repeats: int = 3,
+    runtime: str = "eager",
 ) -> Dict[str, object]:
-    """The full benchmark: microbenchmark + E-suite sweep; JSON-ready."""
+    """The full benchmark: microbenchmark + E-suite sweep; JSON-ready.
+
+    ``runtime="parallel"`` adds a wall-clock stage per workload: eager
+    vs :class:`~repro.mssp.parallel.ParallelMsspEngine` with ``jobs``
+    slave workers, bit-identity checked.  In that mode the suite rows
+    themselves run serially — ``jobs`` provisions slave processes, and
+    fanning workloads out over a second pool would have the two levels
+    of parallelism fight over the same cores.
+    """
+    import os
+
     names = list(workloads) if workloads else list(WORKLOADS)
     micro = microbenchmark(scale=scale, repeats=micro_repeats)
     suite_start = time.perf_counter()
-    rows = parallel_map(_bench_one, [(name, scale) for name in names], jobs)
+    suite_jobs = 1 if runtime == "parallel" else jobs
+    rows = parallel_map(
+        _bench_one, [(name, scale) for name in names], suite_jobs
+    )
+    if runtime == "parallel":
+        for row in rows:
+            row.update(
+                measure_parallel_runtime(
+                    str(row["workload"]), size=int(row["size"]),
+                    num_slaves=max(2, jobs),
+                )
+            )
     suite_wall = time.perf_counter() - suite_start
     return {
         "schema": artifact_cache.CACHE_SCHEMA,
         "scale": scale,
         "jobs": jobs,
+        "runtime": runtime,
+        "cpu_count": os.cpu_count(),
         "microbenchmark": micro,
         "suite": rows,
         "suite_wall_seconds": suite_wall,

@@ -30,7 +30,7 @@ from repro.distill import DistillationResult, Distiller
 from repro.errors import MsspError
 from repro.formal.refinement import assert_jumping_refinement
 from repro.machine.interpreter import count_instructions_and_loads
-from repro.mssp import MsspEngine, MsspResult
+from repro.mssp import MsspResult, create_engine
 from repro.profiling import Profile
 from repro.timing import TimingBreakdown, baseline_cycles, simulate_mssp
 from repro.workloads.base import WorkloadInstance, WorkloadSpec
@@ -201,10 +201,20 @@ def parallel_map(fn, items, jobs: int = 1) -> list:
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    from concurrent.futures import ProcessPoolExecutor
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - ancient/embedded pythons
+        BrokenProcessPool = OSError
+    try:
+        from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (ImportError, NotImplementedError, OSError, PermissionError,
+            BrokenProcessPool):
+        # Sandboxed environments may forbid subprocesses entirely; the
+        # serial path computes the same values, just slower.
+        return [fn(item) for item in items]
 
 
 def evaluate(
@@ -215,11 +225,16 @@ def evaluate(
     check: bool = True,
 ) -> EvaluationRow:
     """Run MSSP on the evaluation input and time the trace."""
-    engine = MsspEngine(
+    engine = create_engine(
         prepared.instance.program, prepared.distillation,
         config=mssp_config,
     )
-    result = engine.run_and_check() if check else engine.run()
+    try:
+        result = engine.run_and_check() if check else engine.run()
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     if check:
         assert_jumping_refinement(prepared.instance.program, result)
     breakdown = simulate_mssp(result, timing_config)

@@ -7,8 +7,9 @@ program + pc map (however wrong), the engine's final architected state
 equals sequential execution of the original program.
 """
 
-from repro.mssp.engine import MsspEngine, MsspResult, run_mssp
+from repro.mssp.engine import MsspEngine, MsspResult, create_engine, run_mssp
 from repro.mssp.master import Master, MasterEvent, MasterEventKind
+from repro.mssp.parallel import DispatchStats, ParallelMsspEngine
 from repro.mssp.regions import DeviceAccess, ProtectedRegions
 from repro.mssp.slave import SlaveView, execute_task
 from repro.mssp.task import Checkpoint, SquashReason, Task, TaskStatus
@@ -23,6 +24,9 @@ from repro.mssp.verify import VerifyOutcome, commit_task, squash_task, verify_ta
 __all__ = [
     "MsspEngine",
     "MsspResult",
+    "ParallelMsspEngine",
+    "DispatchStats",
+    "create_engine",
     "run_mssp",
     "Master",
     "MasterEvent",

@@ -141,58 +141,9 @@ class MsspEngine:
                 continue
             master.restart(arch, self.pc_map.resume_pc(arch.pc))
             counters.restarts += 1
-            open_task = Task(
-                tid=next_tid, start_pc=arch.pc,
-                checkpoint=Checkpoint.exact(arch), exact=True,
+            halted, next_tid = self._run_episode(
+                arch, master, counters, records, recent_outcomes, next_tid
             )
-            next_tid += 1
-            episode_ok = True
-
-            while episode_ok:
-                event = master.run_until_fork()
-                counters.master_instrs += event.instrs
-                if event.kind is MasterEventKind.FORK:
-                    open_task.end_pc = event.anchor
-                    open_task.end_arrivals = event.arrivals
-                    closing_event: Optional[MasterEvent] = event
-                elif event.kind is MasterEventKind.HALT:
-                    open_task.end_pc = None
-                    open_task.final = True
-                    closing_event = event
-                else:  # TRAP or TIMEOUT: the open task cannot be delimited.
-                    counters.master_failures += 1
-                    records.append(
-                        MasterFailureRecord(
-                            kind=event.kind.value, master_instrs=event.instrs
-                        )
-                    )
-                    squash_task(open_task, SquashReason.MASTER_TIMEOUT)
-                    self._assert_predicted(SquashReason.MASTER_TIMEOUT, None)
-                    counters.tasks_squashed += 1
-                    counters.note_squash_reason(
-                        SquashReason.MASTER_TIMEOUT.value
-                    )
-                    recent_outcomes.append(False)
-                    episode_ok = False
-                    break
-
-                committed, slave_halted = self._attempt_task(
-                    open_task, closing_event, arch, counters, records
-                )
-                recent_outcomes.append(committed)
-                if not committed:
-                    episode_ok = False
-                    break
-                if slave_halted:
-                    halted = True
-                    break
-                self._check_budget(counters)
-                open_task = Task(
-                    tid=next_tid, start_pc=event.anchor,
-                    checkpoint=event.checkpoint,
-                )
-                next_tid += 1
-
             if halted:
                 break
             # Episode failed: recover non-speculatively, then restart.
@@ -236,6 +187,82 @@ class MsspEngine:
 
     # -- internals -----------------------------------------------------------------
 
+    def _run_episode(
+        self,
+        arch: ArchState,
+        master: Master,
+        counters: MsspCounters,
+        records: List[TraceRecord],
+        recent_outcomes: deque,
+        next_tid: int,
+    ) -> tuple:
+        """One episode: master just restarted at ``arch``.
+
+        Runs the master/attempt loop until the machine halts or the
+        episode fails (squash, master trap/timeout).  Returns
+        ``(machine_halted, next_tid)``; the caller handles recovery and
+        throttling.  The parallel runtime overrides this method only —
+        the surrounding restart/recovery loop and all verify/commit
+        decisions (:meth:`_judge_task`) are shared, which is what keeps
+        the two runtimes bit-identical.
+        """
+        open_task = Task(
+            tid=next_tid, start_pc=arch.pc,
+            checkpoint=Checkpoint.exact(arch), exact=True,
+        )
+        next_tid += 1
+        while True:
+            event = master.run_until_fork()
+            counters.master_instrs += event.instrs
+            if event.kind is MasterEventKind.FORK:
+                open_task.end_pc = event.anchor
+                open_task.end_arrivals = event.arrivals
+                closing_event: Optional[MasterEvent] = event
+            elif event.kind is MasterEventKind.HALT:
+                open_task.end_pc = None
+                open_task.final = True
+                closing_event = event
+            else:  # TRAP or TIMEOUT: the open task cannot be delimited.
+                self._record_master_failure(
+                    open_task, event, counters, records
+                )
+                recent_outcomes.append(False)
+                return False, next_tid
+
+            committed, slave_halted = self._attempt_task(
+                open_task, closing_event, arch, counters, records
+            )
+            recent_outcomes.append(committed)
+            if not committed:
+                return False, next_tid
+            if slave_halted:
+                return True, next_tid
+            self._check_budget(counters)
+            open_task = Task(
+                tid=next_tid, start_pc=event.anchor,
+                checkpoint=event.checkpoint,
+            )
+            next_tid += 1
+
+    def _record_master_failure(
+        self,
+        task: Task,
+        event: MasterEvent,
+        counters: MsspCounters,
+        records: List[TraceRecord],
+    ) -> None:
+        """Account a terminal TRAP/TIMEOUT: the open task is undelimited."""
+        counters.master_failures += 1
+        records.append(
+            MasterFailureRecord(
+                kind=event.kind.value, master_instrs=event.instrs
+            )
+        )
+        squash_task(task, SquashReason.MASTER_TIMEOUT)
+        self._assert_predicted(SquashReason.MASTER_TIMEOUT, None)
+        counters.tasks_squashed += 1
+        counters.note_squash_reason(SquashReason.MASTER_TIMEOUT.value)
+
     def _attempt_task(
         self,
         task: Task,
@@ -253,6 +280,25 @@ class MsspEngine:
             self.original, task, arch, self.config.max_task_instrs,
             regions=self.regions,
         )
+        return self._judge_task(task, event, arch, counters, records)
+
+    def _judge_task(
+        self,
+        task: Task,
+        event: MasterEvent,
+        arch: ArchState,
+        counters: MsspCounters,
+        records: List[TraceRecord],
+    ) -> tuple:
+        """Verify + (maybe) commit one already-executed task.
+
+        This is the in-order verify/commit stage both runtimes share: it
+        is the only code that writes architected state, appends task
+        records, or bumps task counters, so any execution strategy that
+        feeds it identical task objects in identical order produces an
+        identical :class:`MsspResult`.  Returns
+        ``(committed, machine_halted)``.
+        """
         outcome = verify_task(task, arch)
         counters.live_ins_checked += outcome.checked
         counters.live_ins_mismatched += outcome.mismatched
@@ -377,10 +423,24 @@ class MsspEngine:
             raise StepLimitExceeded(self.config.max_total_instrs)
 
 
+def create_engine(
+    original: Program,
+    distillation: Union[DistillationResult, tuple],
+    config: Optional[MsspConfig] = None,
+) -> MsspEngine:
+    """Build the engine ``config.runtime`` selects (eager or parallel)."""
+    config = config or MsspConfig()
+    if config.runtime == "parallel":
+        from repro.mssp.parallel import ParallelMsspEngine
+
+        return ParallelMsspEngine(original, distillation, config=config)
+    return MsspEngine(original, distillation, config=config)
+
+
 def run_mssp(
     original: Program,
     distillation: DistillationResult,
     config: Optional[MsspConfig] = None,
 ) -> MsspResult:
     """Convenience wrapper: build an engine and run it."""
-    return MsspEngine(original, distillation, config=config).run()
+    return create_engine(original, distillation, config=config).run()

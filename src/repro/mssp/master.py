@@ -55,6 +55,14 @@ class MasterEvent:
     #: several times before firing; the closing task spans this many
     #: arrivals at its end pc.
     arrivals: int = 1
+    #: FORK only: memory cells the master wrote since the *previous*
+    #: fork (its per-fork store delta).  In ``cumulative`` checkpoint
+    #: mode ``checkpoint.mem`` is the whole dirty map, so consecutive
+    #: checkpoints satisfy ``mem_k == mem_{k-1} | mem_delta_k`` — the
+    #: parallel runtime uses this identity to delta-encode checkpoint
+    #: chains on the wire instead of shipping the cumulative map per
+    #: task.
+    mem_delta: Optional[Dict[int, int]] = None
 
 
 class _MasterView:
@@ -166,8 +174,9 @@ class Master:
                 view.pc = pc + 1
                 executed += 1
                 self.total_instrs += 1
+                delta = dict(view.delta)
                 if self.config.checkpoint_mode == "delta":
-                    shipped = dict(view.delta)
+                    shipped = delta
                 else:
                     shipped = dict(view.dirty)
                 view.delta = {}
@@ -178,6 +187,7 @@ class Master:
                 return MasterEvent(
                     MasterEventKind.FORK, executed, loads,
                     anchor=anchor, checkpoint=checkpoint, arrivals=count,
+                    mem_delta=delta,
                 )
             else:  # JR: translate the original return pc into our text.
                 target = self.jr_table.get(view.read_reg(dispatch[1]))

@@ -13,6 +13,7 @@ from repro.config import (
 from repro.experiments.harness import (
     distilled_dynamic_length,
     evaluate,
+    parallel_map,
     prepare,
 )
 from repro.workloads import get_workload
@@ -100,3 +101,41 @@ class TestEvaluate:
     def test_check_disabled_still_runs(self, small_compress):
         row = evaluate(small_compress, check=False)
         assert row.counters.tasks_committed > 0
+
+    def test_parallel_runtime_matches_eager(self, small_compress):
+        eager = evaluate(small_compress)
+        parallel = evaluate(
+            small_compress,
+            mssp_config=MsspConfig(runtime="parallel", num_slaves=2),
+        )
+        assert parallel.mssp.records == eager.mssp.records
+        assert parallel.mssp.counters == eager.mssp.counters
+        assert parallel.speedup == pytest.approx(eager.speedup)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestParallelMap:
+    def test_serial_when_jobs_one(self):
+        # A lambda is unpicklable; jobs<=1 must not require a pool.
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], jobs=1) == [2, 3, 4]
+
+    def test_pool_path(self):
+        assert parallel_map(_double, [1, 2, 3, 4], jobs=2) == [2, 4, 6, 8]
+
+    def test_falls_back_to_serial_when_pool_unavailable(self, monkeypatch):
+        import concurrent.futures
+
+        class Unstartable:
+            def __init__(self, *args, **kwargs):
+                raise OSError("subprocesses forbidden")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", Unstartable
+        )
+        assert parallel_map(_double, [1, 2, 3], jobs=4) == [2, 4, 6]
+
+    def test_single_item_runs_inline(self):
+        assert parallel_map(lambda x: x * x, [7], jobs=8) == [49]

@@ -1,7 +1,9 @@
 """Checkpoint snapshotting: isolation from later architected mutation."""
 
+import pickle
+
 from repro.machine.state import ArchState
-from repro.mssp.task import Checkpoint
+from repro.mssp.task import Checkpoint, SquashReason, Task, TaskStatus
 
 
 class TestCheckpointSnapshot:
@@ -34,3 +36,41 @@ class TestCheckpointSnapshot:
     def test_len_counts_regs_plus_mem(self):
         checkpoint = Checkpoint(regs=(0,) * 32, mem={1: 2, 3: 4})
         assert len(checkpoint) == 34
+
+
+class TestPickleRoundTrip:
+    """Tasks cross process boundaries in the parallel runtime; every
+    piece of the speculation state must survive pickling unchanged."""
+
+    def test_checkpoint_round_trips(self):
+        checkpoint = Checkpoint(regs=tuple(range(32)), mem={8: -3, 9: 0})
+        clone = pickle.loads(pickle.dumps(checkpoint))
+        assert clone == checkpoint
+        assert clone.regs == checkpoint.regs
+        assert clone.mem == checkpoint.mem
+
+    def test_squash_reason_round_trips_to_same_member(self):
+        for reason in SquashReason:
+            assert pickle.loads(pickle.dumps(reason)) is reason
+
+    def test_task_round_trips_with_execution_results(self):
+        task = Task(
+            tid=7, start_pc=12,
+            checkpoint=Checkpoint(regs=(1,) * 32, mem={100: 5}),
+            end_pc=40, end_arrivals=3, final=True,
+            status=TaskStatus.COMPLETED,
+        )
+        task.live_in_regs = {2: 9}
+        task.live_in_mem = {101: 0}
+        task.live_out_regs = {3: -1}
+        task.live_out_mem = {102: 7}
+        task.n_instrs = 55
+        task.n_loads = 4
+        task.end_state_pc = 40
+        task.halted = True
+        task.squash_reason = SquashReason.MEMORY_LIVE_IN
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+        assert clone.status is TaskStatus.COMPLETED
+        assert clone.squash_reason is SquashReason.MEMORY_LIVE_IN
+        assert clone.checkpoint.mem == {100: 5}
