@@ -87,6 +87,13 @@ CHECKS: Dict[str, str] = {
               "instruction",
     "DEC003": "superstep chains stop exactly at block terminators, with "
               "correct halt flags",
+    # -- superblock JIT checks ------------------------------------------------
+    "JIT001": "jit compilation is cached per program object and per codegen "
+              "mode, and regions start only at block leaders",
+    "JIT002": "every compiled region's trace, source, and length round-trip "
+              "from the program",
+    "JIT003": "compiled regions reproduce per-step decoded execution on "
+              "fuzzed machine states",
 }
 
 
@@ -835,6 +842,163 @@ def check_decoded(
                 f"terminator {'is' if expected_halts[pc] else 'is not'} "
                 "a halt", pc=pc,
             )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Layer 5: the superblock JIT
+# ---------------------------------------------------------------------------
+
+
+def _fuzz_states(program: Program, entry: int, variant: int):
+    """Deterministic machine states for the JIT003 differential.
+
+    Three register-file shapes per region entry: boot-like zeros, small
+    in-range values (so memory ops hit the seeded data image), and a
+    splitmix-style pseudo-random 64-bit fill.  No global RNG — lint
+    output must be reproducible run to run.
+    """
+    from repro.machine.state import ArchState, wrap64
+
+    state = ArchState(pc=entry, mem=dict(program.memory))
+    if variant == 1:
+        for reg in range(1, NUM_REGS):
+            state.write_reg(reg, (reg * 3 + entry) % 64)
+    elif variant == 2:
+        x = (entry + 1) * 0x9E3779B97F4A7C15
+        for reg in range(1, NUM_REGS):
+            x = wrap64(x * 6364136223846793005 + 1442695040888963407)
+            state.write_reg(reg, x)
+    return state
+
+
+def check_jit(program: Program, subject: Optional[str] = None) -> CheckReport:
+    """Check a program's superblock JIT (:mod:`repro.machine.jit`).
+
+    The JIT *generates Python source* per hot region — the riskiest
+    compilation step in the codebase, since a codegen bug executes at
+    full speed with no per-step oracle watching.  Three checks: cache
+    identity discipline (JIT001, mirroring DEC001), region metadata
+    re-derivation (JIT002 — the stored trace and source must equal what
+    :meth:`JitProgram.trace`/:meth:`JitProgram.generate_source` produce
+    today, which also guards the persistent code cache against schema
+    drift), and a state-level differential (JIT003 — every region,
+    executed on fuzzed register files, must leave exactly the machine
+    state the decoded per-step engine reaches after the same number of
+    steps).
+    """
+    from repro.machine.decoded import decode
+    from repro.machine.jit import (
+        EXIT_HALT,
+        JitProgram,
+        block_leaders,
+        jit_for,
+    )
+
+    report = CheckReport(subject=subject or f"{program.name}: jit")
+
+    # JIT001: one cached JitProgram per (program object, codegen mode).
+    jp_cached = jit_for(program)
+    if jit_for(program) is not jp_cached:
+        _finding(
+            report, "JIT001", Severity.ERROR,
+            "repeated jit_for() calls returned distinct JitPrograms for "
+            "the same program object (cache attachment broken)",
+        )
+    if jit_for(program, "view") is jp_cached:
+        _finding(
+            report, "JIT001", Severity.ERROR,
+            "view-mode jit_for() returned the arch-mode JitProgram "
+            "(modes must cache separately)",
+        )
+
+    # Compile every leader eagerly in a private instance (no disk I/O,
+    # no hotness warmup) so JIT002/JIT003 see the full region set.
+    jp = JitProgram(program, mode="arch", threshold=1, persist=False)
+    leaders = block_leaders(program)
+    if jp.leaders != leaders:
+        _finding(
+            report, "JIT001", Severity.ERROR,
+            "JitProgram's leader set differs from block_leaders() "
+            "(arrival/stop checks would be emitted at the wrong pcs)",
+        )
+    regions = []
+    for entry in sorted(leaders):
+        region = jp.region_for(entry)
+        if region is not None:
+            regions.append(region)
+
+    # JIT002: stored region metadata re-derives from the program.
+    for region in regions:
+        if region.entry not in leaders:
+            _finding(
+                report, "JIT002", Severity.ERROR,
+                "compiled region starts at a non-leader pc",
+                pc=region.entry,
+            )
+        expected_pcs = jp.trace(region.entry)
+        if region.pcs != expected_pcs:
+            _finding(
+                report, "JIT002", Severity.ERROR,
+                f"region trace {region.pcs} does not re-derive "
+                f"({expected_pcs} expected)", pc=region.entry,
+            )
+            continue
+        if region.linear_len != len(region.pcs):
+            _finding(
+                report, "JIT002", Severity.ERROR,
+                f"linear_len {region.linear_len} != trace length "
+                f"{len(region.pcs)} (budget guards would be wrong)",
+                pc=region.entry,
+            )
+        if region.source != jp.generate_source(region.entry):
+            _finding(
+                report, "JIT002", Severity.ERROR,
+                "stored generated source differs from regeneration "
+                "(codegen is not deterministic, or the region is stale)",
+                pc=region.entry,
+            )
+
+    # JIT003: region execution == decoded per-step execution, state for
+    # state, on fuzzed register files.
+    decoded = decode(program)
+    steppers = decoded.steppers
+    for region in regions:
+        budget = 3 * region.linear_len + 2
+        for variant in range(3):
+            fuzzed = _fuzz_states(program, region.entry, variant)
+            reference = _fuzz_states(program, region.entry, variant)
+            try:
+                steps, _loads, _arrivals, status = region.fn(
+                    fuzzed, 0, 0, budget, None, 0, None, 0
+                )
+            except Exception as exc:  # noqa: BLE001 - report, never raise
+                _finding(
+                    report, "JIT003", Severity.ERROR,
+                    f"region raised {type(exc).__name__}: {exc} "
+                    f"(fuzz variant {variant})", pc=region.entry,
+                )
+                continue
+            for _ in range(steps):
+                steppers[reference.pc](reference)
+            if status == EXIT_HALT and (
+                program.code[reference.pc].op is not Opcode.HALT
+            ):
+                _finding(
+                    report, "JIT003", Severity.ERROR,
+                    f"region reported halt but the decoded engine sits at "
+                    f"a {program.code[reference.pc].op.mnemonic} after "
+                    f"{steps} steps (fuzz variant {variant})",
+                    pc=region.entry,
+                )
+            if fuzzed != reference:
+                _finding(
+                    report, "JIT003", Severity.ERROR,
+                    f"state diverges from the decoded engine after "
+                    f"{steps} steps (fuzz variant {variant}): "
+                    f"{reference.diff(fuzzed)[:3]}", pc=region.entry,
+                )
+                break
     return report
 
 

@@ -78,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="slave worker processes for --runtime parallel "
              "(default: MsspConfig.num_slaves)",
     )
+    run.add_argument(
+        "--exec-tier", choices=("oracle", "decoded", "jit"), default=None,
+        help="execution tier for master/slaves/recovery (default: the "
+             "REPRO_EXEC environment variable, then decoded); all tiers "
+             "are bit-identical",
+    )
 
     timeline = sub.add_parser(
         "timeline", help="render an ASCII execution timeline"
@@ -135,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--baseline", default=None,
         help="baseline JSON to gate against (exit 1 on >30%% regression)",
+    )
+    bench.add_argument(
+        "--write-baseline", nargs="?", const="benchmarks/baseline.json",
+        default=None, metavar="PATH", dest="write_baseline",
+        help="regenerate the committed baseline floors from this run's "
+             "measurements (default path: benchmarks/baseline.json)",
     )
     bench.add_argument(
         "--clear-cache", action="store_true",
@@ -223,10 +235,12 @@ def cmd_run(args) -> int:
     )
     timing = dataclasses.replace(TimingConfig(), n_slaves=args.slaves)
     mssp_config = None
-    if args.runtime != "eager":
+    if args.runtime != "eager" or args.exec_tier is not None:
         from repro.config import MsspConfig
 
-        mssp_config = MsspConfig(runtime=args.runtime)
+        mssp_config = MsspConfig(
+            runtime=args.runtime, exec_tier=args.exec_tier
+        )
         if args.workers is not None:
             mssp_config = dataclasses.replace(
                 mssp_config, num_slaves=args.workers
@@ -237,6 +251,8 @@ def cmd_run(args) -> int:
     if mssp_config is not None:
         print(f"  runtime:                 {mssp_config.runtime} "
               f"({mssp_config.num_slaves} slave workers)")
+        if mssp_config.exec_tier is not None:
+            print(f"  exec tier:               {mssp_config.exec_tier}")
     print(f"  sequential instructions: {row.seq_instrs}")
     print(f"  distillation ratio:      {prepared.distillation_ratio:.2f}")
     print(f"  tasks committed/squashed: "
@@ -296,6 +312,7 @@ def cmd_lint(args) -> int:
     from repro.analysis.checker import (
         check_decoded,
         check_distillation,
+        check_jit,
         check_program,
     )
     from repro.distill.distiller import Distiller
@@ -326,6 +343,12 @@ def cmd_lint(args) -> int:
         print(decoded_report.render())
         warnings += len(decoded_report.warnings)
         if not decoded_report.ok:
+            failures += 1
+            continue
+        jit_report = check_jit(instance.program, subject=f"{name}: jit")
+        print(jit_report.render())
+        warnings += len(jit_report.warnings)
+        if not jit_report.ok:
             failures += 1
             continue
         try:
@@ -373,6 +396,7 @@ def cmd_bench(args) -> int:
     from repro.experiments.bench import (
         check_baseline,
         run_bench,
+        write_baseline,
         write_summary,
     )
 
@@ -397,7 +421,10 @@ def cmd_bench(args) -> int:
           f"{micro['legacy_instrs_per_sec']:>12,.0f} instrs/sec")
     print(f"  pre-decoded engine:       "
           f"{micro['decoded_instrs_per_sec']:>12,.0f} instrs/sec")
-    print(f"  speedup:                  {micro['speedup']:>12.2f}x")
+    print(f"  superblock jit:           "
+          f"{micro['jit_instrs_per_sec']:>12,.0f} instrs/sec")
+    print(f"  decoded vs reference:     {micro['speedup']:>12.2f}x")
+    print(f"  jit vs decoded:           {micro['jit_speedup']:>12.2f}x")
     table = Table(
         ["workload", "size", "wall s", "Msim/s", "speedup", "cache"],
         title=f"E-suite (scale {scale:g}, -j {args.jobs})",
@@ -436,6 +463,9 @@ def cmd_bench(args) -> int:
     )
     write_summary(summary, args.output)
     print(f"wrote {args.output}")
+    if args.write_baseline is not None:
+        write_baseline(summary, args.write_baseline)
+        print(f"wrote baseline {args.write_baseline}")
     if args.baseline is not None:
         problems = check_baseline(summary, args.baseline)
         for problem in problems:

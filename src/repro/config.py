@@ -137,6 +137,13 @@ class MsspConfig:
     assert_static_soundness: bool = False
     #: Execution strategy; see class docstring.
     runtime: str = "eager"
+    #: Execution tier for the interpretation loops (master, slaves,
+    #: recovery): ``"oracle"`` steps through ``semantics.execute``,
+    #: ``"decoded"`` through the pre-decoded closures, ``"jit"`` through
+    #: compiled superblocks with deopt to the decoded stepper.  ``None``
+    #: defers to the ``REPRO_EXEC`` environment variable (default:
+    #: decoded).  All tiers are bit-identical; see docs/performance.md.
+    exec_tier: Optional[str] = None
     #: Worker processes backing the parallel runtime's slave pool.
     num_slaves: int = 4
     #: Tasks batched per process-pool dispatch in the parallel runtime
@@ -163,6 +170,10 @@ class MsspConfig:
             )
         if self.runtime not in ("eager", "parallel"):
             raise ValueError("runtime must be 'eager' or 'parallel'")
+        if self.exec_tier not in (None, "oracle", "decoded", "jit"):
+            raise ValueError(
+                "exec_tier must be None, 'oracle', 'decoded' or 'jit'"
+            )
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,13 @@ observationally identical to :func:`repro.machine.semantics.execute`,
 the semantic oracle.  Effects handed to observers follow the decoded
 engine's interned-effect contract: treat them as immutable, snapshot
 fields rather than retaining the objects.
+
+The ``REPRO_EXEC`` environment variable selects the execution tier for
+:func:`run`: ``oracle`` (every step through ``semantics.execute``),
+``decoded`` (the default), or ``jit`` (compiled superblocks —
+:mod:`repro.machine.jit` — with deopt back to the decoded stepper; runs
+with an observer attached deopt entirely, preserving exact per-step
+fidelity).  All tiers produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.errors import InvalidPcError
 from repro.isa.instructions import Instruction
 from repro.isa.program import Program
 from repro.machine.decoded import decode
+from repro.machine.jit import jit_for, resolve_exec_tier
 from repro.machine.semantics import StepEffect
 from repro.machine.state import ArchState
 
@@ -64,7 +72,15 @@ def run(
     """
     if state is None:
         state = ArchState.initial(program)
-    steps, halted = decode(program).run(state, max_steps, observer=observer)
+    tier = resolve_exec_tier()
+    if tier == "jit":
+        steps, halted = jit_for(program).run(
+            state, max_steps, observer=observer
+        )
+    else:
+        steps, halted = decode(program, oracle=tier == "oracle").run(
+            state, max_steps, observer=observer
+        )
     return RunResult(state=state, steps=steps, halted=halted)
 
 

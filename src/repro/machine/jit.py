@@ -1,0 +1,742 @@
+"""Superblock JIT: hot Z-ISA regions compiled to generated Python.
+
+The pre-decoded engine (:mod:`repro.machine.decoded`) pays one Python
+call per instruction inside its superstep chains.  This module removes
+that last per-instruction cost for hot code: a **superblock compiler**
+stitches the straight-line chain of basic blocks starting at a hot block
+leader into a single generated-Python function per region, produced by
+textual codegen and ``compile()``/``exec``.
+
+What the generated code looks like
+----------------------------------
+
+* **Registers become Python locals** (``arch`` mode): every register the
+  region touches is read into a local once at entry and written back at
+  every exit.  The extra reads/writes are unobservable on an
+  :class:`~repro.machine.state.ArchState` — plain list cells with no
+  recording semantics — which is exactly why this mode is restricted to
+  it.
+* **ZERO is folded**: instructions writing ``r0`` disappear entirely in
+  ``arch`` mode (their operand reads are unobservable too).
+* **Fall-through pcs are constant-folded**: inside a region the pc is
+  not materialized at all; only exits store ``state.pc``.
+* **Memory ops are inlined** against ``ArchState``'s dict (``mem.get``,
+  and the canonical-sparse-form store that pops zero cells).
+* **Asserted branches are guards**: the trace follows each conditional
+  branch's fall-through; the taken direction exits the region with the
+  step/load deltas flushed and the pc set, returning control to the
+  per-step/chain dispatcher.  A branch or jump back to the region entry
+  becomes a real Python loop back-edge.
+
+A second codegen mode, ``view``, serves the MSSP recording views
+(:class:`~repro.mssp.slave.SlaveView`): it performs *exactly* the
+``read_reg``/``write_reg``/``load``/``store`` calls the decoded closures
+perform, in the same order, so recorded live-ins/live-outs are
+bit-identical — it only removes the per-instruction dispatch, pc
+bookkeeping and effect allocation.
+
+Guarded deopt
+-------------
+
+Regions preserve the decoded engine's exact observable semantics by
+construction plus guards:
+
+* region entry requires ``steps + linear_len < budget`` — one pass can
+  never cross the step-limit boundary, so the caller's per-step decoded
+  fallback fires ``StepLimitExceeded``/overrun at precisely the same
+  instruction as the reference loop;
+* loop back-edges re-check the budget before continuing;
+* arrival (``end_pc``) and stop (``stops``/``min_steps``) checks are
+  emitted at every **original-CFG block leader** inside the trace.  The
+  per-step engines check these after every instruction, but an arrival
+  or stop pc that is not a block leader can never match mid-block — the
+  callers validate ``end_pc in leaders`` (and ``stops <= leaders``) and
+  deopt to the per-step path otherwise;
+* observers always deopt to the decoded per-step loop (exact per-step
+  fidelity), and callers with protected regions configured never use the
+  JIT at all (device-visible accesses need per-access checks).
+
+Region function protocol
+------------------------
+
+Each compiled region is a function::
+
+    fn(state, steps, loads, budget, end_pc, arrivals, stops, min_steps)
+        -> (steps, loads, arrivals, status)
+
+``status`` is :data:`EXIT_RUN` (normal exit, ``state.pc`` synced),
+:data:`EXIT_HALT` (pc left at the halt, halt not counted),
+:data:`EXIT_ARRIVAL` (the ``arrivals``-th arrival at ``end_pc``), or
+:data:`EXIT_STOP` (reached a pc in ``stops`` with at least ``min_steps``
+executed).  Steps and loads are flushed as compile-time-constant
+increments at every exit.
+
+The persistent code cache
+-------------------------
+
+Compiled regions are content-addressed — (program digest, codegen mode,
+schema, Python version) — in the persistent on-disk artifact cache
+(:mod:`repro.experiments.cache`, kind ``jitcode``): the generated
+*source text* plus trace metadata per region.  A new
+:class:`JitProgram` for the same program content loads and ``exec``\\ s
+the stored sources immediately, skipping both the profiling warmup and
+the trace/codegen work — this is how ``ParallelMsspEngine`` slave
+workers reuse compilations instead of re-JITting per worker.  Like the
+decode cache, the in-memory attachment lives on the
+:class:`~repro.isa.program.Program` instance and is excluded from
+pickles by ``Program.__getstate__``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import InvalidPcError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import RA, ZERO
+from repro.machine.decoded import DecodedProgram, decode
+from repro.machine.semantics import _div_trunc, _mod_trunc
+from repro.machine.state import MachineStateLike, wrap64
+
+__all__ = [
+    "EXIT_RUN", "EXIT_HALT", "EXIT_ARRIVAL", "EXIT_STOP",
+    "EXEC_TIERS", "JIT_SCHEMA", "DEFAULT_THRESHOLD", "REGION_LIMIT",
+    "Region", "JitProgram", "jit_for", "block_leaders",
+    "jit_cache_key", "resolve_exec_tier",
+]
+
+#: The execution-tier ladder, slowest first.  ``oracle`` dispatches every
+#: step through :func:`repro.machine.semantics.execute` (the semantic
+#: reference), ``decoded`` through the pre-decoded closures, ``jit``
+#: through compiled superblocks with deopt to ``decoded``.
+EXEC_TIERS = ("oracle", "decoded", "jit")
+_EXEC_ENV = "REPRO_EXEC"
+
+
+def resolve_exec_tier(explicit: Optional[str] = None) -> str:
+    """The effective execution tier: explicit > ``REPRO_EXEC`` > decoded."""
+    tier = explicit
+    if tier is None:
+        tier = os.environ.get(_EXEC_ENV, "").strip().lower() or "decoded"
+    if tier not in EXEC_TIERS:
+        raise ValueError(
+            f"unknown execution tier {tier!r}: expected one of {EXEC_TIERS}"
+        )
+    return tier
+
+#: Region exit statuses (see the module docstring).
+EXIT_RUN = 0
+EXIT_HALT = 1
+EXIT_ARRIVAL = 2
+EXIT_STOP = 3
+
+#: Bump when trace construction or codegen changes shape: it is folded
+#: into every persistent-cache key, so stale generated code can never be
+#: executed against a newer runtime.
+JIT_SCHEMA = 1
+
+#: Arrivals at a block leader before its region is compiled.
+DEFAULT_THRESHOLD = 16
+_THRESHOLD_ENV = "REPRO_JIT_THRESHOLD"
+
+#: Maximum instructions traced into one superblock.
+REGION_LIMIT = 256
+
+#: Regions shorter than this are not worth a call.
+_MIN_REGION = 2
+
+#: Attribute under which JitPrograms are cached on the Program instance
+#: (excluded from pickles by ``Program.__getstate__``, exactly like the
+#: decode cache).
+_CACHE_ATTR = "_jit_cache"
+
+_MASK64 = (1 << 64) - 1
+
+_R3_EXPR = {
+    Opcode.ADD: "w({a} + {b})",
+    Opcode.SUB: "w({a} - {b})",
+    Opcode.MUL: "w({a} * {b})",
+    Opcode.DIV: "w(dv({a}, {b}))",
+    Opcode.MOD: "w(md({a}, {b}))",
+    Opcode.AND: "w({a} & {b})",
+    Opcode.OR: "w({a} | {b})",
+    Opcode.XOR: "w({a} ^ {b})",
+    Opcode.SLL: "w({a} << ({b} & 63))",
+    Opcode.SRL: "w(({a} & %d) >> ({b} & 63))" % _MASK64,
+    Opcode.SRA: "w({a} >> ({b} & 63))",
+    # Comparisons produce 0/1 — already wrapped by construction.
+    Opcode.SLT: "(1 if {a} < {b} else 0)",
+    Opcode.SLE: "(1 if {a} <= {b} else 0)",
+    Opcode.SEQ: "(1 if {a} == {b} else 0)",
+    Opcode.SNE: "(1 if {a} != {b} else 0)",
+}
+
+_I2_OPS_TO_R3 = {
+    Opcode.ADDI: Opcode.ADD,
+    Opcode.MULI: Opcode.MUL,
+    Opcode.ANDI: Opcode.AND,
+    Opcode.ORI: Opcode.OR,
+    Opcode.XORI: Opcode.XOR,
+    Opcode.SLLI: Opcode.SLL,
+    Opcode.SRLI: Opcode.SRL,
+    Opcode.SLTI: Opcode.SLT,
+}
+
+_BRANCH_EXPR = {
+    Opcode.BEQ: "{a} == {b}",
+    Opcode.BNE: "{a} != {b}",
+    Opcode.BLT: "{a} < {b}",
+    Opcode.BGE: "{a} >= {b}",
+}
+
+#: Globals bound into every generated region's namespace.
+_CODEGEN_GLOBALS = {"w": wrap64, "dv": _div_trunc, "md": _mod_trunc}
+
+
+def block_leaders(program: Program) -> FrozenSet[int]:
+    """Original-CFG block leaders: pcs where a basic block can begin.
+
+    Entry, every branch/jump target inside the text, and every pc
+    following a terminator or a ``fork`` (``fork`` targets name pcs in a
+    *different* program and are ignored).  Arrival/stop checks inside
+    compiled regions are emitted exactly at these pcs; callers must
+    validate that their arrival/stop pcs are leaders before using the
+    JIT (see the module docstring).
+    """
+    size = len(program.code)
+    leaders: Set[int] = {program.entry, 0}
+    for pc, instr in enumerate(program.code):
+        if instr.op is not Opcode.FORK:
+            target = instr.target
+            if isinstance(target, int) and 0 <= target < size:
+                leaders.add(target)
+        if (instr.is_terminator or instr.op is Opcode.FORK) and pc + 1 < size:
+            leaders.add(pc + 1)
+    return frozenset(leaders)
+
+
+def jit_cache_key(program: Program, mode: str) -> str:
+    """Persistent-cache key for ``program``'s compiled regions."""
+    from repro.experiments import cache
+
+    return cache.digest(
+        "jitcode", JIT_SCHEMA, cache.program_digest(program), mode,
+        list(sys.version_info[:2]),
+    )
+
+
+class Region:
+    """One compiled superblock: generated function + trace metadata."""
+
+    __slots__ = ("entry", "pcs", "linear_len", "source", "fn", "mode")
+
+    def __init__(
+        self,
+        entry: int,
+        pcs: Tuple[int, ...],
+        source: str,
+        fn,
+        mode: str,
+    ):
+        self.entry = entry
+        #: Traced pcs in execution order (each executes at most once per
+        #: pass; loops re-enter through the back-edge).
+        self.pcs = pcs
+        #: Upper bound on instructions one pass can execute — the entry
+        #: and back-edge budget guards use it.
+        self.linear_len = len(pcs)
+        self.source = source
+        self.fn = fn
+        self.mode = mode
+
+
+class _Emitter:
+    """Tiny indented-line collector for the textual codegen."""
+
+    __slots__ = ("lines",)
+
+    def __init__(self):
+        self.lines: List[str] = []
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class JitProgram:
+    """A program plus its (lazily) compiled superblock regions.
+
+    Obtain instances through :func:`jit_for`.  ``mode`` selects the
+    codegen specialization: ``"arch"`` (register localization + inlined
+    memory, sound only for :class:`~repro.machine.state.ArchState`) or
+    ``"view"`` (exact per-access method calls, sound for any
+    ``MachineStateLike`` including the MSSP recording views).
+    """
+
+    __slots__ = (
+        "program", "decoded", "size", "mode", "leaders", "threshold",
+        "compiled", "_dead", "_counters", "_cache_key", "_persist",
+    )
+
+    def __init__(
+        self,
+        program: Program,
+        mode: str = "arch",
+        threshold: Optional[int] = None,
+        persist: bool = True,
+    ):
+        if mode not in ("arch", "view"):
+            raise ValueError(f"unknown jit codegen mode {mode!r}")
+        self.program = program
+        self.decoded: DecodedProgram = decode(program)
+        self.size = self.decoded.size
+        self.mode = mode
+        self.leaders = block_leaders(program)
+        if threshold is None:
+            threshold = int(
+                os.environ.get(_THRESHOLD_ENV, "") or DEFAULT_THRESHOLD
+            )
+        self.threshold = max(1, threshold)
+        #: entry pc -> Region for every compiled superblock.
+        self.compiled: Dict[int, Region] = {}
+        self._dead: Set[int] = set()
+        self._counters: Dict[int, int] = {}
+        self._persist = persist
+        self._cache_key = jit_cache_key(program, mode) if persist else None
+        if persist:
+            self._load_persisted()
+
+    # -- persistent code cache ----------------------------------------------
+
+    def _load_persisted(self) -> None:
+        """Compile every region another process already traced."""
+        from repro.experiments import cache
+
+        stored = cache.load("jitcode", self._cache_key)
+        if not isinstance(stored, dict):
+            return
+        for entry, meta in stored.items():
+            try:
+                region = self._compile_source(
+                    int(entry), meta["source"], tuple(meta["pcs"])
+                )
+            except Exception:
+                continue  # stale/corrupt entry: recompile lazily
+            self.compiled[region.entry] = region
+
+    def _persist_regions(self) -> None:
+        from repro.experiments import cache
+
+        payload = {
+            entry: {"source": region.source, "pcs": list(region.pcs)}
+            for entry, region in self.compiled.items()
+        }
+        cache.store("jitcode", self._cache_key, payload)
+
+    # -- region lookup / compilation ----------------------------------------
+
+    def region_for(self, pc: int) -> Optional[Region]:
+        """The compiled region entered at ``pc``, counting hotness.
+
+        Returns ``None`` while ``pc`` is cold (or is not a block leader,
+        or traces to a region too short to be worth a call).  Each call
+        counts one arrival; crossing :attr:`threshold` compiles.
+        """
+        region = self.compiled.get(pc)
+        if region is not None:
+            return region
+        if pc in self._dead:
+            return None
+        if pc not in self.leaders:
+            self._dead.add(pc)
+            return None
+        count = self._counters.get(pc, 0) + 1
+        if count < self.threshold:
+            self._counters[pc] = count
+            return None
+        self._counters.pop(pc, None)
+        region = self._compile(pc)
+        if region is None:
+            self._dead.add(pc)
+            return None
+        self.compiled[pc] = region
+        if self._persist:
+            self._persist_regions()
+        return region
+
+    def trace(self, entry: int) -> Tuple[int, ...]:
+        """The superblock trace from ``entry`` (deterministic).
+
+        Follows fall-throughs and unconditional jumps; stops at ``jr``,
+        ``halt``, a back-edge to ``entry``, a pc already traced, the end
+        of the text, or :data:`REGION_LIMIT`.  ``repro lint``'s JIT002
+        check re-derives this and compares it against compiled regions.
+        """
+        code = self.program.code
+        size = self.size
+        pcs: List[int] = []
+        seen: Set[int] = set()
+        pc = entry
+        while len(pcs) < REGION_LIMIT and 0 <= pc < size and pc not in seen:
+            instr = code[pc]
+            pcs.append(pc)
+            seen.add(pc)
+            op = instr.op
+            if op is Opcode.HALT or op is Opcode.JR:
+                break
+            if op is Opcode.J or op is Opcode.JAL:
+                if instr.target == entry:
+                    break  # becomes the loop back-edge
+                pc = instr.target
+            else:  # branches continue at the fall-through (taken = guard)
+                pc = pc + 1
+        return tuple(pcs)
+
+    def _compile(self, entry: int) -> Optional[Region]:
+        pcs = self.trace(entry)
+        if len(pcs) < _MIN_REGION:
+            return None
+        source = self._generate(entry, pcs)
+        return self._compile_source(entry, source, pcs)
+
+    def _compile_source(
+        self, entry: int, source: str, pcs: Tuple[int, ...]
+    ) -> Region:
+        namespace = dict(_CODEGEN_GLOBALS)
+        code = compile(source, f"<jit:{self.program.name}@{entry}>", "exec")
+        exec(code, namespace)
+        fn = namespace[f"_region_{entry}"]
+        return Region(entry, pcs, source, fn, self.mode)
+
+    # -- codegen -------------------------------------------------------------
+
+    def generate_source(self, entry: int) -> Optional[str]:
+        """The generated source for ``entry``'s region (for the checks)."""
+        pcs = self.trace(entry)
+        if len(pcs) < _MIN_REGION:
+            return None
+        return self._generate(entry, pcs)
+
+    def _generate(self, entry: int, pcs: Tuple[int, ...]) -> str:
+        arch = self.mode == "arch"
+        code = self.program.code
+        traced = set(pcs)
+        position = {pc: i for i, pc in enumerate(pcs)}
+        linear_len = len(pcs)
+
+        # Registers the region touches (arch mode localization).
+        reads: Set[int] = set()
+        writes: Set[int] = set()
+        for pc in pcs:
+            instr = code[pc]
+            for reg in instr.uses():
+                reads.add(reg)
+            for reg in instr.defs():
+                if reg != ZERO:
+                    writes.add(reg)
+        localized = sorted(reads | writes)
+        written = sorted(writes)
+
+        out = _Emitter()
+        out.emit(0, f"def _region_{entry}(state, steps, loads, budget, "
+                    "end_pc, arrivals, stops, min_steps):")
+        if arch:
+            out.emit(1, "_regs = state.regs")
+            out.emit(1, "_mem = state.mem")
+            for reg in localized:
+                out.emit(1, f"r{reg} = _regs[{reg}]")
+        else:
+            out.emit(1, "_read = state.read_reg")
+            out.emit(1, "_write = state.write_reg")
+            out.emit(1, "_load = state.load")
+            out.emit(1, "_store = state.store")
+        out.emit(1, "while True:")
+
+        def writeback(indent: int) -> None:
+            if arch:
+                for reg in written:
+                    out.emit(indent, f"_regs[{reg}] = r{reg}")
+
+        def flush_expr(base: str, delta: int) -> str:
+            return f"{base} + {delta}" if delta else base
+
+        def exit_return(
+            indent: int, pc_expr: str, k: int, ld: int, status: int
+        ) -> None:
+            writeback(indent)
+            out.emit(indent, f"state.pc = {pc_expr}")
+            out.emit(
+                indent,
+                f"return {flush_expr('steps', k)}, "
+                f"{flush_expr('loads', ld)}, arrivals, {status}",
+            )
+
+        def leader_checks(
+            indent: int, pc_expr: str, k: int, ld: int
+        ) -> None:
+            """Arrival/stop checks for reaching ``pc_expr`` after ``k``
+            steps — the per-step engines' post-step checks, emitted only
+            where they can match (block leaders / dynamic targets)."""
+            out.emit(indent, f"if {pc_expr} == end_pc:")
+            out.emit(indent + 1, "arrivals -= 1")
+            out.emit(indent + 1, "if not arrivals:")
+            exit_return(indent + 2, pc_expr, k, ld, EXIT_ARRIVAL)
+            out.emit(
+                indent,
+                f"elif stops is not None and "
+                f"{flush_expr('steps', k)} >= min_steps and "
+                f"{pc_expr} in stops:",
+            )
+            exit_return(indent + 1, pc_expr, k, ld, EXIT_STOP)
+
+        def back_edge(indent: int, k: int, ld: int) -> None:
+            """Flush deltas, run the entry's leader checks, re-check the
+            budget, and loop — or exit RUN for the dispatcher."""
+            if k:
+                out.emit(indent, f"steps += {k}")
+            if ld:
+                out.emit(indent, f"loads += {ld}")
+            leader_checks(indent, str(entry), 0, 0)
+            out.emit(indent, f"if steps + {linear_len} < budget:")
+            out.emit(indent + 1, "continue")
+            exit_return(indent, str(entry), 0, 0, EXIT_RUN)
+
+        def run_exit(indent: int, target: int, k: int, ld: int) -> None:
+            """Exit at a statically known pc, checks included."""
+            if target in self.leaders:
+                leader_checks(indent, str(target), k, ld)
+            exit_return(indent, str(target), k, ld, EXIT_RUN)
+
+        body = 2
+        steps_delta = 0
+        loads_delta = 0
+        for i, pc in enumerate(pcs):
+            instr = code[pc]
+            op = instr.op
+            if pc != entry and pc in self.leaders:
+                leader_checks(body, str(pc), steps_delta, loads_delta)
+
+            if op is Opcode.HALT:
+                exit_return(body, str(pc), steps_delta, loads_delta,
+                            EXIT_HALT)
+                break
+            if op is Opcode.JR:
+                steps_delta += 1
+                if arch:
+                    out.emit(body, f"_p = r{instr.rs}")
+                else:
+                    out.emit(body, f"_p = _read({instr.rs})")
+                leader_checks(body, "_p", steps_delta, loads_delta)
+                exit_return(body, "_p", steps_delta, loads_delta, EXIT_RUN)
+                break
+
+            if instr.is_branch:
+                cond = _BRANCH_EXPR[op].format(
+                    a=self._reg_read(instr.rs, arch),
+                    b=self._reg_read(instr.rt, arch),
+                )
+                taken_k = steps_delta + 1
+                out.emit(body, f"if {cond}:")
+                if instr.target == entry:
+                    back_edge(body + 1, taken_k, loads_delta)
+                else:
+                    run_exit(body + 1, instr.target, taken_k, loads_delta)
+                steps_delta += 1
+                fall = pc + 1
+                if i + 1 < len(pcs) and pcs[i + 1] == fall:
+                    continue
+                run_exit(body, fall, steps_delta, loads_delta)
+                break
+
+            if op is Opcode.J or op is Opcode.JAL:
+                if op is Opcode.JAL:
+                    self._emit_write(out, body, RA, str(pc + 1), arch)
+                steps_delta += 1
+                target = instr.target
+                if target == entry:
+                    back_edge(body, steps_delta, loads_delta)
+                    break
+                if i + 1 < len(pcs) and pcs[i + 1] == target:
+                    continue  # constant-folded jump into the trace
+                run_exit(body, target, steps_delta, loads_delta)
+                break
+
+            # Straight-line instruction.
+            loads_delta += self._emit_linear(out, body, pc, instr, arch)
+            steps_delta += 1
+            if i + 1 == len(pcs):  # trace truncated mid-block
+                run_exit(body, pc + 1, steps_delta, loads_delta)
+        return out.source()
+
+    @staticmethod
+    def _reg_read(reg: int, arch: bool) -> str:
+        return f"r{reg}" if arch else f"_read({reg})"
+
+    @staticmethod
+    def _emit_write(
+        out: _Emitter, indent: int, reg: int, expr: str, arch: bool
+    ) -> None:
+        if arch:
+            out.emit(indent, f"r{reg} = {expr}")
+        else:
+            out.emit(indent, f"_write({reg}, {expr})")
+
+    def _emit_linear(
+        self, out: _Emitter, indent: int, pc: int, instr: Instruction,
+        arch: bool,
+    ) -> int:
+        """Emit one non-control instruction; returns its load count."""
+        op = instr.op
+        rd = instr.rd
+        expr = _R3_EXPR.get(op)
+        if expr is not None:
+            if rd == ZERO:
+                if not arch:  # recording views observe the reads
+                    out.emit(indent, f"_read({instr.rs})")
+                    out.emit(indent, f"_read({instr.rt})")
+                return 0
+            self._emit_write(
+                out, indent, rd,
+                expr.format(
+                    a=self._reg_read(instr.rs, arch),
+                    b=self._reg_read(instr.rt, arch),
+                ),
+                arch,
+            )
+            return 0
+        r3 = _I2_OPS_TO_R3.get(op)
+        if r3 is not None:
+            if rd == ZERO:
+                if not arch:
+                    out.emit(indent, f"_read({instr.rs})")
+                return 0
+            self._emit_write(
+                out, indent, rd,
+                _R3_EXPR[r3].format(
+                    a=self._reg_read(instr.rs, arch), b=repr(instr.imm)
+                ),
+                arch,
+            )
+            return 0
+        if op is Opcode.LW:
+            addr = f"w({self._reg_read(instr.rs, arch)} + {instr.imm})"
+            if arch:
+                if rd != ZERO:
+                    out.emit(indent, f"r{rd} = w(_mem.get({addr}, 0))")
+                # rd == ZERO: the load is unobservable on an ArchState.
+            else:
+                load = f"_load({addr})"
+                if rd == ZERO:
+                    out.emit(indent, load)
+                else:
+                    out.emit(indent, f"_write({rd}, {load})")
+            return 1
+        if op is Opcode.SW:
+            addr = f"w({self._reg_read(instr.rs, arch)} + {instr.imm})"
+            if arch:
+                out.emit(indent, f"_a = {addr}")
+                out.emit(indent, f"_v = w(r{instr.rt})")
+                out.emit(indent, "if _v:")
+                out.emit(indent + 1, "_mem[_a] = _v")
+                out.emit(indent, "else:")
+                out.emit(indent + 1, "_mem.pop(_a, None)")
+            else:
+                out.emit(
+                    indent,
+                    f"_store({addr}, {self._reg_read(instr.rt, arch)})",
+                )
+            return 0
+        if op is Opcode.LI:
+            if rd != ZERO:
+                self._emit_write(
+                    out, indent, rd,
+                    repr(wrap64(instr.imm)) if arch else repr(instr.imm),
+                    arch,
+                )
+            return 0
+        if op is Opcode.MOV:
+            if rd == ZERO:
+                if not arch:
+                    out.emit(indent, f"_read({instr.rs})")
+                return 0
+            source = self._reg_read(instr.rs, arch)
+            self._emit_write(
+                out, indent, rd, f"w({source})" if arch else source, arch
+            )
+            return 0
+        # NOP and FORK (a task marker, not a computation) fall through.
+        return 0
+
+    # -- sequential execution ------------------------------------------------
+
+    def run(
+        self,
+        state: MachineStateLike,
+        max_steps: int,
+        observer=None,
+    ) -> Tuple[int, bool]:
+        """Advance ``state`` until halt; returns ``(steps, halted)``.
+
+        Drop-in for :meth:`DecodedProgram.run`, with hot regions
+        executing as compiled superblocks.  Observers deopt to the
+        decoded per-step loop (exact per-step fidelity); near the budget
+        boundary the decoded engine's exact logic takes over, so
+        :class:`~repro.errors.StepLimitExceeded` fires at the same
+        instruction as the reference loop.  ``arch`` mode must only ever
+        see an :class:`~repro.machine.state.ArchState` here.
+        """
+        decoded = self.decoded
+        if observer is not None:
+            return decoded._step_loop(state, 0, max_steps, observer)
+        chains = decoded.chains
+        chain_halts = decoded.chain_halts
+        size = self.size
+        steps = 0
+        while True:
+            pc = state.pc
+            if not 0 <= pc < size:
+                raise InvalidPcError(pc, size)
+            region = self.region_for(pc)
+            if region is not None and steps + region.linear_len < max_steps:
+                steps, _loads, _arrivals, status = region.fn(
+                    state, steps, 0, max_steps, None, 0, None, 0
+                )
+                if status == EXIT_HALT:
+                    return steps, True
+                continue
+            chain = chains[pc]
+            if steps + len(chain) < max_steps:
+                for fn in chain:
+                    fn(state)
+                if chain_halts[pc]:
+                    return steps + len(chain) - 1, True
+                steps += len(chain)
+            else:
+                return decoded._step_loop(state, steps, max_steps, None)
+
+
+def jit_for(
+    program: Program,
+    mode: str = "arch",
+    threshold: Optional[int] = None,
+) -> JitProgram:
+    """The (cached) :class:`JitProgram` of ``program`` for ``mode``.
+
+    One instance is kept per program *object* per mode, in an attachment
+    excluded from pickling by ``Program.__getstate__`` — the same
+    lifetime discipline as :func:`repro.machine.decoded.decode`.
+    """
+    cache = program.__dict__.get(_CACHE_ATTR)
+    if cache is None:
+        cache = {}
+        object.__setattr__(program, _CACHE_ATTR, cache)
+    jp = cache.get(mode)
+    if jp is None:
+        jp = JitProgram(program, mode=mode, threshold=threshold)
+        cache[mode] = jp
+    return jp

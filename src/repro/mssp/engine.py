@@ -40,6 +40,7 @@ from repro.errors import InvalidPcError, MsspError, StepLimitExceeded
 from repro.isa.program import Program
 from repro.machine.decoded import decode
 from repro.machine.interpreter import run_to_halt
+from repro.machine.jit import EXIT_HALT, EXIT_STOP, jit_for, resolve_exec_tier
 from repro.machine.state import ArchState
 from repro.mssp.master import Master, MasterEvent, MasterEventKind
 from repro.mssp.regions import DeviceAccess, ProtectedRegions
@@ -52,7 +53,12 @@ from repro.mssp.trace import (
     TaskAttemptRecord,
     TraceRecord,
 )
-from repro.mssp.verify import commit_task, squash_task, verify_task
+from repro.mssp.verify import (
+    CellVersions,
+    commit_task,
+    squash_task,
+    verify_task,
+)
 
 
 @dataclass
@@ -94,11 +100,29 @@ class MsspEngine:
         self.original = original
         self.distilled = distilled
         self.pc_map = pc_map
-        self._decoded_original = decode(original)
         self.config = config or MsspConfig()
+        #: Execution tier for master, slaves and recovery (config beats
+        #: the ``REPRO_EXEC`` environment variable; default decoded).
+        self.exec_tier = resolve_exec_tier(self.config.exec_tier)
+        self._decoded_original = decode(
+            original, oracle=self.exec_tier == "oracle"
+        )
         self.regions = ProtectedRegions.from_config(
             self.config.protected_regions
         )
+        # Superblocks for the recovery loop.  Only sound when no
+        # protected regions exist (device accesses need per-step
+        # effects) and every anchor is a block leader (superblocks check
+        # stop pcs at leaders only); otherwise recovery deopts to the
+        # per-step decoded path.
+        self._jit_recover = None
+        if self.exec_tier == "jit" and self.regions is None:
+            candidate = jit_for(original)
+            if self.pc_map.anchors <= candidate.leaders:
+                self._jit_recover = candidate
+        #: Write-version stamps over architected memory, driving the
+        #: verify fast path (re-created per run; see repro.mssp.verify).
+        self._versions = CellVersions()
         self._allowed_squash_reasons: Optional[frozenset] = None
         if self.config.assert_static_soundness:
             if not isinstance(distillation, DistillationResult):
@@ -117,10 +141,12 @@ class MsspEngine:
     def run(self) -> MsspResult:
         """Execute the program under MSSP to completion."""
         arch = ArchState.initial(self.original)
+        self._versions = CellVersions()
         master = Master(
             self.distilled, self.config,
             arrival_pcs=self.pc_map.arrival_pcs(),
             jr_table=self.pc_map.jr_table,
+            tier=self.exec_tier,
         )
         counters = MsspCounters()
         records: List[TraceRecord] = []
@@ -276,9 +302,12 @@ class MsspEngine:
         Returns ``(committed, machine_halted)``.
         """
         task.status = TaskStatus.READY
+        # Eagerly executed tasks read architected state as of *now*, and
+        # nothing commits between execution and the verify below.
+        task.base_version = self._versions.seq
         execute_task(
             self.original, task, arch, self.config.max_task_instrs,
-            regions=self.regions,
+            regions=self.regions, tier=self.exec_tier,
         )
         return self._judge_task(task, event, arch, counters, records)
 
@@ -299,7 +328,7 @@ class MsspEngine:
         identical :class:`MsspResult`.  Returns
         ``(committed, machine_halted)``.
         """
-        outcome = verify_task(task, arch)
+        outcome = verify_task(task, arch, versions=self._versions)
         counters.live_ins_checked += outcome.checked
         counters.live_ins_mismatched += outcome.mismatched
         if task.exact:
@@ -325,6 +354,7 @@ class MsspEngine:
         records.append(record)
         if outcome.ok:
             commit_task(task, arch)
+            self._versions.stamp_commit(task.live_out_mem)
             counters.tasks_committed += 1
             counters.committed_instrs += task.n_instrs
             return True, task.halted
@@ -360,10 +390,29 @@ class MsspEngine:
         loads = 0
         halted = False
         budget = self.config.max_total_instrs - counters.total_instrs
+        jp = self._jit_recover
+        # Superblocks may run only while every bound stays unreachable
+        # within one region body; the per-step loop below handles the
+        # boundaries (anchor stops and budget raises fire at exactly the
+        # per-step instruction counts).
+        cap = min(budget, max(min_instrs, self.config.recovery_max_instrs))
         while True:
             pc = arch.pc
             if not 0 <= pc < size:
                 raise InvalidPcError(pc, size)
+            if jp is not None:
+                region = jp.region_for(pc)
+                if region is not None and steps + region.linear_len < cap:
+                    steps, loads, _arrivals, status = region.fn(
+                        arch, steps, loads, cap, None, 0,
+                        anchors, min_instrs,
+                    )
+                    if status == EXIT_HALT:
+                        halted = True
+                        break
+                    if status == EXIT_STOP:
+                        break
+                    continue  # EXIT_RUN: pc synced; retry dispatch there.
             effect = steppers[pc](arch)
             if effect.halted:
                 halted = True
@@ -391,6 +440,9 @@ class MsspEngine:
                 # Episode cap: hand control back; the engine will start
                 # another recovery episode if no anchor was reached.
                 break
+        # Recovery wrote architected cells without itemizing them:
+        # invalidate every version stamp at once.
+        self._versions.invalidate_all()
         counters.recovery_instrs += steps
         counters.recovery_episodes += 1
         return RecoveryRecord(

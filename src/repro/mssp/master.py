@@ -109,6 +109,7 @@ class Master:
         config: MsspConfig,
         arrival_pcs: Optional[Dict[int, int]] = None,
         jr_table: Optional[Dict[int, int]] = None,
+        tier: str = "decoded",
     ):
         self.distilled = distilled
         self.config = config
@@ -123,7 +124,12 @@ class Master:
         self._arrivals: Dict[int, int] = {}
         self.total_instrs = 0
         self.restarts = 0
-        self._decoded = decode(distilled)
+        # Execution tier: only ``oracle`` changes the stepper here.  The
+        # jit tier is deliberately equivalent to decoded for the master —
+        # its loop intercepts FORK/JR and counts arrivals at every pc,
+        # which superblocks cannot cross, and the distilled program is a
+        # few hundred static instructions at most.
+        self._decoded = decode(distilled, oracle=tier == "oracle")
         # Per-pc dispatch for the two opcodes the master hardware
         # intercepts before execution: None for ordinary instructions,
         # (FORK, anchor) for forks, (JR, rs) for indirect jumps (whose

@@ -113,14 +113,29 @@ _WORKER_BASE_LIMIT = 4
 _RUN_TOKENS = itertools.count()
 
 
-def _worker_init(digest: bytes, program: Program) -> None:
-    """Pool initializer: preload + pre-decode the original program."""
+def _worker_init(
+    digest: bytes, program: Program, tier: str = "decoded"
+) -> None:
+    """Pool initializer: preload + pre-decode the original program.
+
+    Under the jit tier the worker also builds its
+    :class:`~repro.machine.jit.JitProgram` up front, which replays any
+    superblocks already in the persistent code cache — workers reuse
+    compilations (typically the parent's) instead of re-JITting through
+    their own warmup.
+    """
     _WORKER_PROGRAMS[digest] = program
     _WORKER_BASES.clear()
     decode(program)
+    if tier == "jit":
+        from repro.machine.jit import jit_for
+
+        jit_for(program, "view")
 
 
-def _pipe_worker(conn, digest: bytes, program: Program) -> None:
+def _pipe_worker(
+    conn, digest: bytes, program: Program, tier: str = "decoded"
+) -> None:
     """Slave process main loop: execute chunks arriving on ``conn``.
 
     Messages are ``(chunk_id, payload)``; replies are
@@ -128,7 +143,7 @@ def _pipe_worker(conn, digest: bytes, program: Program) -> None:
     worker down.  The chunk id is echoed so the engine can discard
     replies to chunks it stopped caring about (episode squash).
     """
-    _worker_init(digest, program)
+    _worker_init(digest, program, tier)
     try:
         while True:
             message = conn.recv()
@@ -162,7 +177,13 @@ class _PipePool:
     squash) are skipped by chunk id.
     """
 
-    def __init__(self, num_workers: int, digest: bytes, program: Program):
+    def __init__(
+        self,
+        num_workers: int,
+        digest: bytes,
+        program: Program,
+        tier: str = "decoded",
+    ):
         import multiprocessing
 
         try:
@@ -178,7 +199,7 @@ class _PipePool:
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             proc = ctx.Process(
                 target=_pipe_worker,
-                args=(child_conn, digest, program),
+                args=(child_conn, digest, program, tier),
                 daemon=True,
             )
             self._conns.append(parent_conn)
@@ -284,7 +305,7 @@ def _execute_chunk(payload: tuple) -> List[tuple]:
     fall back to local re-execution).
     """
     (digest, shipped_program, regions_ranges, max_task_instrs,
-     base_key, base_delta, wire_tasks) = payload
+     base_key, base_delta, wire_tasks, tier) = payload
     program = _WORKER_PROGRAMS.get(digest)
     if program is None:
         if shipped_program is None:  # pragma: no cover - defensive
@@ -307,7 +328,9 @@ def _execute_chunk(payload: tuple) -> List[tuple]:
             checkpoint=Checkpoint(regs=regs, mem=ckpt_mem),
             end_pc=end_pc, end_arrivals=end_arrivals,
         )
-        execute_task(program, task, chain, max_task_instrs, regions=regions)
+        execute_task(
+            program, task, chain, max_task_instrs, regions=regions, tier=tier
+        )
         results.append(
             (tid, task.live_in_regs, task.live_in_mem, task.live_out_regs,
              task.live_out_mem, task.n_instrs, task.n_loads,
@@ -451,7 +474,8 @@ class ParallelMsspEngine(MsspEngine):
             import weakref
 
             pool = _PipePool(
-                self.config.num_slaves, self._digest, self.original
+                self.config.num_slaves, self._digest, self.original,
+                tier=self.exec_tier,
             )
             threading.Thread(target=pool.start, daemon=True).start()
             self._finalizer = weakref.finalize(self, pool.shutdown)
@@ -485,6 +509,11 @@ class ParallelMsspEngine(MsspEngine):
         base_key = (self._run_token, self._episode_seq)
         self._episode_seq += 1
         base_delta = self._episode_base_delta(arch)
+        # Workers execute against an image of architected memory frozen
+        # at this point; cells unstamped since now are provably equal to
+        # that image at every later judge point in the episode (the
+        # verify fast path's precondition for adopted results).
+        episode_version = self._versions.seq
         stats = self.dispatch_stats
 
         #: Produced, not yet judged — episode order; head judged first.
@@ -557,6 +586,7 @@ class ParallelMsspEngine(MsspEngine):
                     recent_outcomes.append(False)
                     return False, task.tid + 1
                 result = self._await_result(task.tid, inflight, results)
+                task.base_version = episode_version
                 if result is not None and self._result_valid(
                     task, result, arch
                 ):
@@ -569,9 +599,12 @@ class ParallelMsspEngine(MsspEngine):
                         stats.missing += 1
                     stats.reexecuted += 1
                     task.status = TaskStatus.READY
+                    # Local re-execution is the eager path: the task
+                    # reads architected state as of now.
+                    task.base_version = self._versions.seq
                     execute_task(
                         self.original, task, arch, config.max_task_instrs,
-                        regions=self.regions,
+                        regions=self.regions, tier=self.exec_tier,
                     )
                 committed, slave_halted = self._judge_task(
                     task, entry.event, arch, counters, records
@@ -664,6 +697,7 @@ class ParallelMsspEngine(MsspEngine):
         return (
             self._digest, shipped, self.config.protected_regions,
             self.config.max_task_instrs, base_key, base_delta, wire,
+            self.exec_tier,
         )
 
     def _await_result(
@@ -711,11 +745,26 @@ class ParallelMsspEngine(MsspEngine):
         If every such cell matches architected state *now* (this task's
         commit point), the worker's execution was step-for-step the
         eager one.
+
+        Cells the version stamps prove unchanged since episode start
+        skip the value compare (``task.base_version`` is the episode's
+        base version here): an unchanged cell still holds the episode
+        base image's value, which is exactly what the worker read —
+        unless a chunk predecessor's overlay served the read, in which
+        case that predecessor has committed by now and stamped the cell,
+        forcing the full compare.  The verdict is identical either way.
         """
         ckpt_mem = task.checkpoint.mem
         load = arch.load
+        versions = self._versions
+        base = task.base_version
         for address, value in result[2].items():
-            if address not in ckpt_mem and load(address) != value:
+            if address in ckpt_mem:
+                continue
+            if base is not None and not versions.changed_since(address, base):
+                versions.skipped += 1
+                continue
+            if load(address) != value:
                 return False
         return True
 

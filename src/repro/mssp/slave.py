@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 from repro.errors import ProtectedAccessError
 from repro.isa.program import Program
 from repro.machine.decoded import decode
+from repro.machine.jit import EXIT_ARRIVAL, EXIT_HALT, jit_for
 from repro.machine.state import ArchState, wrap64
 from repro.mssp.regions import ProtectedRegions
 from repro.mssp.task import Checkpoint, Task, TaskStatus
@@ -115,6 +116,7 @@ def execute_task(
     arch: ArchState,
     max_instrs: int,
     regions: Optional[ProtectedRegions] = None,
+    tier: str = "decoded",
 ) -> Task:
     """Run ``task`` speculatively against ``arch`` (read-only), in place.
 
@@ -122,9 +124,20 @@ def execute_task(
     termination flags, and advances its status to COMPLETED.  ``arch`` is
     never written.  A protected-region access aborts the task before the
     access happens (``task.protected_access``).
+
+    ``tier`` selects the stepper: ``oracle`` defers every step to
+    ``semantics.execute``, ``decoded`` (the default) runs the pre-decoded
+    closures, ``jit`` runs compiled superblocks over the same recording
+    view with deopt back to the per-step path.  The jit tier deopts
+    entirely when protected regions are configured (a mid-region
+    :class:`~repro.errors.ProtectedAccessError` would lose the region's
+    pending step accounting) or when the task's end pc is not a block
+    leader (superblocks only check arrivals at leaders) — in both cases
+    execution is exactly the decoded per-step loop, so results stay
+    bit-identical by construction.
     """
     view = SlaveView(task.checkpoint, arch, task.start_pc, regions=regions)
-    decoded = decode(program)
+    decoded = decode(program, oracle=tier == "oracle")
     steppers = decoded.steppers
     size = decoded.size
     steps = 0
@@ -135,11 +148,29 @@ def execute_task(
     protected = False
     end_pc = task.end_pc
     remaining_arrivals = max(1, task.end_arrivals)
+    jp = None
+    if tier == "jit" and regions is None:
+        candidate = jit_for(program, "view")
+        if end_pc is None or end_pc in candidate.leaders:
+            jp = candidate
     while True:
         pc = view.pc
         if not 0 <= pc < size:
             faulted = True
             break
+        if jp is not None:
+            region = jp.region_for(pc)
+            if region is not None and steps + region.linear_len < max_instrs:
+                steps, loads, remaining_arrivals, status = region.fn(
+                    view, steps, loads, max_instrs, end_pc,
+                    remaining_arrivals, None, 0,
+                )
+                if status == EXIT_HALT:
+                    halted = True
+                    break
+                if status == EXIT_ARRIVAL:
+                    break
+                continue  # EXIT_RUN: pc synced; retry dispatch there.
         try:
             effect = steppers[pc](view)
         except ProtectedAccessError:

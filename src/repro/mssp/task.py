@@ -100,6 +100,12 @@ class Task:
     faulted: bool = False
     #: The task stopped before touching a protected (I/O) address.
     protected_access: bool = False
+    #: :class:`~repro.mssp.verify.CellVersions` sequence number at which
+    #: this task's view of architected memory is known to have been
+    #: current (eager: execution time; parallel adopted results: episode
+    #: start).  ``None`` disables the verify fast path for this task —
+    #: every memory live-in is compared the slow way.
+    base_version: Optional[int] = None
 
     # Filled by verification -----------------------------------------------------
     squash_reason: SquashReason = SquashReason.NONE

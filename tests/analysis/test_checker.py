@@ -21,6 +21,7 @@ from repro.analysis.checker import (
     check_decoded,
     check_distillation,
     check_ir,
+    check_jit,
     check_program,
     predicted_squash_reasons,
 )
@@ -522,6 +523,61 @@ class TestCheckDecoded:
         decoded.chain_halts = tuple(flags)
         report = check_decoded(rich_program)
         assert "DEC003" in error_ids(report)
+
+
+# -- layer 5: the superblock JIT --------------------------------------------
+
+
+class TestCheckJit:
+    def test_clean_program_has_no_errors(self, rich_program):
+        report = check_jit(rich_program)
+        assert report.ok
+        assert not report.findings
+
+    def test_broken_cache_attachment_is_jit001(self, rich_program):
+        class Amnesiac(dict):
+            """A cache that forgets: every lookup misses."""
+
+            def get(self, key, default=None):
+                return None
+
+        rich_program.__dict__["_jit_cache"] = Amnesiac()
+        report = check_jit(rich_program)
+        # Every jit_for() call now builds a fresh JitProgram: the
+        # identity discipline check must notice.
+        assert "JIT001" in error_ids(report)
+
+    def test_tampered_region_trace_is_jit002(self, rich_program, monkeypatch):
+        from repro.machine import jit as jit_mod
+
+        original_for = jit_mod.JitProgram.region_for
+
+        def tampering(self, pc):
+            region = original_for(self, pc)
+            if region is not None and len(region.pcs) > 1:
+                region.pcs = region.pcs[:-1]
+            return region
+
+        monkeypatch.setattr(jit_mod.JitProgram, "region_for", tampering)
+        report = check_jit(rich_program)
+        assert "JIT002" in error_ids(report)
+
+    def test_miscompiled_region_is_jit003(self, rich_program, monkeypatch):
+        """Seeded codegen bug: swap the generated `add` for a `sub`."""
+        from repro.machine import jit as jit_mod
+
+        original = jit_mod.JitProgram._compile_source
+
+        def miscompiling(self, entry, source, pcs):
+            return original(
+                self, entry, source.replace(" + ", " - "), pcs
+            )
+
+        monkeypatch.setattr(
+            jit_mod.JitProgram, "_compile_source", miscompiling
+        )
+        report = check_jit(rich_program)
+        assert "JIT003" in error_ids(report)
 
 
 # -- catalogue integrity ----------------------------------------------------

@@ -52,7 +52,7 @@ panic:  li r6, -1
 
 def _oracle_decode(monkeypatch):
     """Swap every pipeline decode site to oracle-mode decoding."""
-    oracle = lambda program: decode(program, oracle=True)  # noqa: E731
+    oracle = lambda program, oracle=True: decode(program, oracle=True)  # noqa: E731
     for module in ("repro.mssp.engine", "repro.mssp.master",
                    "repro.mssp.slave"):
         monkeypatch.setattr(f"{module}.decode", oracle)

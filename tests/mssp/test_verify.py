@@ -3,7 +3,12 @@
 from repro.isa.registers import NUM_REGS
 from repro.machine.state import ArchState
 from repro.mssp.task import Checkpoint, SquashReason, Task, TaskStatus
-from repro.mssp.verify import commit_task, squash_task, verify_task
+from repro.mssp.verify import (
+    CellVersions,
+    commit_task,
+    squash_task,
+    verify_task,
+)
 
 
 def completed_task(**overrides):
@@ -80,6 +85,94 @@ class TestVerify:
         arch = ArchState(pc=5)
         outcome = verify_task(completed_task(live_in_mem={4242: 0}), arch)
         assert outcome.ok
+
+
+class TestCellVersions:
+    def test_stamp_and_changed_since(self):
+        versions = CellVersions()
+        base = versions.seq
+        assert not versions.changed_since(100, base)
+        versions.stamp_commit([100, 200])
+        assert versions.changed_since(100, base)
+        assert versions.changed_since(200, base)
+        assert not versions.changed_since(300, base)
+        # A base taken after the commit sees nothing as changed.
+        later = versions.seq
+        assert not versions.changed_since(100, later)
+
+    def test_invalidate_all_floors_every_cell(self):
+        """Recovery writes memory without per-cell stamps; afterwards
+        *every* address — stamped or never seen — must read changed
+        relative to any pre-recovery base."""
+        versions = CellVersions()
+        versions.stamp_commit([100])
+        base = versions.seq
+        versions.invalidate_all()
+        assert versions.changed_since(100, base)
+        assert versions.changed_since(424242, base)  # never stamped
+        fresh = versions.seq
+        assert not versions.changed_since(100, fresh)
+        assert not versions.changed_since(424242, fresh)
+
+    def test_verify_outcome_identical_with_and_without_versions(self):
+        """The fast path may only skip *comparisons*, never change the
+        outcome or the checked count."""
+        arch = ArchState(pc=5, mem={100: 7})
+        versions = CellVersions()
+        base = versions.seq
+        plain = verify_task(
+            completed_task(live_in_mem={100: 7, 4242: 0}), arch
+        )
+        fast = verify_task(
+            completed_task(
+                live_in_mem={100: 7, 4242: 0}, base_version=base
+            ),
+            arch, versions=versions,
+        )
+        assert (fast.ok, fast.reason, fast.checked, fast.mismatched) == (
+            plain.ok, plain.reason, plain.checked, plain.mismatched
+        )
+        assert versions.skipped == 2  # both cells proved unchanged
+
+    def test_changed_cells_are_still_compared(self):
+        arch = ArchState(pc=5)  # mem[100] reads 0, not the recorded 7
+        versions = CellVersions()
+        base = versions.seq
+        versions.stamp_commit([100])
+        outcome = verify_task(
+            completed_task(live_in_mem={100: 7}, base_version=base),
+            arch, versions=versions,
+        )
+        assert not outcome.ok
+        assert outcome.reason is SquashReason.MEMORY_LIVE_IN
+        assert versions.skipped == 0
+
+    def test_checkpoint_overlay_cells_never_skipped(self):
+        """A cell the master's overlay predicted must always be compared:
+        the architected value being unchanged says nothing about the
+        overlay value the slave actually read."""
+        arch = ArchState(pc=5)
+        versions = CellVersions()
+        task = completed_task(
+            checkpoint=Checkpoint(
+                regs=tuple([0] * NUM_REGS), mem={100: 7}
+            ),
+            live_in_mem={100: 7},  # read through the overlay, arch has 0
+            base_version=versions.seq,
+        )
+        outcome = verify_task(task, arch, versions=versions)
+        assert not outcome.ok
+        assert outcome.reason is SquashReason.MEMORY_LIVE_IN
+        assert versions.skipped == 0
+
+    def test_no_base_version_disables_the_fast_path(self):
+        arch = ArchState(pc=5, mem={100: 7})
+        versions = CellVersions()
+        outcome = verify_task(
+            completed_task(live_in_mem={100: 7}), arch, versions=versions
+        )
+        assert outcome.ok
+        assert versions.skipped == 0
 
 
 class TestCommitAndSquash:
