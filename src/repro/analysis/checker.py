@@ -94,6 +94,11 @@ CHECKS: Dict[str, str] = {
               "from the program",
     "JIT003": "compiled regions reproduce per-step decoded execution on "
               "fuzzed machine states",
+    # -- runtime event-stream checks ------------------------------------------
+    "RT001": "tasks are judged strictly in fork order and committed tids "
+             "strictly increase",
+    "RT002": "a squash discards every in-flight successor: none is judged "
+             "again before being re-forked",
 }
 
 
@@ -1000,6 +1005,106 @@ def check_jit(program: Program, subject: Optional[str] = None) -> CheckReport:
                 )
                 break
     return report
+
+
+# ---------------------------------------------------------------------------
+# Layer 5: runtime event streams (the pipeline's in-order protocol)
+# ---------------------------------------------------------------------------
+
+
+def check_runtime_events(events, subject: str = "runtime") -> CheckReport:
+    """Check a recorded runtime-event stream against the MSSP protocol.
+
+    ``events`` is a sequence of
+    :class:`~repro.mssp.runtime.events.RuntimeEvent`\\ s in emission
+    order (an :class:`~repro.mssp.runtime.events.EventLog` qualifies).
+    Two invariants are enforced, both independent of the executor
+    backend:
+
+    * **RT001** — in-order judgement: every ``task_committed`` /
+      ``task_squashed`` names the *oldest* forked-but-unjudged tid (no
+      task is judged before its predecessor), and committed tids
+      strictly increase across the whole run;
+    * **RT002** — squash discard: a squash (or master failure) kills
+      every forked-but-unjudged successor; a killed tid may only be
+      judged again after a fresh ``task_forked`` re-opens it.
+    """
+    report = CheckReport(subject=subject)
+    #: Forked, not yet judged — episode order; the head judges first.
+    outstanding: List[int] = []
+    #: Killed by a squash/failure, awaiting re-fork before re-judgement.
+    discarded: Set[int] = set()
+    last_committed: Optional[int] = None
+    for event in events:
+        kind = getattr(event, "kind", "")
+        if kind == "task_forked":
+            discarded.discard(event.tid)
+            outstanding.append(event.tid)
+        elif kind in ("task_committed", "task_squashed"):
+            tid = event.tid
+            if tid in discarded:
+                discarded.discard(tid)
+                _finding(
+                    report, "RT002", Severity.ERROR,
+                    f"tid {tid} was discarded by an earlier squash but "
+                    f"judged again without an intervening fork",
+                )
+            if not outstanding:
+                _finding(
+                    report, "RT001", Severity.ERROR,
+                    f"tid {tid} judged with no task outstanding",
+                )
+            elif outstanding[0] != tid:
+                _finding(
+                    report, "RT001", Severity.ERROR,
+                    f"tid {tid} judged before its predecessor "
+                    f"(oldest outstanding is {outstanding[0]})",
+                )
+                if tid in outstanding:
+                    outstanding.remove(tid)
+            else:
+                outstanding.pop(0)
+            if kind == "task_committed":
+                if last_committed is not None and tid <= last_committed:
+                    _finding(
+                        report, "RT001", Severity.ERROR,
+                        f"committed tid {tid} does not exceed the "
+                        f"previously committed tid {last_committed}",
+                    )
+                last_committed = tid
+            else:
+                discarded.update(outstanding)
+                outstanding.clear()
+        elif kind == "master_failure":
+            discarded.update(outstanding)
+            outstanding.clear()
+    return report
+
+
+def check_runtime_execution(
+    program, distillation, subject: str = "runtime"
+) -> CheckReport:
+    """Run MSSP under a pipelined backend and lint its event stream.
+
+    Uses the thread backend (real in-flight windows, no worker
+    processes to spawn) with a small chunk size so episodes actually
+    cross chunk boundaries, records every event through an
+    :class:`~repro.mssp.runtime.events.EventLog`, and hands the stream
+    to :func:`check_runtime_events`.
+    """
+    from repro.config import MsspConfig
+    from repro.mssp.engine import create_engine
+    from repro.mssp.runtime.events import EventLog
+
+    config = MsspConfig(
+        runtime="thread", num_slaves=2, parallel_chunk_tasks=4,
+        max_inflight_tasks=16,
+    )
+    log = EventLog()
+    with create_engine(program, distillation, config) as engine:
+        engine.events.subscribe(log)
+        engine.run()
+    return check_runtime_events(log.events, subject=subject)
 
 
 # ---------------------------------------------------------------------------

@@ -17,8 +17,9 @@ Subcommands
     The E1-style table over every workload.
 ``lint``
     Static soundness report: check a workload's original program, its
-    distillation (with per-pass IR verification), the pc map, and the
-    pre-decoded execution cache.
+    distillation (with per-pass IR verification), the pc map, the
+    pre-decoded execution cache, and the runtime's recorded event
+    stream (in-order judgement, squash discard).
 ``bench``
     Performance measurement: interpreter microbenchmark (reference
     ``execute`` loop vs the pre-decoded engine) plus the E-suite through
@@ -69,13 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="target dynamic instructions per task",
     )
     run.add_argument(
-        "--runtime", choices=("eager", "parallel"), default="eager",
-        help="execution strategy: eager in-process tasks, or a real "
-             "process pool of slave workers (bit-identical results)",
+        "--runtime", choices=("eager", "thread", "process", "parallel"),
+        default="eager",
+        help="slave-execution backend: eager in-process tasks, a thread "
+             "pool, or a process pool of slave workers ('parallel' is a "
+             "deprecated alias of 'process'; results are bit-identical)",
     )
     run.add_argument(
         "--workers", type=int, default=None,
-        help="slave worker processes for --runtime parallel "
+        help="slave workers for the thread/process runtimes "
              "(default: MsspConfig.num_slaves)",
     )
     run.add_argument(
@@ -153,9 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop the persistent artifact cache before running",
     )
     bench.add_argument(
-        "--runtime", choices=("eager", "parallel"), default="eager",
-        help="also measure the parallel MSSP runtime's wall-clock "
-             "speedup per workload (-j sets the slave worker count)",
+        "--runtime", choices=("eager", "thread", "process", "parallel"),
+        default="eager",
+        help="also measure a pipelined MSSP runtime's wall-clock speedup "
+             "per workload (-j sets the slave worker count; 'parallel' "
+             "is a deprecated alias of 'process')",
     )
 
     report = sub.add_parser(
@@ -314,6 +319,7 @@ def cmd_lint(args) -> int:
         check_distillation,
         check_jit,
         check_program,
+        check_runtime_execution,
     )
     from repro.distill.distiller import Distiller
     from repro.errors import CheckFailure, DistillError
@@ -382,6 +388,14 @@ def cmd_lint(args) -> int:
         warnings += len(distilled_decoded.warnings)
         if not distilled_decoded.ok:
             failures += 1
+            continue
+        runtime_report = check_runtime_execution(
+            instance.program, distillation, subject=f"{name}: runtime"
+        )
+        print(runtime_report.render())
+        warnings += len(runtime_report.warnings)
+        if not runtime_report.ok:
+            failures += 1
     verdict = "clean" if not failures else f"{failures} FAILED"
     print(
         f"lint: {len(names)} workload(s), {verdict}, {warnings} warning(s)"
@@ -436,10 +450,13 @@ def cmd_bench(args) -> int:
             f"{row['speedup']:.2f}", "hit" if row["cache_hit"] else "miss",
         )
     print(table.render())
-    if args.runtime == "parallel":
+    if args.runtime != "eager":
+        backend = summary["suite"][0]["pipelined_runtime"] if (
+            summary["suite"]
+        ) else args.runtime
         ptable = Table(
-            ["workload", "eager s", "parallel s", "measured", "identical"],
-            title=f"parallel runtime wall clock "
+            ["workload", "eager s", f"{backend} s", "measured", "identical"],
+            title=f"{backend} runtime wall clock "
                   f"({max(2, args.jobs)} slave workers, "
                   f"{summary['cpu_count']} CPUs)",
         )
@@ -453,7 +470,7 @@ def cmd_bench(args) -> int:
             )
         print(ptable.render())
         if not all(r["parallel_identical"] for r in summary["suite"]):
-            print("bench: parallel runtime DIVERGED from eager",
+            print(f"bench: {backend} runtime DIVERGED from eager",
                   file=sys.stderr)
             return 1
     print(

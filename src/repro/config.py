@@ -92,12 +92,16 @@ class MsspConfig:
     before touching them, and only non-speculative recovery may access
     them — exactly once each, in program order.
 
-    ``runtime`` selects the execution strategy: ``"eager"`` executes
-    every task inline in commit order (the functional reference model);
-    ``"parallel"`` pipelines the master ahead of a process pool of
-    ``num_slaves`` slave workers with in-order verify/commit
-    (:class:`repro.mssp.parallel.ParallelMsspEngine`).  Both runtimes
-    produce bit-identical :class:`~repro.mssp.engine.MsspResult`\\ s.
+    ``runtime`` selects the slave-execution backend: ``"eager"``
+    executes every task inline in commit order (the functional reference
+    model); ``"thread"`` pipelines the master ahead of ``num_slaves``
+    in-process worker threads; ``"process"`` pipelines it ahead of
+    ``num_slaves`` forked worker processes.  ``"parallel"`` is a
+    deprecated alias of ``"process"``, and ``None`` defers to the
+    ``REPRO_RUNTIME`` environment variable (default eager), mirroring
+    ``exec_tier``/``REPRO_EXEC``.  All backends produce bit-identical
+    :class:`~repro.mssp.engine.MsspResult`\\ s; see
+    :mod:`repro.mssp.runtime`.
     """
 
     #: Hard cap on one task's dynamic length at a slave.
@@ -135,8 +139,9 @@ class MsspConfig:
     #: recovered from.  Requires a full DistillationResult (the
     #: prediction reads the distiller's pass statistics).
     assert_static_soundness: bool = False
-    #: Execution strategy; see class docstring.
-    runtime: str = "eager"
+    #: Slave-execution backend; see class docstring.  ``None`` defers
+    #: to ``REPRO_RUNTIME``; an explicit ``"eager"`` is immune to it.
+    runtime: Optional[str] = None
     #: Execution tier for the interpretation loops (master, slaves,
     #: recovery): ``"oracle"`` steps through ``semantics.execute``,
     #: ``"decoded"`` through the pre-decoded closures, ``"jit"`` through
@@ -144,10 +149,12 @@ class MsspConfig:
     #: defers to the ``REPRO_EXEC`` environment variable (default:
     #: decoded).  All tiers are bit-identical; see docs/performance.md.
     exec_tier: Optional[str] = None
-    #: Worker processes backing the parallel runtime's slave pool.
+    #: Workers (threads or processes) backing the pipelined runtimes'
+    #: slave pool.
     num_slaves: int = 4
-    #: Tasks batched per process-pool dispatch in the parallel runtime
-    #: (amortizes IPC over several small tasks; the run-ahead window is
+    #: Tasks batched per pool dispatch in the pipelined runtimes
+    #: (amortizes per-dispatch cost over several small tasks; the
+    #: run-ahead window is
     #: ``min(max_inflight_tasks, num_slaves * parallel_chunk_tasks)``).
     parallel_chunk_tasks: int = 16
 
@@ -168,8 +175,13 @@ class MsspConfig:
             raise ValueError(
                 "checkpoint_mode must be 'cumulative' or 'delta'"
             )
-        if self.runtime not in ("eager", "parallel"):
-            raise ValueError("runtime must be 'eager' or 'parallel'")
+        if self.runtime not in (
+            None, "eager", "thread", "process", "parallel"
+        ):
+            raise ValueError(
+                "runtime must be None, 'eager', 'thread', 'process' "
+                "or 'parallel' (deprecated alias of 'process')"
+            )
         if self.exec_tier not in (None, "oracle", "decoded", "jit"):
             raise ValueError(
                 "exec_tier must be None, 'oracle', 'decoded' or 'jit'"

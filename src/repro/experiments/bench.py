@@ -210,40 +210,46 @@ def measure_parallel_runtime(
     size: Optional[int] = None,
     num_slaves: int = 2,
     repeats: int = 3,
+    runtime: str = "process",
 ) -> Dict[str, object]:
-    """Wall-clock eager vs parallel runtime on one prepared workload.
+    """Wall-clock eager vs pipelined runtime on one prepared workload.
 
-    Times ``repeats`` fresh runs of each engine on the same program and
-    distillation (best-of, so the parallel number reflects the steady
-    state with a warm worker pool rather than one-time spawn cost, which
-    is reported separately as ``wall_parallel_cold_seconds``) and checks
-    the two results are bit-identical.  Single-core hosts cap the
-    measured speedup at ~1.0x by construction — the workers timeshare
-    the one CPU — so ``cpu_count`` travels with the numbers.
+    ``runtime`` selects which pipelined executor backend is measured
+    ("thread" or "process"; "parallel" is the deprecated alias of
+    "process").  Times ``repeats`` fresh runs of each engine on the same
+    program and distillation (best-of, so the pipelined number reflects
+    the steady state with a warm worker pool rather than one-time spawn
+    cost, which is reported separately as
+    ``wall_parallel_cold_seconds``) and checks the two results are
+    bit-identical.  Single-core hosts cap the measured speedup at ~1.0x
+    by construction — the workers timeshare the one CPU — so
+    ``cpu_count`` travels with the numbers.
     """
-    from repro.mssp import MsspEngine, ParallelMsspEngine
+    from repro.mssp.engine import create_engine
 
     ready, _ = cached_prepare(name, size=size)
     program = ready.instance.program
     distillation = ready.distillation
 
-    eager = MsspEngine(program, distillation)
     walls_eager: List[float] = []
     result_eager = None
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        result_eager = eager.run()
-        walls_eager.append(time.perf_counter() - start)
-
-    config = MsspConfig(runtime="parallel", num_slaves=num_slaves)
-    walls_parallel: List[float] = []
-    result_parallel = None
-    with ParallelMsspEngine(program, distillation, config=config) as par:
+    with create_engine(
+        program, distillation, MsspConfig(runtime="eager")
+    ) as eager:
         for _ in range(max(1, repeats)):
             start = time.perf_counter()
-            result_parallel = par.run()
+            result_eager = eager.run()
+            walls_eager.append(time.perf_counter() - start)
+
+    config = MsspConfig(runtime=runtime, num_slaves=num_slaves)
+    walls_parallel: List[float] = []
+    result_parallel = None
+    with create_engine(program, distillation, config) as pipelined:
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result_parallel = pipelined.run()
             walls_parallel.append(time.perf_counter() - start)
-        dispatch = par.dispatch_stats.summary()
+        dispatch = pipelined.dispatch_stats.summary()
 
     identical = (
         result_eager.records == result_parallel.records
@@ -254,6 +260,7 @@ def measure_parallel_runtime(
     wall_eager = min(walls_eager)
     wall_parallel = min(walls_parallel)
     return {
+        "pipelined_runtime": pipelined.runtime,
         "wall_eager_seconds": wall_eager,
         "wall_parallel_seconds": wall_parallel,
         "wall_parallel_cold_seconds": walls_parallel[0],
@@ -302,28 +309,30 @@ def run_bench(
 ) -> Dict[str, object]:
     """The full benchmark: microbenchmark + E-suite sweep; JSON-ready.
 
-    ``runtime="parallel"`` adds a wall-clock stage per workload: eager
-    vs :class:`~repro.mssp.parallel.ParallelMsspEngine` with ``jobs``
-    slave workers, bit-identity checked.  In that mode the suite rows
-    themselves run serially — ``jobs`` provisions slave processes, and
-    fanning workloads out over a second pool would have the two levels
-    of parallelism fight over the same cores.
+    Any pipelined ``runtime`` ("thread", "process", or the deprecated
+    alias "parallel") adds a wall-clock stage per workload: eager vs
+    that executor backend with ``jobs`` slave workers, bit-identity
+    checked.  In that mode the suite rows themselves run serially —
+    ``jobs`` provisions slave workers, and fanning workloads out over a
+    second pool would have the two levels of parallelism fight over the
+    same cores.
     """
     import os
 
     names = list(workloads) if workloads else list(WORKLOADS)
     micro = microbenchmark(scale=scale, repeats=micro_repeats)
     suite_start = time.perf_counter()
-    suite_jobs = 1 if runtime == "parallel" else jobs
+    pipelined = runtime != "eager"
+    suite_jobs = 1 if pipelined else jobs
     rows = parallel_map(
         _bench_one, [(name, scale) for name in names], suite_jobs
     )
-    if runtime == "parallel":
+    if pipelined:
         for row in rows:
             row.update(
                 measure_parallel_runtime(
                     str(row["workload"]), size=int(row["size"]),
-                    num_slaves=max(2, jobs),
+                    num_slaves=max(2, jobs), runtime=runtime,
                 )
             )
     suite_wall = time.perf_counter() - suite_start

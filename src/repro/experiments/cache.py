@@ -36,7 +36,8 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Tuple
 
 #: Bump when cached artifact types change incompatibly.
-CACHE_SCHEMA = 1
+#: 2: MsspCounters grew the ``dispatch`` field (runtime-core refactor).
+CACHE_SCHEMA = 2
 
 _ENV_VAR = "REPRO_BENCH_CACHE"
 

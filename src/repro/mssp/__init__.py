@@ -9,15 +9,28 @@ equals sequential execution of the original program.
 
 from repro.mssp.engine import MsspEngine, MsspResult, create_engine, run_mssp
 from repro.mssp.master import Master, MasterEvent, MasterEventKind
-from repro.mssp.parallel import DispatchStats, ParallelMsspEngine
+from repro.mssp.parallel import ParallelMsspEngine
 from repro.mssp.regions import DeviceAccess, ProtectedRegions
+from repro.mssp.runtime import (
+    EventBus,
+    EventLog,
+    InlineExecutor,
+    ProcessExecutor,
+    RuntimeEvent,
+    SlaveExecutor,
+    TaskPipeline,
+    ThreadExecutor,
+    resolve_runtime,
+)
 from repro.mssp.slave import SlaveView, execute_task
 from repro.mssp.task import Checkpoint, SquashReason, Task, TaskStatus
 from repro.mssp.trace import (
+    DispatchStats,
     MasterFailureRecord,
     MsspCounters,
     RecoveryRecord,
     TaskAttemptRecord,
+    TraceRecorder,
 )
 from repro.mssp.verify import VerifyOutcome, commit_task, squash_task, verify_task
 
@@ -26,8 +39,18 @@ __all__ = [
     "MsspResult",
     "ParallelMsspEngine",
     "DispatchStats",
+    "TraceRecorder",
     "create_engine",
     "run_mssp",
+    "RuntimeEvent",
+    "EventBus",
+    "EventLog",
+    "SlaveExecutor",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "TaskPipeline",
+    "resolve_runtime",
     "Master",
     "MasterEvent",
     "MasterEventKind",

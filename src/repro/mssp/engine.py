@@ -1,12 +1,24 @@
 """The MSSP engine: orchestrates master, slaves, and verify/commit.
 
-This is the functional model of the whole machine.  It executes tasks
-eagerly in commit order — which is behaviourally equivalent to the
-concurrent machine because (a) commits are in order, (b) slaves never
-write architected state, and (c) verification outcomes depend only on
-architected state at commit time, not on when slaves physically ran.
-The timing model (:mod:`repro.timing`) replays the resulting trace to
-recover the concurrency.
+This is the functional model of the whole machine.  The episode state
+machine itself lives in the runtime core
+(:class:`repro.mssp.runtime.pipeline.TaskPipeline`); this module owns
+what surrounds it — the restart/recovery loop, the verify/commit
+decisions, and the result assembly — plus the engine's executor backend
+(:mod:`repro.mssp.runtime.executors`), selected by
+``MsspConfig.runtime``:
+
+* ``"eager"`` executes every task inline in commit order (the
+  functional reference model);
+* ``"thread"`` overlaps slave chunks on an in-process thread pool;
+* ``"process"`` overlaps them on forked worker processes.
+
+All three are behaviourally equivalent to the concurrent machine —
+and bit-identical to one another — because (a) commits are in order,
+(b) slaves never write architected state, and (c) verification outcomes
+depend only on architected state at commit time, not on when slaves
+physically ran.  The timing model (:mod:`repro.timing`) replays the
+resulting trace to recover the concurrency.
 
 One *episode* = one master (re)start:
 
@@ -25,6 +37,11 @@ Forward progress is unconditional: every recovery advances architected
 state by at least one instruction, and committed tasks only ever advance
 it, so arbitrary master misbehaviour degrades performance, never
 correctness or termination.
+
+Everything observable along the way is announced on the engine's
+:class:`~repro.mssp.runtime.events.EventBus`;
+:attr:`MsspResult.records` is itself rebuilt from those events by a
+:class:`~repro.mssp.trace.TraceRecorder` subscription.
 """
 
 from __future__ import annotations
@@ -42,16 +59,26 @@ from repro.machine.decoded import decode
 from repro.machine.interpreter import run_to_halt
 from repro.machine.jit import EXIT_HALT, EXIT_STOP, jit_for, resolve_exec_tier
 from repro.machine.state import ArchState
-from repro.mssp.master import Master, MasterEvent, MasterEventKind
+from repro.mssp.master import Master, MasterEvent
 from repro.mssp.regions import DeviceAccess, ProtectedRegions
-from repro.mssp.slave import execute_task
-from repro.mssp.task import Checkpoint, SquashReason, Task, TaskStatus
+from repro.mssp.runtime.events import (
+    EventBus,
+    MasterFailed,
+    RecoveryRun,
+    TaskCommitted,
+    TaskSquashed,
+)
+from repro.mssp.runtime.executors import create_executor, resolve_runtime
+from repro.mssp.runtime.pipeline import TaskPipeline
+from repro.mssp.task import SquashReason, Task
 from repro.mssp.trace import (
+    DispatchStats,
     MasterFailureRecord,
     MsspCounters,
     RecoveryRecord,
     TaskAttemptRecord,
     TraceRecord,
+    TraceRecorder,
 )
 from repro.mssp.verify import (
     CellVersions,
@@ -123,6 +150,18 @@ class MsspEngine:
         #: Write-version stamps over architected memory, driving the
         #: verify fast path (re-created per run; see repro.mssp.verify).
         self._versions = CellVersions()
+        #: Resolved executor backend name: eager, thread or process
+        #: (config beats the ``REPRO_RUNTIME`` environment variable;
+        #: default eager; ``"parallel"`` is a deprecated process alias).
+        self.runtime = resolve_runtime(self.config.runtime)
+        #: Structured runtime-event seam.  Subscribe any callable to
+        #: observe forks, dispatches, judgements, squashes, recoveries,
+        #: jit deopts and pool degradations as they happen.
+        self.events = EventBus()
+        #: Routing statistics of the most recent run (the same object as
+        #: that run's ``result.counters.dispatch``).
+        self.dispatch_stats = DispatchStats()
+        self._executor = None
         self._allowed_squash_reasons: Optional[frozenset] = None
         if self.config.assert_static_soundness:
             if not isinstance(distillation, DistillationResult):
@@ -149,52 +188,62 @@ class MsspEngine:
             tier=self.exec_tier,
         )
         counters = MsspCounters()
-        records: List[TraceRecord] = []
+        self.dispatch_stats = counters.dispatch
         device_trace: List[DeviceAccess] = []
         recent_outcomes: deque = deque(maxlen=self.config.throttle_window)
         next_tid = 0
         halted = False
 
-        while not halted:
-            if not self.pc_map.is_anchor(arch.pc):
-                # The machine is at a pc the master cannot restart from
-                # (possible only with a malformed map, e.g. a fork whose
-                # target never got a map entry).  Sequential execution to
-                # the next anchor is always a safe fallback.
-                recovery = self._recover(arch, counters, device_trace)
-                records.append(recovery)
-                halted = recovery.halted
-                continue
-            master.restart(arch, self.pc_map.resume_pc(arch.pc))
-            counters.restarts += 1
-            halted, next_tid = self._run_episode(
-                arch, master, counters, records, recent_outcomes, next_tid
-            )
-            if halted:
-                break
-            # Episode failed: recover non-speculatively, then restart.
-            # Persistent misspeculation triggers dual-mode throttling:
-            # a long sequential stretch before speculation is retried.
-            min_instrs = 0
-            threshold = self.config.throttle_threshold
-            if (
-                threshold is not None
-                and len(recent_outcomes) == recent_outcomes.maxlen
-            ):
-                failures = sum(1 for ok in recent_outcomes if not ok)
-                if failures / len(recent_outcomes) >= threshold:
-                    min_instrs = self.config.throttle_chunk
-                    counters.throttle_episodes += 1
-                    recent_outcomes.clear()
-            recovery = self._recover(
-                arch, counters, device_trace, min_instrs=min_instrs
-            )
-            records.append(recovery)
-            if recovery.halted:
-                halted = True
+        executor = self._executor
+        if executor is None:
+            executor = self._executor = self._make_executor()
+        executor.begin_run()
+        pipeline = TaskPipeline(self, executor, self.events)
+        recorder = TraceRecorder()
+        unsubscribe = self.events.subscribe(recorder)
+        try:
+            while not halted:
+                if not self.pc_map.is_anchor(arch.pc):
+                    # The machine is at a pc the master cannot restart
+                    # from (possible only with a malformed map, e.g. a
+                    # fork whose target never got a map entry).
+                    # Sequential execution to the next anchor is always
+                    # a safe fallback.
+                    recovery = self._recover(arch, counters, device_trace)
+                    halted = recovery.halted
+                    continue
+                master.restart(arch, self.pc_map.resume_pc(arch.pc))
+                counters.restarts += 1
+                halted, next_tid = pipeline.run_episode(
+                    arch, master, counters, recent_outcomes, next_tid
+                )
+                if halted:
+                    break
+                # Episode failed: recover non-speculatively, then
+                # restart.  Persistent misspeculation triggers dual-mode
+                # throttling: a long sequential stretch before
+                # speculation is retried.
+                min_instrs = 0
+                threshold = self.config.throttle_threshold
+                if (
+                    threshold is not None
+                    and len(recent_outcomes) == recent_outcomes.maxlen
+                ):
+                    failures = sum(1 for ok in recent_outcomes if not ok)
+                    if failures / len(recent_outcomes) >= threshold:
+                        min_instrs = self.config.throttle_chunk
+                        counters.throttle_episodes += 1
+                        recent_outcomes.clear()
+                recovery = self._recover(
+                    arch, counters, device_trace, min_instrs=min_instrs
+                )
+                if recovery.halted:
+                    halted = True
+        finally:
+            unsubscribe()
 
         return MsspResult(
-            final_state=arch, halted=True, records=records,
+            final_state=arch, halted=True, records=recorder.records,
             counters=counters, device_trace=device_trace,
         )
 
@@ -211,105 +260,51 @@ class MsspEngine:
             )
         return result
 
+    def close(self) -> None:
+        """Release the executor backend (worker processes/threads).
+
+        Idempotent; a closed engine rebuilds the backend lazily if run
+        again.  ``with create_engine(...) as engine:`` closes for you.
+        """
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "MsspEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- internals -----------------------------------------------------------------
 
-    def _run_episode(
-        self,
-        arch: ArchState,
-        master: Master,
-        counters: MsspCounters,
-        records: List[TraceRecord],
-        recent_outcomes: deque,
-        next_tid: int,
-    ) -> tuple:
-        """One episode: master just restarted at ``arch``.
+    def _make_executor(self):
+        """Build the executor backend ``self.runtime`` names.
 
-        Runs the master/attempt loop until the machine halts or the
-        episode fails (squash, master trap/timeout).  Returns
-        ``(machine_halted, next_tid)``; the caller handles recovery and
-        throttling.  The parallel runtime overrides this method only —
-        the surrounding restart/recovery loop and all verify/commit
-        decisions (:meth:`_judge_task`) are shared, which is what keeps
-        the two runtimes bit-identical.
+        Subclasses override this (not the episode loop) to supply a
+        custom backend; the pipeline and all verify/commit decisions
+        (:meth:`_judge_task`) are shared, which is what keeps every
+        backend bit-identical.
         """
-        open_task = Task(
-            tid=next_tid, start_pc=arch.pc,
-            checkpoint=Checkpoint.exact(arch), exact=True,
-        )
-        next_tid += 1
-        while True:
-            event = master.run_until_fork()
-            counters.master_instrs += event.instrs
-            if event.kind is MasterEventKind.FORK:
-                open_task.end_pc = event.anchor
-                open_task.end_arrivals = event.arrivals
-                closing_event: Optional[MasterEvent] = event
-            elif event.kind is MasterEventKind.HALT:
-                open_task.end_pc = None
-                open_task.final = True
-                closing_event = event
-            else:  # TRAP or TIMEOUT: the open task cannot be delimited.
-                self._record_master_failure(
-                    open_task, event, counters, records
-                )
-                recent_outcomes.append(False)
-                return False, next_tid
-
-            committed, slave_halted = self._attempt_task(
-                open_task, closing_event, arch, counters, records
-            )
-            recent_outcomes.append(committed)
-            if not committed:
-                return False, next_tid
-            if slave_halted:
-                return True, next_tid
-            self._check_budget(counters)
-            open_task = Task(
-                tid=next_tid, start_pc=event.anchor,
-                checkpoint=event.checkpoint,
-            )
-            next_tid += 1
+        return create_executor(self, self.events)
 
     def _record_master_failure(
         self,
         task: Task,
         event: MasterEvent,
         counters: MsspCounters,
-        records: List[TraceRecord],
     ) -> None:
         """Account a terminal TRAP/TIMEOUT: the open task is undelimited."""
         counters.master_failures += 1
-        records.append(
-            MasterFailureRecord(
-                kind=event.kind.value, master_instrs=event.instrs
-            )
+        record = MasterFailureRecord(
+            kind=event.kind.value, master_instrs=event.instrs
         )
         squash_task(task, SquashReason.MASTER_TIMEOUT)
         self._assert_predicted(SquashReason.MASTER_TIMEOUT, None)
         counters.tasks_squashed += 1
         counters.note_squash_reason(SquashReason.MASTER_TIMEOUT.value)
-
-    def _attempt_task(
-        self,
-        task: Task,
-        event: MasterEvent,
-        arch: ArchState,
-        counters: MsspCounters,
-        records: List[TraceRecord],
-    ) -> tuple:
-        """Execute + verify + (maybe) commit one task.
-
-        Returns ``(committed, machine_halted)``.
-        """
-        task.status = TaskStatus.READY
-        # Eagerly executed tasks read architected state as of *now*, and
-        # nothing commits between execution and the verify below.
-        task.base_version = self._versions.seq
-        execute_task(
-            self.original, task, arch, self.config.max_task_instrs,
-            regions=self.regions, tier=self.exec_tier,
-        )
-        return self._judge_task(task, event, arch, counters, records)
+        self.events.emit(MasterFailed(tid=task.tid, record=record))
 
     def _judge_task(
         self,
@@ -317,15 +312,14 @@ class MsspEngine:
         event: MasterEvent,
         arch: ArchState,
         counters: MsspCounters,
-        records: List[TraceRecord],
     ) -> tuple:
         """Verify + (maybe) commit one already-executed task.
 
-        This is the in-order verify/commit stage both runtimes share: it
-        is the only code that writes architected state, appends task
-        records, or bumps task counters, so any execution strategy that
-        feeds it identical task objects in identical order produces an
-        identical :class:`MsspResult`.  Returns
+        This is the in-order verify/commit stage every backend shares:
+        it is the only code that writes architected state, announces
+        task records, or bumps task counters, so any execution strategy
+        that feeds it identical task objects in identical order produces
+        an identical :class:`MsspResult`.  Returns
         ``(committed, machine_halted)``.
         """
         outcome = verify_task(task, arch, versions=self._versions)
@@ -351,18 +345,21 @@ class MsspEngine:
             halted=task.halted,
             checkpoint_words=len(task.checkpoint),
         )
-        records.append(record)
         if outcome.ok:
             commit_task(task, arch)
             self._versions.stamp_commit(task.live_out_mem)
             counters.tasks_committed += 1
             counters.committed_instrs += task.n_instrs
+            self.events.emit(TaskCommitted(tid=task.tid, record=record))
             return True, task.halted
         squash_task(task, outcome.reason)
         self._assert_predicted(outcome.reason, outcome.origin_pc)
         counters.tasks_squashed += 1
         counters.squashed_instrs += task.n_instrs
         counters.note_squash_reason(outcome.reason.value)
+        self.events.emit(TaskSquashed(
+            tid=task.tid, reason=outcome.reason.value, record=record
+        ))
         return False, False
 
     def _recover(
@@ -445,11 +442,13 @@ class MsspEngine:
         self._versions.invalidate_all()
         counters.recovery_instrs += steps
         counters.recovery_episodes += 1
-        return RecoveryRecord(
+        record = RecoveryRecord(
             n_instrs=steps, halted=halted,
             resumed_at=None if halted else arch.pc,
             n_loads=loads,
         )
+        self.events.emit(RecoveryRun(record=record))
+        return record
 
     def _assert_predicted(
         self, reason: SquashReason, origin_pc: Optional[int]
@@ -480,12 +479,14 @@ def create_engine(
     distillation: Union[DistillationResult, tuple],
     config: Optional[MsspConfig] = None,
 ) -> MsspEngine:
-    """Build the engine ``config.runtime`` selects (eager or parallel)."""
-    config = config or MsspConfig()
-    if config.runtime == "parallel":
-        from repro.mssp.parallel import ParallelMsspEngine
+    """Build an engine for ``config.runtime``: eager, thread or process.
 
-        return ParallelMsspEngine(original, distillation, config=config)
+    Every runtime is the same :class:`MsspEngine` over a different
+    executor backend (``"parallel"`` is a deprecated alias of
+    ``"process"``).  Pipelined backends hold worker threads/processes:
+    close the engine when done — ``with create_engine(...) as engine:``
+    — or rely on garbage collection's finalizers as a backstop.
+    """
     return MsspEngine(original, distillation, config=config)
 
 
@@ -494,5 +495,6 @@ def run_mssp(
     distillation: DistillationResult,
     config: Optional[MsspConfig] = None,
 ) -> MsspResult:
-    """Convenience wrapper: build an engine and run it."""
-    return create_engine(original, distillation, config=config).run()
+    """Convenience wrapper: build an engine, run it, release its workers."""
+    with create_engine(original, distillation, config=config) as engine:
+        return engine.run()

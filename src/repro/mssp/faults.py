@@ -3,9 +3,11 @@
 MSSP's central claim is that correctness cannot depend on the master.
 This module provides the tools the test suite, the examples, and the
 throttling benchmark use to *attack* that claim: deterministic
-corruptions of distilled programs and outright random masters.  Every
-run with these masters must still produce bit-exact sequential results
-(see ``tests/mssp/test_properties.py``).
+corruptions of distilled programs, outright random masters, and — via
+:func:`corrupt_live_in` — runtime sabotage of individual speculative
+tasks through the engine's event seam.  Every run with these faults
+must still produce bit-exact sequential results (see
+``tests/mssp/test_properties.py``).
 """
 
 from __future__ import annotations
@@ -55,6 +57,31 @@ def corrupt_distilled(
         code=tuple(code), memory=distilled.memory, entry=distilled.entry,
         symbols={}, name=f"{distilled.name}.corrupted",
     )
+
+
+def corrupt_live_in(tid: int):
+    """Event-bus subscriber that sabotages one task's recorded live-ins.
+
+    Subscribe the returned callable to ``engine.events``: when task
+    ``tid`` is about to be judged (the ``task_executed`` event — emitted
+    after execution/adoption, before verification, identically under
+    every executor backend), its lowest recorded register live-in is
+    bumped by one, forcing a REGISTER_LIVE_IN squash at a point where
+    pipelined runtimes have successors in flight.  Tasks whose attempt
+    recorded no register live-ins are left alone (the squash would be
+    unforceable).
+    """
+
+    def subscriber(event) -> None:
+        if (
+            event.kind == "task_executed"
+            and event.task.tid == tid
+            and event.task.live_in_regs
+        ):
+            register = min(event.task.live_in_regs)
+            event.task.live_in_regs[register] += 1
+
+    return subscriber
 
 
 def random_garbage_master(

@@ -1,413 +1,67 @@
-"""Truly parallel MSSP runtime: pipelined master + process-pool slaves.
+"""Deprecated shell around the process runtime (kept for back-compat).
 
-:class:`ParallelMsspEngine` is a drop-in replacement for
-:class:`~repro.mssp.engine.MsspEngine` that actually overlaps slave
-execution, the way the paper's CMP does, instead of replaying
-concurrency in the timing model only.  Per episode:
+:class:`ParallelMsspEngine` predates the unified runtime core: it used
+to carry the pipelined episode loop and the process-pool plumbing
+itself.  Both now live in :mod:`repro.mssp.runtime` — the episode state
+machine in :class:`~repro.mssp.runtime.pipeline.TaskPipeline`, the
+worker substrate in :mod:`~repro.mssp.runtime.procpool`, and the
+dispatch layer in
+:class:`~repro.mssp.runtime.executors.ProcessExecutor` — and a plain
+:class:`~repro.mssp.engine.MsspEngine` with ``runtime="process"``
+(via :func:`~repro.mssp.engine.create_engine`) is the supported way to
+get overlapped slave execution.  ``runtime="parallel"`` remains a
+working alias of ``"process"``.
 
-* the **master** (main process) runs ahead, closing tasks into a
-  bounded in-flight window;
-* closed tasks are batched into **chunks** and dispatched to a
-  ``ProcessPoolExecutor`` of ``MsspConfig.num_slaves`` workers, which
-  execute them speculatively through the fast pre-decoded path;
-* a **verify/commit** stage (main process) consumes completions
-  strictly in commit order through the same
-  :meth:`~repro.mssp.engine.MsspEngine._judge_task` the eager engine
-  uses; the first squash ends the episode and all in-flight successors
-  are cancelled/discarded, exactly as the eager engine discards them by
-  never creating them.
+This module keeps the old entry point alive: the class is now a thin
+subclass that pins the runtime to the process backend and threads the
+legacy ``executor=`` constructor argument (an externally owned pool)
+through to the :class:`ProcessExecutor`.  The worker-side names that
+used to be defined here (``_execute_chunk``, ``_PipePool``,
+``_ChainMemory``, ...) are re-exported from
+:mod:`repro.mssp.runtime.procpool` unchanged.
 
-Why the results are bit-identical
----------------------------------
-
-Slave execution is a deterministic function of (program, checkpoint,
-memory cells actually read from architected state).  Checkpoints and the
-program are shipped verbatim, so the only way a worker's execution can
-differ from the eager engine's is by reading a **stale** architected
-memory cell — one whose value changed between dispatch and this task's
-commit point.  Every such read is visible in the task's recorded
-``live_in_mem``: by the slave view's lookup order, an address absent
-from the checkpoint overlay was read from (the worker's image of)
-architected state.  At verify time the engine re-checks exactly those
-cells against the *true* architected state; if they all match, the
-worker's execution is step-for-step what eager execution would have
-produced (induction over the deterministic step function), and the task
-is adopted.  If any differs, the worker result is discarded and the task
-is **re-executed locally** against true architected state — the eager
-path itself — so the judged task is identical either way.
-
-Within a chunk, workers chain tasks **optimistically**: each task's
-live-outs are applied to a chunk-local memory overlay before the next
-task runs, mirroring the in-order commits the eager engine would have
-performed by then.  If the optimism was wrong, either the successors are
-never consumed (a squash ends the episode) or the staleness check
-catches them.  Across chunks no live-outs are available (predecessor
-chunks are still in flight), so cross-chunk reads of slave-written cells
-miss and fall back to local re-execution.  Master-written cells are
-unaffected: they travel in the checkpoints, which is precisely the
-paper's dataflow.
-
-The master's event stream within an episode is independent of task
-outcomes (the master reseeds only at restarts), so running it ahead
-cannot change *what* it forks.  Only accounting must follow consume
-order: each event's instruction count is folded into the counters when
-its task is judged, never when it is produced, so events past the first
-squash — which the eager engine never produces — are never counted.
-
-When the pool cannot start (sandboxed environments) or breaks mid-run,
-the engine degrades to the eager in-process path — same results, no
-speedup.
+For the long-form argument of why overlapped execution stays
+bit-identical to the eager reference, see
+:mod:`repro.mssp.runtime.pipeline` (the short form) and the staleness
+discussion in :meth:`TaskPipeline._result_valid`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import itertools
-import pickle
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Union
+from typing import Optional, Union
 
 from repro.config import MsspConfig
 from repro.distill.distiller import DistillationResult
 from repro.isa.program import Program
-from repro.machine.decoded import decode
-from repro.machine.state import ArchState
-from repro.mssp.engine import MsspEngine, MsspResult
-from repro.mssp.master import Master, MasterEvent, MasterEventKind
-from repro.mssp.regions import ProtectedRegions
-from repro.mssp.slave import execute_task
-from repro.mssp.task import Checkpoint, Task, TaskStatus
-from repro.mssp.trace import MsspCounters, TraceRecord
+from repro.mssp.engine import MsspEngine
+from repro.mssp.runtime.executors import ProcessExecutor
+from repro.mssp.runtime.procpool import (  # noqa: F401  (re-exports)
+    _RUN_TOKENS,
+    _WORKER_BASE_LIMIT,
+    _WORKER_BASES,
+    _WORKER_PROGRAMS,
+    _ChainMemory,
+    _PipePool,
+    _episode_base,
+    _execute_chunk,
+    _pipe_worker,
+    _worker_init,
+    program_wire_digest,
+)
+from repro.mssp.trace import DispatchStats  # noqa: F401  (re-export)
 
 __all__ = ["ParallelMsspEngine", "DispatchStats", "program_wire_digest"]
 
 
-def program_wire_digest(program: Program) -> bytes:
-    """Content digest keying the per-worker program/decode cache."""
-    hasher = hashlib.sha256()
-    hasher.update(
-        pickle.dumps(
-            (program.code, tuple(sorted(program.memory.items())),
-             program.entry),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
-    )
-    return hasher.digest()
-
-
-# -- worker side --------------------------------------------------------------
-#
-# Workers keep two process-local caches: programs (and, via the global
-# decode cache, their decodings) keyed by content digest — so the
-# program ships once per worker, through the pool initializer, not once
-# per task — and per-episode base memory images keyed by (run token,
-# episode).  The token, unique per engine run within the parent process,
-# keeps an externally shared executor from resurrecting a previous run's
-# episode bases.
-
-_WORKER_PROGRAMS: Dict[bytes, Program] = {}
-_WORKER_BASES: Dict[tuple, Dict[int, int]] = {}
-_WORKER_BASE_LIMIT = 4
-
-_RUN_TOKENS = itertools.count()
-
-
-def _worker_init(
-    digest: bytes, program: Program, tier: str = "decoded"
-) -> None:
-    """Pool initializer: preload + pre-decode the original program.
-
-    Under the jit tier the worker also builds its
-    :class:`~repro.machine.jit.JitProgram` up front, which replays any
-    superblocks already in the persistent code cache — workers reuse
-    compilations (typically the parent's) instead of re-JITting through
-    their own warmup.
-    """
-    _WORKER_PROGRAMS[digest] = program
-    _WORKER_BASES.clear()
-    decode(program)
-    if tier == "jit":
-        from repro.machine.jit import jit_for
-
-        jit_for(program, "view")
-
-
-def _pipe_worker(
-    conn, digest: bytes, program: Program, tier: str = "decoded"
-) -> None:
-    """Slave process main loop: execute chunks arriving on ``conn``.
-
-    Messages are ``(chunk_id, payload)``; replies are
-    ``(chunk_id, results)``.  ``None`` (or a closed pipe) shuts the
-    worker down.  The chunk id is echoed so the engine can discard
-    replies to chunks it stopped caring about (episode squash).
-    """
-    _worker_init(digest, program, tier)
-    try:
-        while True:
-            message = conn.recv()
-            if message is None:
-                break
-            chunk_id, payload = message
-            conn.send((chunk_id, _execute_chunk(payload)))
-    except (EOFError, OSError, KeyboardInterrupt):
-        pass
-    finally:
-        try:
-            conn.close()
-        except OSError:
-            pass
-
-
-class _PipePool:
-    """A minimal process pool over raw pipes, one per worker.
-
-    ``ProcessPoolExecutor`` routes every submission and result through a
-    manager thread plus a queue-feeder thread; with a busy main thread
-    (master production + verify) each hop costs GIL handoffs that dwarf
-    the actual (sub-millisecond) pickling work.  Here the main thread
-    talks to each worker over its own duplex pipe directly: submission
-    is one ``send``, retrieval one ``recv`` (which releases the GIL
-    while blocking), and there are no auxiliary threads at all.
-
-    Chunks are assigned round-robin; each worker processes its pipe in
-    FIFO order, so consuming results in submission order per worker is a
-    plain ``recv`` loop.  Stale replies (chunks abandoned on episode
-    squash) are skipped by chunk id.
-    """
-
-    def __init__(
-        self,
-        num_workers: int,
-        digest: bytes,
-        program: Program,
-        tier: str = "decoded",
-    ):
-        import multiprocessing
-
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            ctx = multiprocessing.get_context()
-        self._conns = []
-        self._procs = []
-        self._next_worker = 0
-        self._chunk_ids = itertools.count()
-        self.num_workers = num_workers
-        for _ in range(num_workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_pipe_worker,
-                args=(child_conn, digest, program, tier),
-                daemon=True,
-            )
-            self._conns.append(parent_conn)
-            self._procs.append((proc, child_conn))
-
-    def start(self) -> None:
-        """Start the worker processes (run from a background thread:
-        submissions buffer in the pipes until workers come up, so the
-        ~10ms-per-fork spawn cost overlaps master production)."""
-        for proc, child_conn in self._procs:
-            proc.start()
-            # The child inherited its end; drop the parent's duplicate
-            # so a dead worker surfaces as EOF instead of a hang.
-            child_conn.close()
-
-    def submit(self, payload: tuple):
-        """Ship one chunk; returns an opaque ticket for :meth:`get`."""
-        worker = self._next_worker
-        self._next_worker = (worker + 1) % self.num_workers
-        chunk_id = next(self._chunk_ids)
-        self._conns[worker].send((chunk_id, payload))
-        return (worker, chunk_id)
-
-    def get(self, ticket) -> List[tuple]:
-        """Block for one chunk's results, discarding stale replies."""
-        worker, chunk_id = ticket
-        conn = self._conns[worker]
-        while True:
-            got_id, results = conn.recv()
-            if got_id == chunk_id:
-                return results
-            # else: a reply for an episode-squashed chunk; drop it.
-
-    def shutdown(self, wait: bool = False, cancel_futures: bool = False):
-        for conn in self._conns:
-            try:
-                conn.send(None)
-            except (OSError, ValueError):
-                pass
-            try:
-                conn.close()
-            except OSError:
-                pass
-        for proc, _ in self._procs:
-            proc.join(timeout=0.5 if wait else 0.05)
-            if proc.is_alive():
-                proc.terminate()
-
-
-class _ChainMemory:
-    """Architected-memory stand-in for one chunk's optimistic chain.
-
-    ``overlay`` accumulates the live-outs of the chunk's earlier tasks
-    (their would-be commits); ``base`` is the episode-start memory
-    image.  Mirrors :meth:`ArchState.load`: absent cells read as zero.
-    Only :meth:`load` is required — slave execution never stores through
-    its architected-state handle.
-    """
-
-    __slots__ = ("overlay", "base")
-
-    def __init__(self, base: Dict[int, int]):
-        self.overlay: Dict[int, int] = {}
-        self.base = base
-
-    def load(self, address: int) -> int:
-        value = self.overlay.get(address)
-        if value is not None:
-            return value
-        return self.base.get(address, 0)
-
-    def apply(self, mem_writes: Dict[int, int]) -> None:
-        self.overlay.update(mem_writes)
-
-
-def _episode_base(
-    key: tuple, base_delta: Dict[int, int], program: Program
-) -> Dict[int, int]:
-    """The episode-start memory image (boot image + commit delta)."""
-    base = _WORKER_BASES.get(key)
-    if base is None:
-        base = dict(program.memory)
-        for address, value in base_delta.items():
-            if value:
-                base[address] = value
-            else:  # a boot-image cell the machine has since zeroed
-                base.pop(address, None)
-        while len(_WORKER_BASES) >= _WORKER_BASE_LIMIT:
-            _WORKER_BASES.pop(next(iter(_WORKER_BASES)))
-        _WORKER_BASES[key] = base
-    return base
-
-
-def _execute_chunk(payload: tuple) -> List[tuple]:
-    """Execute one chunk of consecutive tasks; the pool worker entry.
-
-    ``payload`` is built by :meth:`ParallelMsspEngine._encode_chunk`.
-    Returns one result tuple per executed task.  Execution stops early
-    when a task faults/overruns/aborts on a protected access: in-order
-    verification squashes such a task unconditionally, ending the
-    episode, so its successors can never be consumed (and if the abort
-    was itself an artifact of stale reads, the missing results simply
-    fall back to local re-execution).
-    """
-    (digest, shipped_program, regions_ranges, max_task_instrs,
-     base_key, base_delta, wire_tasks, tier) = payload
-    program = _WORKER_PROGRAMS.get(digest)
-    if program is None:
-        if shipped_program is None:  # pragma: no cover - defensive
-            raise RuntimeError("worker received no program for digest")
-        program = shipped_program
-        _WORKER_PROGRAMS[digest] = program
-    regions = ProtectedRegions.from_config(regions_ranges)
-    chain = _ChainMemory(_episode_base(base_key, base_delta, program))
-    results: List[tuple] = []
-    prev_mem: Optional[Dict[int, int]] = None
-    for (tid, start_pc, end_pc, end_arrivals, regs,
-         mem_full, mem_delta) in wire_tasks:
-        if mem_full is not None:
-            ckpt_mem = mem_full
-        else:  # cumulative chain: mem_k == mem_{k-1} | delta_k
-            ckpt_mem = {**prev_mem, **mem_delta}
-        prev_mem = ckpt_mem
-        task = Task(
-            tid=tid, start_pc=start_pc,
-            checkpoint=Checkpoint(regs=regs, mem=ckpt_mem),
-            end_pc=end_pc, end_arrivals=end_arrivals,
-        )
-        execute_task(
-            program, task, chain, max_task_instrs, regions=regions, tier=tier
-        )
-        results.append(
-            (tid, task.live_in_regs, task.live_in_mem, task.live_out_regs,
-             task.live_out_mem, task.n_instrs, task.n_loads,
-             task.end_state_pc, task.halted, task.faulted, task.overrun,
-             task.protected_access)
-        )
-        if task.faulted or task.overrun or task.protected_access:
-            break
-        chain.apply(task.live_out_mem)
-    return results
-
-
-# -- engine side --------------------------------------------------------------
-
-
-@dataclass
-class DispatchStats:
-    """Plumbing statistics of one parallel run (not part of MsspResult)."""
-
-    chunks: int = 0
-    dispatched: int = 0
-    #: Worker results adopted verbatim after the staleness check.
-    adopted: int = 0
-    #: Worker results discarded because an architected cell they read
-    #: changed before their commit point (re-executed locally).
-    stale: int = 0
-    #: Tasks whose worker result never arrived (early chunk exit, broken
-    #: pool, or never dispatched) — re-executed locally.
-    missing: int = 0
-    reexecuted: int = 0
-    #: Produced-but-never-judged tasks thrown away when an episode ended
-    #: early (the squash/cancel path).
-    discarded: int = 0
-
-    def summary(self) -> Dict[str, int]:
-        return {
-            "chunks": self.chunks,
-            "dispatched": self.dispatched,
-            "adopted": self.adopted,
-            "stale": self.stale,
-            "missing": self.missing,
-            "reexecuted": self.reexecuted,
-            "discarded": self.discarded,
-        }
-
-
-@dataclass
-class _Pending:
-    """One produced-but-not-yet-judged task in episode order."""
-
-    task: Task
-    event: MasterEvent
-    failure: bool = False
-    #: Master store-delta of the event that OPENED this task (wire
-    #: chain-encoding input); None ships the full checkpoint map.
-    open_delta: Optional[Dict[int, int]] = None
-
-
-@dataclass
-class _Chunk:
-    """One in-flight pool submission (exactly one handle is set)."""
-
-    last_tid: int
-    future: object = None    # external-executor path
-    ticket: object = None    # _PipePool path
-
-
 class ParallelMsspEngine(MsspEngine):
-    """MSSP with real overlapped slave execution (see module docstring).
+    """Deprecated: ``MsspEngine`` pinned to the process backend.
 
+    Prefer ``create_engine(..., config=MsspConfig(runtime="process"))``.
     Drop-in for :class:`MsspEngine`: same constructor, same ``run`` /
-    ``run_and_check`` API, bit-identical :class:`MsspResult`.  Extra
-    knobs come from :class:`~repro.config.MsspConfig` (``num_slaves``,
-    ``parallel_chunk_tasks``); ``dispatch_stats`` reports how the last
-    run was actually executed.  Pass ``executor`` to reuse an existing
-    pool: the engine then ships the program with every chunk instead of
-    preloading workers, and never shuts the pool down.
+    ``run_and_check`` API, bit-identical :class:`MsspResult`.  Pass
+    ``executor`` to reuse an existing externally owned pool: the engine
+    then ships the program with every chunk instead of preloading
+    workers, and never shuts the pool down.
     """
 
     def __init__(
@@ -418,360 +72,12 @@ class ParallelMsspEngine(MsspEngine):
         executor=None,
     ):
         super().__init__(original, distillation, config=config)
+        # The class itself is the runtime selection, whatever the config
+        # says (configs predating the runtime field default to eager).
+        self.runtime = "process"
         self._external_executor = executor
-        self._pool = None
-        self._pool_broken = False
-        self._finalizer = None
-        self._episode_seq = 0
-        self._run_token = -1
-        self._digest = program_wire_digest(original)
-        self._boot_mem: Dict[int, int] = dict(original.memory)
-        self.dispatch_stats = DispatchStats()
 
-    # -- pool lifecycle -----------------------------------------------------------
-    #
-    # The pool is created lazily on the first run and *kept* across runs
-    # (worker spawns are the dominant fixed cost; steady-state reuse is
-    # what benchmarking measures).  ``close()`` — also via context
-    # manager or garbage collection — shuts it down.
-
-    def run(self) -> MsspResult:
-        self.dispatch_stats = DispatchStats()
-        self._episode_seq = 0
-        self._run_token = next(_RUN_TOKENS)
-        if self._external_executor is not None:
-            self._pool = self._external_executor
-        elif self._pool is None and not self._pool_broken:
-            self._pool = self._create_pool()
-            if self._pool is None:
-                self._pool_broken = True
-        if self._pool_broken:
-            self._pool = None
-        return super().run()
-
-    def close(self) -> None:
-        """Shut down the engine's own worker pool (external pools stay up)."""
-        if self._finalizer is not None:
-            self._finalizer()
-        self._pool = None
-
-    def __enter__(self) -> "ParallelMsspEngine":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def _create_pool(self):
-        """A :class:`_PipePool` preloaded with the program, or None.
-
-        The worker processes are started from a background thread:
-        submissions buffer in the pipes meanwhile, so the per-fork spawn
-        cost overlaps master production instead of serializing in the
-        dispatch path.
-        """
-        try:
-            import threading
-            import weakref
-
-            pool = _PipePool(
-                self.config.num_slaves, self._digest, self.original,
-                tier=self.exec_tier,
-            )
-            threading.Thread(target=pool.start, daemon=True).start()
-            self._finalizer = weakref.finalize(self, pool.shutdown)
-            return pool
-        except (ImportError, NotImplementedError, OSError, PermissionError):
-            return None
-
-    # -- the pipelined episode ----------------------------------------------------
-
-    def _run_episode(
-        self,
-        arch: ArchState,
-        master: Master,
-        counters: MsspCounters,
-        records: List[TraceRecord],
-        recent_outcomes: deque,
-        next_tid: int,
-    ) -> tuple:
-        if self._pool is None or self._pool_broken:
-            # No (working) pool: the eager in-process episode is the
-            # degradation path — identical results, no overlap.
-            return super()._run_episode(
-                arch, master, counters, records, recent_outcomes, next_tid
-            )
-        config = self.config
-        chunk_size = min(config.parallel_chunk_tasks, config.max_inflight_tasks)
-        window = max(
-            chunk_size,
-            min(config.max_inflight_tasks, config.num_slaves * chunk_size),
+    def _make_executor(self) -> ProcessExecutor:
+        return ProcessExecutor(
+            self, self.events, external=self._external_executor
         )
-        base_key = (self._run_token, self._episode_seq)
-        self._episode_seq += 1
-        base_delta = self._episode_base_delta(arch)
-        # Workers execute against an image of architected memory frozen
-        # at this point; cells unstamped since now are provably equal to
-        # that image at every later judge point in the episode (the
-        # verify fast path's precondition for adopted results).
-        episode_version = self._versions.seq
-        stats = self.dispatch_stats
-
-        #: Produced, not yet judged — episode order; head judged first.
-        pending: Deque[_Pending] = deque()
-        #: Produced, not yet shipped — suffix of the episode order.
-        to_dispatch: List[_Pending] = []
-        inflight: Deque[_Chunk] = deque()
-        results: Dict[int, tuple] = {}
-        production_done = False
-
-        open_task = Task(
-            tid=next_tid, start_pc=arch.pc,
-            checkpoint=Checkpoint.exact(arch), exact=True,
-        )
-        open_delta: Optional[Dict[int, int]] = None
-        next_tid += 1
-
-        try:
-            while True:
-                # 1. Master run-ahead: fork tasks into the window.
-                while not production_done and len(pending) < window:
-                    event = master.run_until_fork()
-                    if event.kind is MasterEventKind.FORK:
-                        open_task.end_pc = event.anchor
-                        open_task.end_arrivals = event.arrivals
-                        entry = _Pending(open_task, event,
-                                         open_delta=open_delta)
-                        pending.append(entry)
-                        to_dispatch.append(entry)
-                        open_task = Task(
-                            tid=next_tid, start_pc=event.anchor,
-                            checkpoint=event.checkpoint,
-                        )
-                        open_delta = event.mem_delta
-                        next_tid += 1
-                    elif event.kind is MasterEventKind.HALT:
-                        open_task.end_pc = None
-                        open_task.final = True
-                        entry = _Pending(open_task, event,
-                                         open_delta=open_delta)
-                        pending.append(entry)
-                        to_dispatch.append(entry)
-                        production_done = True
-                    else:  # TRAP / TIMEOUT: the open task is undelimited.
-                        pending.append(_Pending(open_task, event,
-                                                failure=True))
-                        production_done = True
-
-                # 2. Ship closed tasks in chunks.  Partial chunks go out
-                # only when nothing is in flight (the pipeline would
-                # starve) or nothing more is coming.
-                while to_dispatch and (
-                    len(to_dispatch) >= chunk_size
-                    or production_done
-                    or not inflight
-                ):
-                    batch = to_dispatch[:chunk_size]
-                    del to_dispatch[:chunk_size]
-                    self._submit_chunk(base_key, base_delta, batch,
-                                       inflight, stats)
-
-                # 3. Verify/commit the next task in episode order.
-                entry = pending.popleft()
-                counters.master_instrs += entry.event.instrs
-                task = entry.task
-                if entry.failure:
-                    self._record_master_failure(
-                        task, entry.event, counters, records
-                    )
-                    recent_outcomes.append(False)
-                    return False, task.tid + 1
-                result = self._await_result(task.tid, inflight, results)
-                task.base_version = episode_version
-                if result is not None and self._result_valid(
-                    task, result, arch
-                ):
-                    self._adopt_result(task, result)
-                    stats.adopted += 1
-                else:
-                    if result is not None:
-                        stats.stale += 1
-                    else:
-                        stats.missing += 1
-                    stats.reexecuted += 1
-                    task.status = TaskStatus.READY
-                    # Local re-execution is the eager path: the task
-                    # reads architected state as of now.
-                    task.base_version = self._versions.seq
-                    execute_task(
-                        self.original, task, arch, config.max_task_instrs,
-                        regions=self.regions, tier=self.exec_tier,
-                    )
-                committed, slave_halted = self._judge_task(
-                    task, entry.event, arch, counters, records
-                )
-                recent_outcomes.append(committed)
-                if not committed:
-                    return False, task.tid + 1
-                if slave_halted:
-                    return True, next_tid
-                self._check_budget(counters)
-        finally:
-            # Episode over: every produced-but-unjudged successor is
-            # discarded, exactly as the eager engine discards it by
-            # never producing it.
-            stats.discarded += len(pending) + len(to_dispatch)
-            for chunk in inflight:
-                if chunk.future is not None:
-                    chunk.future.cancel()
-                # Pipe-pool chunks can't be cancelled; their replies are
-                # dropped by chunk id when the next episode reads the pipe.
-
-    # -- dispatch helpers ---------------------------------------------------------
-
-    def _episode_base_delta(self, arch: ArchState) -> Dict[int, int]:
-        """Memory changed since boot (value 0 encodes a deleted cell)."""
-        boot = self._boot_mem
-        delta: Dict[int, int] = {}
-        for address, value in arch.mem.items():
-            if boot.get(address, 0) != value:
-                delta[address] = value
-        for address, value in boot.items():
-            if value and address not in arch.mem:
-                delta[address] = 0
-        return delta
-
-    def _submit_chunk(
-        self,
-        base_key: tuple,
-        base_delta: Dict[int, int],
-        batch: List[_Pending],
-        inflight: Deque[_Chunk],
-        stats: DispatchStats,
-    ) -> None:
-        if self._pool_broken or self._pool is None:
-            return  # undispatched tasks re-execute locally when judged
-        payload = self._encode_chunk(base_key, base_delta, batch)
-        chunk = _Chunk(last_tid=batch[-1].task.tid)
-        try:
-            if isinstance(self._pool, _PipePool):
-                chunk.ticket = self._pool.submit(payload)
-            else:
-                chunk.future = self._pool.submit(_execute_chunk, payload)
-        except Exception:
-            self._pool_broken = True
-            return
-        inflight.append(chunk)
-        stats.chunks += 1
-        stats.dispatched += len(batch)
-
-    def _encode_chunk(
-        self,
-        base_key: tuple,
-        base_delta: Dict[int, int],
-        batch: List[_Pending],
-    ) -> tuple:
-        """The picklable worker payload for one chunk of tasks.
-
-        In cumulative checkpoint mode consecutive checkpoints satisfy
-        ``mem_k == mem_{k-1} | delta_k``, so only the chunk's first task
-        ships its full (cumulative, possibly large) overlay; the rest
-        ship the master's per-fork store delta and the worker re-chains
-        them.  In delta mode every checkpoint already is its delta.
-        """
-        chained = self.config.checkpoint_mode == "cumulative"
-        wire = []
-        first = True
-        for entry in batch:
-            task = entry.task
-            ckpt = task.checkpoint
-            if not first and chained and entry.open_delta is not None:
-                mem_full, mem_delta = None, entry.open_delta
-            else:
-                mem_full, mem_delta = ckpt.mem, None
-            wire.append(
-                (task.tid, task.start_pc, task.end_pc, task.end_arrivals,
-                 ckpt.regs, mem_full, mem_delta)
-            )
-            first = False
-        shipped = None if self._external_executor is None else self.original
-        return (
-            self._digest, shipped, self.config.protected_regions,
-            self.config.max_task_instrs, base_key, base_delta, wire,
-            self.exec_tier,
-        )
-
-    def _await_result(
-        self,
-        tid: int,
-        inflight: Deque[_Chunk],
-        results: Dict[int, tuple],
-    ) -> Optional[tuple]:
-        """The worker result for ``tid``, or None (→ local re-execution).
-
-        Chunks are submitted and consumed in episode order, so draining
-        the head future is enough; a drained chunk that *should* have
-        contained ``tid`` but stopped early (task fault/overrun) yields
-        None immediately instead of draining the whole pipeline.
-        """
-        while tid not in results:
-            if not inflight:
-                return None
-            chunk = inflight.popleft()
-            try:
-                if chunk.ticket is not None:
-                    chunk_results = self._pool.get(chunk.ticket)
-                else:
-                    chunk_results = chunk.future.result()
-            except Exception:
-                self._pool_broken = True
-                return None
-            for item in chunk_results:
-                results[item[0]] = item
-            if tid not in results and tid <= chunk.last_tid:
-                return None
-        return results.pop(tid)
-
-    def _result_valid(
-        self, task: Task, result: tuple, arch: ArchState
-    ) -> bool:
-        """True iff the worker's execution is what eager would produce.
-
-        Register live-ins come from the checkpoint (shipped verbatim)
-        and the memory overlay is reconstructed exactly, so the worker
-        can only have diverged through a memory cell it read from its
-        (possibly stale) image of architected state — by the slave
-        view's lookup order, exactly the recorded ``live_in_mem``
-        entries whose address the checkpoint overlay does not cover.
-        If every such cell matches architected state *now* (this task's
-        commit point), the worker's execution was step-for-step the
-        eager one.
-
-        Cells the version stamps prove unchanged since episode start
-        skip the value compare (``task.base_version`` is the episode's
-        base version here): an unchanged cell still holds the episode
-        base image's value, which is exactly what the worker read —
-        unless a chunk predecessor's overlay served the read, in which
-        case that predecessor has committed by now and stamped the cell,
-        forcing the full compare.  The verdict is identical either way.
-        """
-        ckpt_mem = task.checkpoint.mem
-        load = arch.load
-        versions = self._versions
-        base = task.base_version
-        for address, value in result[2].items():
-            if address in ckpt_mem:
-                continue
-            if base is not None and not versions.changed_since(address, base):
-                versions.skipped += 1
-                continue
-            if load(address) != value:
-                return False
-        return True
-
-    @staticmethod
-    def _adopt_result(task: Task, result: tuple) -> None:
-        (_, task.live_in_regs, task.live_in_mem, task.live_out_regs,
-         task.live_out_mem, task.n_instrs, task.n_loads, task.end_state_pc,
-         task.halted, task.faulted, task.overrun,
-         task.protected_access) = result
-        task.status = TaskStatus.COMPLETED

@@ -1,0 +1,62 @@
+"""The unified MSSP runtime core.
+
+One episode state machine (:class:`~repro.mssp.runtime.pipeline.TaskPipeline`),
+pluggable slave-execution backends
+(:mod:`~repro.mssp.runtime.executors`: inline / thread / process), and a
+structured event seam (:mod:`~repro.mssp.runtime.events`).  Both public
+engines (:class:`repro.mssp.engine.MsspEngine` and the deprecated
+:class:`repro.mssp.parallel.ParallelMsspEngine` shell) are thin layers
+over this package.
+"""
+
+from repro.mssp.runtime.events import (
+    ChunkDispatched,
+    EventBus,
+    EventLog,
+    JitDeopt,
+    MasterFailed,
+    PoolDegraded,
+    RecoveryRun,
+    ResultAdopted,
+    RuntimeEvent,
+    TaskCommitted,
+    TaskExecuted,
+    TaskForked,
+    TaskSquashed,
+)
+from repro.mssp.runtime.executors import (
+    RUNTIME_CHOICES,
+    ChunkHandle,
+    InlineExecutor,
+    ProcessExecutor,
+    SlaveExecutor,
+    ThreadExecutor,
+    create_executor,
+    resolve_runtime,
+)
+from repro.mssp.runtime.pipeline import TaskPipeline
+
+__all__ = [
+    "RuntimeEvent",
+    "TaskForked",
+    "ChunkDispatched",
+    "TaskExecuted",
+    "ResultAdopted",
+    "TaskCommitted",
+    "TaskSquashed",
+    "MasterFailed",
+    "RecoveryRun",
+    "JitDeopt",
+    "PoolDegraded",
+    "EventBus",
+    "EventLog",
+    "SlaveExecutor",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "ChunkHandle",
+    "create_executor",
+    "resolve_runtime",
+    "RUNTIME_CHOICES",
+    "TaskPipeline",
+]

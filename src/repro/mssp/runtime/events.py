@@ -1,0 +1,191 @@
+"""The structured runtime-event seam.
+
+Every observable step of the task pipeline — forks, dispatches,
+adoptions, judgements, recoveries, degradations — is announced as one
+frozen :class:`RuntimeEvent` on the engine's :class:`EventBus`.  Trace
+recording (:class:`repro.mssp.trace.TraceRecorder`), fault injection
+(:func:`repro.mssp.faults.corrupt_live_in`), the runtime lint checks
+(``RT001``/``RT002`` in :mod:`repro.analysis.checker`), and tests all
+consume this one surface by subscription instead of each growing its own
+hook into the engine.
+
+Events carry *references* (records, tasks), not copies: a
+``task_executed`` subscriber that mutates ``event.task`` changes what
+the verify unit judges — that is the sanctioned fault-injection point,
+deliberately placed after execution/adoption and before judgement so an
+injection lands identically under every executor backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, List, Optional
+
+__all__ = [
+    "RuntimeEvent",
+    "TaskForked",
+    "ChunkDispatched",
+    "TaskExecuted",
+    "ResultAdopted",
+    "TaskCommitted",
+    "TaskSquashed",
+    "MasterFailed",
+    "RecoveryRun",
+    "JitDeopt",
+    "PoolDegraded",
+    "EventBus",
+    "EventLog",
+]
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """Base class; ``kind`` is the stable, documented discriminator."""
+
+    kind: ClassVar[str] = "runtime-event"
+
+
+@dataclass(frozen=True)
+class TaskForked(RuntimeEvent):
+    """The master delimited a task (its end pc is now fixed)."""
+
+    kind: ClassVar[str] = "task_forked"
+    tid: int
+    start_pc: int
+    end_pc: Optional[int]
+    exact: bool = False
+    final: bool = False
+
+
+@dataclass(frozen=True)
+class ChunkDispatched(RuntimeEvent):
+    """A batch of closed tasks was shipped to a pipelined executor."""
+
+    kind: ClassVar[str] = "chunk_dispatched"
+    executor: str
+    first_tid: int
+    last_tid: int
+    n_tasks: int
+
+
+@dataclass(frozen=True)
+class TaskExecuted(RuntimeEvent):
+    """A task holds its execution outcome and is about to be judged.
+
+    Emitted for every judged task regardless of backend (adopted worker
+    result or local execution).  ``task`` is the live, authoritative
+    object — mutating it here alters what verification sees, which is
+    the event seam's sanctioned fault-injection point.
+    """
+
+    kind: ClassVar[str] = "task_executed"
+    task: object
+    adopted: bool = False
+
+
+@dataclass(frozen=True)
+class ResultAdopted(RuntimeEvent):
+    """A worker result survived the staleness check verbatim."""
+
+    kind: ClassVar[str] = "result_adopted"
+    tid: int
+
+
+@dataclass(frozen=True)
+class TaskCommitted(RuntimeEvent):
+    """Verification passed; live-outs were applied to architected state."""
+
+    kind: ClassVar[str] = "task_committed"
+    tid: int
+    record: object  # TaskAttemptRecord
+
+
+@dataclass(frozen=True)
+class TaskSquashed(RuntimeEvent):
+    """Verification failed; the episode's in-flight successors die."""
+
+    kind: ClassVar[str] = "task_squashed"
+    tid: int
+    reason: str
+    record: object  # TaskAttemptRecord
+
+
+@dataclass(frozen=True)
+class MasterFailed(RuntimeEvent):
+    """The master trapped/timed out; the open task was undelimited."""
+
+    kind: ClassVar[str] = "master_failure"
+    tid: int
+    record: object  # MasterFailureRecord
+
+
+@dataclass(frozen=True)
+class RecoveryRun(RuntimeEvent):
+    """One non-speculative recovery episode completed."""
+
+    kind: ClassVar[str] = "recovery"
+    record: object  # RecoveryRecord
+
+
+@dataclass(frozen=True)
+class JitDeopt(RuntimeEvent):
+    """A locally executed task could not use superblocks end to end."""
+
+    kind: ClassVar[str] = "jit_deopt"
+    tid: int
+    why: str
+
+
+@dataclass(frozen=True)
+class PoolDegraded(RuntimeEvent):
+    """A pipelined executor broke (or never started); inline fallback."""
+
+    kind: ClassVar[str] = "pool_degraded"
+    executor: str
+    why: str
+
+
+class EventBus:
+    """A minimal synchronous pub/sub fanout for runtime events.
+
+    Subscribers are plain callables invoked in subscription order on the
+    emitting thread; :meth:`subscribe` returns the matching unsubscribe
+    callable.  Emission with no subscribers is one attribute load and a
+    truth test, so the seam costs nothing when nobody listens.
+    """
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[RuntimeEvent], None]] = []
+
+    def subscribe(
+        self, subscriber: Callable[[RuntimeEvent], None]
+    ) -> Callable[[], None]:
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def emit(self, event: RuntimeEvent) -> None:
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+
+@dataclass
+class EventLog:
+    """A subscriber that simply collects every event, in order.
+
+    The input shape ``repro lint``'s runtime checks
+    (:func:`repro.analysis.checker.check_runtime_events`) consume.
+    """
+
+    events: List[RuntimeEvent] = field(default_factory=list)
+
+    def __call__(self, event: RuntimeEvent) -> None:
+        self.events.append(event)

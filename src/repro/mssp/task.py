@@ -122,3 +122,30 @@ class Task:
             f"{self.status.value} n={self.n_instrs} "
             f"live-ins={self.live_in_count}"
         )
+
+
+def wire_result(task: Task) -> Tuple:
+    """An executed task's observable outcome as a flat 12-tuple.
+
+    This is the slave→verify wire format every executor backend speaks:
+    whichever substrate ran the task (inline, thread pool, worker
+    process), the pipeline adopts exactly these twelve fields — so a
+    backend can only influence the run through them, which is what makes
+    the staleness check in
+    :meth:`~repro.mssp.runtime.pipeline.TaskPipeline` sufficient for
+    bit-identical adoption.
+    """
+    return (
+        task.tid, task.live_in_regs, task.live_in_mem, task.live_out_regs,
+        task.live_out_mem, task.n_instrs, task.n_loads, task.end_state_pc,
+        task.halted, task.faulted, task.overrun, task.protected_access,
+    )
+
+
+def adopt_wire_result(task: Task, result: Tuple) -> None:
+    """Install a :func:`wire_result` tuple onto the authoritative task."""
+    (_, task.live_in_regs, task.live_in_mem, task.live_out_regs,
+     task.live_out_mem, task.n_instrs, task.n_loads, task.end_state_pc,
+     task.halted, task.faulted, task.overrun,
+     task.protected_access) = result
+    task.status = TaskStatus.COMPLETED

@@ -4,6 +4,14 @@ The functional engine decides *what happens* (which tasks commit, which
 squash, how long each is); the timing model replays these records to
 decide *how long it takes*.  In-order commit makes the functional outcome
 timing-independent, which is what licenses this separation.
+
+Records are not appended by the engine directly: the runtime core
+announces every judgement/failure/recovery on its event bus
+(:mod:`repro.mssp.runtime.events`), and :class:`TraceRecorder` — one
+subscriber among possibly many — rebuilds the record stream from those
+events.  Anything reconstructable from the event stream is therefore
+reconstructable outside the engine too, which the event-seam tests pin
+down byte for byte.
 """
 
 from __future__ import annotations
@@ -72,6 +80,69 @@ class MasterFailureRecord:
 TraceRecord = Union[TaskAttemptRecord, RecoveryRecord, MasterFailureRecord]
 
 
+class TraceRecorder:
+    """Event-bus subscriber that rebuilds the trace-record stream.
+
+    Subscribed by the engine for the duration of a run; the ``records``
+    list it accumulates *is* :attr:`MsspResult.records`.  Any other
+    subscriber sees exactly the same events, so an independently
+    subscribed recorder reconstructs the identical stream.
+    """
+
+    __slots__ = ("records",)
+
+    #: Event kinds that carry a trace record, in the order the runtime
+    #: emits them (judgement order, with recoveries interleaved).
+    RECORD_KINDS = frozenset(
+        ("task_committed", "task_squashed", "master_failure", "recovery")
+    )
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def __call__(self, event) -> None:
+        if event.kind in self.RECORD_KINDS:
+            self.records.append(event.record)
+
+
+@dataclass
+class DispatchStats:
+    """Plumbing statistics of one run's executor backend.
+
+    Attached to :class:`MsspCounters` as ``dispatch`` but excluded from
+    its equality: how tasks were *routed* (adopted from a worker, re-
+    executed locally, discarded on squash) is backend-dependent by
+    design, while everything the counters compare must stay bit-identical
+    across backends.  An inline (eager) run leaves every field zero.
+    """
+
+    chunks: int = 0
+    dispatched: int = 0
+    #: Worker results adopted verbatim after the staleness check.
+    adopted: int = 0
+    #: Worker results discarded because an architected cell they read
+    #: changed before their commit point (re-executed locally).
+    stale: int = 0
+    #: Tasks whose worker result never arrived (early chunk exit, broken
+    #: pool, or never dispatched) — re-executed locally.
+    missing: int = 0
+    reexecuted: int = 0
+    #: Produced-but-never-judged tasks thrown away when an episode ended
+    #: early (the squash/cancel path).
+    discarded: int = 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "chunks": self.chunks,
+            "dispatched": self.dispatched,
+            "adopted": self.adopted,
+            "stale": self.stale,
+            "missing": self.missing,
+            "reexecuted": self.reexecuted,
+            "discarded": self.discarded,
+        }
+
+
 @dataclass
 class MsspCounters:
     """Aggregate statistics of one MSSP run."""
@@ -93,6 +164,12 @@ class MsspCounters:
     live_ins_checked: int = 0
     live_ins_mismatched: int = 0
     squash_reasons: Dict[str, int] = field(default_factory=dict)
+    #: How the run's tasks were routed through the executor backend.
+    #: ``compare=False``: routing is backend-dependent by design, and
+    #: counter equality is the cross-backend bit-identity oracle.
+    dispatch: DispatchStats = field(
+        default_factory=DispatchStats, compare=False, repr=False
+    )
 
     def note_squash_reason(self, reason: str) -> None:
         self.squash_reasons[reason] = self.squash_reasons.get(reason, 0) + 1
@@ -126,7 +203,13 @@ class MsspCounters:
         return self.committed_instrs / total if total else 0.0
 
     def summary(self) -> Dict[str, float]:
-        return {
+        """One flat dict: protocol statistics *and* dispatch routing.
+
+        The dispatch keys (``chunks``/``dispatched``/``adopted``/
+        ``stale``/``missing``/``reexecuted``/``discarded``) are present
+        regardless of backend — all zero for an inline (eager) run.
+        """
+        out = {
             "tasks_committed": float(self.tasks_committed),
             "tasks_squashed": float(self.tasks_squashed),
             "squash_rate": self.squash_rate,
@@ -137,3 +220,6 @@ class MsspCounters:
             "speculative_coverage": self.speculative_coverage,
             "restarts": float(self.restarts),
         }
+        for key, value in self.dispatch.summary().items():
+            out[key] = float(value)
+        return out

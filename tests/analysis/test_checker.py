@@ -23,6 +23,8 @@ from repro.analysis.checker import (
     check_ir,
     check_jit,
     check_program,
+    check_runtime_events,
+    check_runtime_execution,
     predicted_squash_reasons,
 )
 from repro.analysis.dominators import DominatorTree
@@ -578,6 +580,87 @@ class TestCheckJit:
         )
         report = check_jit(rich_program)
         assert "JIT003" in error_ids(report)
+
+
+# -- layer 6: runtime event streams -----------------------------------------
+
+
+def _fork(tid):
+    from repro.mssp.runtime.events import TaskForked
+
+    return TaskForked(tid=tid, start_pc=0, end_pc=None)
+
+
+def _commit(tid):
+    from repro.mssp.runtime.events import TaskCommitted
+
+    return TaskCommitted(tid=tid, record=None)
+
+
+def _squash(tid):
+    from repro.mssp.runtime.events import TaskSquashed
+
+    return TaskSquashed(tid=tid, reason="register-live-in", record=None)
+
+
+def _fail(tid):
+    from repro.mssp.runtime.events import MasterFailed
+
+    return MasterFailed(tid=tid, record=None)
+
+
+class TestCheckRuntimeEvents:
+    def test_clean_stream_has_no_errors(self):
+        report = check_runtime_events(
+            [_fork(0), _fork(1), _commit(0), _commit(1)]
+        )
+        assert report.ok and not report.findings
+
+    def test_squash_then_refork_is_clean(self):
+        report = check_runtime_events(
+            [_fork(0), _fork(1), _squash(0), _fork(1), _commit(1)]
+        )
+        assert report.ok and not report.findings
+
+    def test_out_of_order_judgement_is_rt001(self):
+        report = check_runtime_events(
+            [_fork(0), _fork(1), _commit(1), _commit(0)]
+        )
+        assert "RT001" in error_ids(report)
+
+    def test_judgement_with_nothing_outstanding_is_rt001(self):
+        report = check_runtime_events([_commit(0)])
+        assert "RT001" in error_ids(report)
+
+    def test_non_increasing_committed_tids_is_rt001(self):
+        report = check_runtime_events(
+            [_fork(3), _commit(3), _fork(3), _commit(3)]
+        )
+        assert "RT001" in error_ids(report)
+
+    def test_judging_a_squash_discarded_tid_is_rt002(self):
+        # The squash of tid 0 kills in-flight tids 1 and 2; judging
+        # tid 1 without a fresh fork must be flagged.
+        report = check_runtime_events(
+            [_fork(0), _fork(1), _fork(2), _squash(0), _commit(1)]
+        )
+        assert "RT002" in error_ids(report)
+
+    def test_master_failure_discards_successors_rt002(self):
+        report = check_runtime_events(
+            [_fork(0), _commit(0), _fork(1), _fail(1), _commit(1)]
+        )
+        assert "RT002" in error_ids(report)
+
+    def test_real_pipelined_run_is_clean(self, rich_program, rich_profile):
+        result = Distiller(DistillConfig()).distill(
+            rich_program, rich_profile
+        )
+        report = check_runtime_execution(
+            rich_program, (result.distilled, result.pc_map)
+        )
+        assert report.ok
+        assert not report.findings
 
 
 # -- catalogue integrity ----------------------------------------------------

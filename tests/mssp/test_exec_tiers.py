@@ -24,6 +24,7 @@ from repro.machine.decoded import decode
 from repro.machine.jit import block_leaders
 from repro.machine.state import ArchState
 from repro.mssp import MsspEngine, ParallelMsspEngine
+from repro.mssp.faults import corrupt_live_in
 from repro.mssp.slave import execute_task
 from repro.mssp.task import Checkpoint, Task
 from repro.profiling import profile_program
@@ -135,14 +136,21 @@ PARALLEL_JIT_CONFIG = MsspConfig(
 
 def run_parallel_differential(program, distillation, config,
                               parallel_cls=ParallelMsspEngine,
-                              eager_cls=MsspEngine):
+                              eager_cls=MsspEngine, fault_tid=None):
     """Parallel-with-tier vs eager-decoded: the strongest cross check
-    (different runtime *and* different stepper must agree)."""
-    reference = eager_cls(
+    (different runtime *and* different stepper must agree).  With
+    ``fault_tid``, both engines get the same event-seam live-in
+    sabotage subscribed (see :func:`repro.mssp.faults.corrupt_live_in`)."""
+    reference_engine = eager_cls(
         program, distillation,
         dataclasses.replace(config, runtime="eager", exec_tier=None),
-    ).run()
+    )
+    if fault_tid is not None:
+        reference_engine.events.subscribe(corrupt_live_in(fault_tid))
+    reference = reference_engine.run()
     engine = parallel_cls(program, distillation, config)
+    if fault_tid is not None:
+        engine.events.subscribe(corrupt_live_in(fault_tid))
     try:
         candidate = engine.run()
     finally:
@@ -165,23 +173,8 @@ class TestParallelTierDifferential:
         assert stats.adopted > 0
 
 
-#: Tid at which the corrupting engines force a live-in mismatch.
+#: Tid at which the injected fault forces a live-in mismatch.
 _CORRUPT_TID = 5
-
-
-def _corrupting(engine_cls):
-    """Sabotage task ``_CORRUPT_TID``'s recorded register live-ins just
-    before verification — a squash landing while JIT-executed successor
-    chunks are in flight."""
-
-    class Corrupting(engine_cls):
-        def _judge_task(self, task, event, arch, counters, records):
-            if task.tid == _CORRUPT_TID and task.live_in_regs:
-                register = min(task.live_in_regs)
-                task.live_in_regs[register] += 1
-            return super()._judge_task(task, event, arch, counters, records)
-
-    return Corrupting
 
 
 @pytest.mark.parallel
@@ -193,8 +186,7 @@ class TestSquashDuringJitChunk:
         ready = prepared("fib_memo")
         stats = run_parallel_differential(
             ready.instance.program, ready.distillation, PARALLEL_JIT_CONFIG,
-            parallel_cls=_corrupting(ParallelMsspEngine),
-            eager_cls=_corrupting(MsspEngine),
+            fault_tid=_CORRUPT_TID,
         )
         assert stats.discarded > 0
 

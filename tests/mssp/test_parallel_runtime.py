@@ -24,8 +24,13 @@ from repro.experiments.harness import prepare
 from repro.isa.asm import assemble
 from repro.mssp import MsspEngine, ParallelMsspEngine
 from repro.mssp import parallel as parallel_mod
-from repro.mssp.faults import corrupt_distilled, random_garbage_master
+from repro.mssp.faults import (
+    corrupt_distilled,
+    corrupt_live_in,
+    random_garbage_master,
+)
 from repro.mssp.parallel import _ChainMemory, _execute_chunk, _WORKER_BASES
+from repro.mssp.runtime.executors import ProcessExecutor
 from repro.profiling import profile_program
 from repro.workloads import get_workload, workload_names
 
@@ -70,9 +75,17 @@ def assert_identical(eager, parallel):
 
 
 def run_differential(program, distillation, config, executor=None,
-                     parallel_cls=ParallelMsspEngine, eager_cls=MsspEngine):
-    eager_result = eager_cls(program, distillation, config).run()
+                     parallel_cls=ParallelMsspEngine, eager_cls=MsspEngine,
+                     fault_tid=None):
+    eager_engine = eager_cls(
+        program, distillation, dataclasses.replace(config, runtime="eager")
+    )
+    if fault_tid is not None:
+        eager_engine.events.subscribe(corrupt_live_in(fault_tid))
+    eager_result = eager_engine.run()
     engine = parallel_cls(program, distillation, config, executor=executor)
+    if fault_tid is not None:
+        engine.events.subscribe(corrupt_live_in(fault_tid))
     try:
         parallel_result = engine.run()
     finally:
@@ -146,35 +159,19 @@ class TestPropertyDifferential:
         )
 
 
-#: Tid at which the corrupting engines below force a live-in mismatch.
+#: Tid at which the injected event-seam fault forces a live-in mismatch.
 _CORRUPT_TID = 5
-
-
-def _corrupting(engine_cls):
-    """An engine that sabotages task ``_CORRUPT_TID``'s recorded register
-    live-ins just before verification, forcing a REGISTER_LIVE_IN squash
-    at a point where the parallel runtime has successors in flight."""
-
-    class Corrupting(engine_cls):
-        def _judge_task(self, task, event, arch, counters, records):
-            if task.tid == _CORRUPT_TID and task.live_in_regs:
-                register = min(task.live_in_regs)
-                task.live_in_regs[register] += 1
-            return super()._judge_task(task, event, arch, counters, records)
-
-    return Corrupting
 
 
 class TestSquashWhileInFlight:
     def test_forced_squash_discards_inflight_successors(self):
-        """Satellite: inject a verification failure on task k and assert
-        tasks k+1.. are discarded with identical records/counters under
-        both runtimes."""
+        """Satellite: inject a verification failure on task k (via the
+        event seam's ``task_executed`` hook) and assert tasks k+1.. are
+        discarded with identical records/counters under both runtimes."""
         ready = prepared("fib_memo")
         eager_result, _, stats = run_differential(
             ready.instance.program, ready.distillation, PARALLEL_CONFIG,
-            parallel_cls=_corrupting(ParallelMsspEngine),
-            eager_cls=_corrupting(MsspEngine),
+            fault_tid=_CORRUPT_TID,
         )
         squashed = [
             r for r in eager_result.task_records
@@ -246,7 +243,7 @@ class TestPoolFailureFallback:
 
     def test_unstartable_pool_degrades_to_eager_results(self, monkeypatch):
         monkeypatch.setattr(
-            ParallelMsspEngine, "_create_pool", lambda self: None
+            ProcessExecutor, "_create_pool", lambda self: None
         )
         ready = prepared("stringops")
         _, _, stats = run_differential(
@@ -255,19 +252,32 @@ class TestPoolFailureFallback:
         assert stats.summary() == parallel_mod.DispatchStats().summary()
 
 
-class _CapturingEngine(ParallelMsspEngine):
+class _CapturingExecutor(ProcessExecutor):
     """Record every encoded chunk next to the tasks it encodes."""
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.captured = []
 
-    def _submit_chunk(self, base_key, base_delta, batch, inflight, stats):
+    def submit_chunk(self, batch):
         self.captured.append(
-            (self._encode_chunk(base_key, base_delta, batch),
+            (self._encode_chunk(batch),
              [dict(entry.task.checkpoint.mem) for entry in batch])
         )
-        super()._submit_chunk(base_key, base_delta, batch, inflight, stats)
+        return super().submit_chunk(batch)
+
+
+class _CapturingEngine(ParallelMsspEngine):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.captured = []
+
+    def _make_executor(self):
+        executor = _CapturingExecutor(
+            self, self.events, external=self._external_executor
+        )
+        executor.captured = self.captured  # shared accumulator
+        return executor
 
 
 class TestWireEncoding:

@@ -69,6 +69,8 @@ class TestMsspConfig:
             {"throttle_threshold": 0.0},
             {"throttle_threshold": 1.01},
             {"checkpoint_mode": "bogus"},
+            {"runtime": "warp"},
+            {"runtime": "inline"},
         ],
     )
     def test_rejects_bad_values(self, kwargs):
@@ -77,6 +79,10 @@ class TestMsspConfig:
 
     def test_delta_mode_accepted(self):
         assert MsspConfig(checkpoint_mode="delta").checkpoint_mode == "delta"
+
+    def test_runtime_choices_accepted(self):
+        for runtime in (None, "eager", "thread", "process", "parallel"):
+            assert MsspConfig(runtime=runtime).runtime == runtime
 
     def test_protected_regions_stored(self):
         config = MsspConfig(protected_regions=((1, 2), (5, 9)))
