@@ -102,6 +102,34 @@ class ControlFlowGraph:
             for dst in dsts
         )
 
+    # -- stable public views -------------------------------------------------
+
+    def succ_map(self) -> Dict[int, List[int]]:
+        """Successor edges keyed by block *start pc* (a defensive copy)."""
+        return {
+            block.start: [self.blocks[i].start for i in self.successors[block.index]]
+            for block in self.blocks
+        }
+
+    def pred_map(self) -> Dict[int, List[int]]:
+        """Predecessor edges keyed by block *start pc* (a defensive copy)."""
+        return {
+            block.start: [self.blocks[i].start for i in self.predecessors[block.index]]
+            for block in self.blocks
+        }
+
+    def reachable_from(self, block_indices) -> FrozenSet[int]:
+        """Indices of blocks reachable from any of ``block_indices``."""
+        seen: Set[int] = set()
+        stack = [i for i in block_indices]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            stack.extend(self.successors[index])
+        return frozenset(seen)
+
 
 def _find_leaders(program: Program) -> Set[int]:
     leaders: Set[int] = {0, program.entry}
@@ -125,9 +153,19 @@ def _return_sites(program: Program) -> List[int]:
     ]
 
 
-def build_cfg(program: Program) -> ControlFlowGraph:
-    """Build the control-flow graph of ``program``."""
-    leaders = sorted(_find_leaders(program))
+def build_cfg(program: Program, jr_targets=None) -> ControlFlowGraph:
+    """Build the control-flow graph of ``program``.
+
+    ``jr_targets`` optionally names additional pcs every ``jr`` may reach.
+    Distilled programs have no ``jal`` (calls are lowered to ``li ra`` +
+    ``j``), so without it their ``jr`` blocks would have no successors;
+    passing the pc map's ``jr_table`` values restores the conservative
+    return edges the original-program CFG gets from its call sites.
+    """
+    extra_jr = sorted(
+        {int(t) for t in (jr_targets or ()) if 0 <= int(t) < len(program.code)}
+    )
+    leaders = sorted(_find_leaders(program) | set(extra_jr))
     size = len(program.code)
     blocks: List[BasicBlock] = []
     block_of_pc: Dict[int, int] = {}
@@ -144,7 +182,7 @@ def build_cfg(program: Program) -> ControlFlowGraph:
         for pc in block.pcs:
             block_of_pc[pc] = index
 
-    return_sites = _return_sites(program)
+    return_sites = _return_sites(program) + extra_jr
     successors: Dict[int, List[int]] = {}
     predecessors: Dict[int, List[int]] = {b.index: [] for b in blocks}
     for block in blocks:

@@ -99,6 +99,16 @@ CHECKS: Dict[str, str] = {
              "strictly increase",
     "RT002": "a squash discards every in-flight successor: none is judged "
              "again before being re-forked",
+    # -- dataflow / speculation-safety checks ---------------------------------
+    "DF001": "every dataflow solution is a true fixpoint (one more transfer "
+             "round does not move it)",
+    "DF002": "abstract dataflow states contain every concretely reachable "
+             "register state (bounded oracle run)",
+    "DF003": "safety-report regions and pc-map fork anchors coincide",
+    "DF004": "every statically classified safety cell is live-in at its "
+             "anchor in the original program",
+    "DF005": "no statically PROVEN live-in register mismatches at runtime "
+             "(differential check-mode run)",
 }
 
 
@@ -146,6 +156,21 @@ class CheckFinding:
             f"{self.location()}: {self.message}"
         )
 
+    def to_json(self) -> Dict[str, object]:
+        """The finding as the shared machine-readable schema.
+
+        ``repro lint --format json`` and ``repro analyze --format json``
+        both emit findings in exactly this shape.
+        """
+        return {
+            "check_id": self.check_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "pc": self.pc,
+            "block": self.block,
+            "orig_pc": self.orig_pc,
+        }
+
 
 @dataclass
 class CheckReport:
@@ -181,6 +206,16 @@ class CheckReport:
                 continue
             lines.append("  " + finding.render())
         return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        """The report as the shared machine-readable schema."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [finding.to_json() for finding in self.findings],
+        }
 
 
 def _finding(
@@ -431,11 +466,21 @@ def _check_may_undef(
 # ---------------------------------------------------------------------------
 
 
-def check_ir(ir, pass_name: Optional[str] = None) -> CheckReport:
+def check_ir(
+    ir,
+    pass_name: Optional[str] = None,
+    cfg=None,
+    liveness=None,
+) -> CheckReport:
     """Statically check a :class:`~repro.distill.ir.DistillIR` snapshot.
 
     ``pass_name`` labels the report after the pass that just ran (used
-    by the distiller's ``verify_after_each_pass`` mode).
+    by the distiller's ``verify_after_each_pass`` mode).  ``cfg`` and
+    ``liveness`` are the original program's
+    :class:`~repro.analysis.cfg.ControlFlowGraph` and
+    :class:`~repro.analysis.liveness.LivenessInfo`; callers that already
+    hold them (the distiller computes both once up front) pass them in
+    so the per-pass fork checks stop recomputing them.
     """
     from repro.distill.ir import TRAP_BLOCK
 
@@ -505,7 +550,7 @@ def check_ir(ir, pass_name: Optional[str] = None) -> CheckReport:
             if dinstr.instr.op is Opcode.FORK:
                 fork_sites.append((block.name, dinstr))
 
-    _check_ir_forks(report, ir, fork_sites, orig_size)
+    _check_ir_forks(report, ir, fork_sites, orig_size, cfg, liveness)
 
     if ir.entry_name in name_set:
         reachable = ir.reachable_names()
@@ -524,15 +569,20 @@ def _check_ir_forks(
     ir,
     fork_sites: List[Tuple[str, object]],
     orig_size: int,
+    cfg=None,
+    liveness=None,
 ) -> None:
     """IR006/IR009/IR010: fork anchors and their liveness use sets."""
     if not fork_sites:
         return
-    from repro.analysis.cfg import build_cfg
-    from repro.analysis.liveness import compute_liveness
+    if cfg is None:
+        from repro.analysis.cfg import build_cfg
 
-    cfg = build_cfg(ir.program)
-    liveness = compute_liveness(cfg)
+        cfg = build_cfg(ir.program)
+    if liveness is None:
+        from repro.analysis.liveness import compute_liveness
+
+        liveness = compute_liveness(cfg)
     anchors_seen: Set[int] = set()
     for block_name, dinstr in fork_sites:
         target = dinstr.instr.target
@@ -1105,6 +1155,167 @@ def check_runtime_execution(
         engine.events.subscribe(log)
         engine.run()
     return check_runtime_events(log.events, subject=subject)
+
+
+# ---------------------------------------------------------------------------
+# Layer 6: dataflow analyses and the speculation-safety prover
+# ---------------------------------------------------------------------------
+
+
+def check_dataflow(
+    program: Program,
+    subject: Optional[str] = None,
+    max_steps: int = 5_000,
+) -> CheckReport:
+    """DF001/DF002: the shipped abstract domains against ``program``.
+
+    Solves constant propagation and intervals over the program's CFG,
+    re-checks each solution really is a fixpoint (``DF001``), then runs
+    the concrete machine for up to ``max_steps`` instructions and checks
+    that at every basic-block entry the concrete register file is
+    contained in the abstract in-state (``DF002`` — the soundness
+    obligation the hypothesis suite fuzzes on random programs).
+    """
+    from repro.analysis.cfg import build_cfg
+    from repro.analysis.dataflow import (
+        ConstantDomain,
+        IntervalDomain,
+        UNKNOWN,
+        is_fixpoint,
+        solve,
+    )
+    from repro.machine import ArchState
+    from repro.machine.interpreter import step
+
+    report = CheckReport(subject=f"{subject or program.name}: dataflow")
+    cfg = build_cfg(program)
+    solutions = {}
+    for name, domain in (
+        ("const", ConstantDomain()), ("interval", IntervalDomain())
+    ):
+        solution = solve(cfg, domain)
+        solutions[name] = solution
+        if not is_fixpoint(solution):
+            _finding(
+                report, "DF001", Severity.ERROR,
+                f"the {name} solution is not a fixpoint: one more "
+                "transfer round still moves it",
+            )
+
+    leaders = {block.start: block.index for block in cfg.blocks}
+    state = ArchState.initial(program)
+    const_ok = interval_ok = True
+    for _ in range(max_steps):
+        index = leaders.get(state.pc)
+        if index is not None and (const_ok or interval_ok):
+            regs = [state.read_reg(r) for r in range(NUM_REGS)]
+            if const_ok:
+                abstract = solutions["const"].block_in[index]
+                for reg in range(NUM_REGS):
+                    value = abstract[reg]
+                    if value is not UNKNOWN and value != regs[reg]:
+                        const_ok = False
+                        _finding(
+                            report, "DF002", Severity.ERROR,
+                            f"constant analysis claims r{reg} == {value} "
+                            f"at block entry, but the concrete run "
+                            f"arrived with {regs[reg]}", pc=state.pc,
+                        )
+                        break
+            if interval_ok:
+                abstract = solutions["interval"].block_in[index]
+                for reg in range(NUM_REGS):
+                    lo, hi = abstract[reg]
+                    if not lo <= regs[reg] <= hi:
+                        interval_ok = False
+                        _finding(
+                            report, "DF002", Severity.ERROR,
+                            f"interval analysis claims r{reg} in "
+                            f"[{lo}, {hi}] at block entry, but the "
+                            f"concrete run arrived with {regs[reg]}",
+                            pc=state.pc,
+                        )
+                        break
+        if step(program, state).halted:
+            break
+    return report
+
+
+def check_safety_report(
+    original: Program,
+    pc_map,
+    safety,
+    subject: Optional[str] = None,
+) -> CheckReport:
+    """DF003/DF004: a :class:`SafetyReport`'s shape against its artifact.
+
+    ``safety`` is the :class:`repro.analysis.specsafe.SafetyReport` for
+    ``(original, distilled, pc_map)``.  Regions must coincide with the
+    pc map's fork anchors, and every classified cell must actually be
+    live-in at its anchor (a cell outside the live-in set can never be
+    compared by verify, so classifying it is meaningless at best and a
+    prover bug at worst).
+    """
+    from repro.analysis.cfg import build_cfg
+    from repro.analysis.liveness import compute_liveness
+
+    report = CheckReport(
+        subject=f"{subject or original.name}: safety report"
+    )
+    anchors = set(pc_map.anchors)
+    regions = set(safety.regions)
+    for anchor in sorted(regions - anchors):
+        _finding(
+            report, "DF003", Severity.ERROR,
+            f"safety report covers pc {anchor}, which is not a pc-map "
+            "fork anchor", orig_pc=anchor,
+        )
+    for anchor in sorted(anchors - regions):
+        _finding(
+            report, "DF003", Severity.ERROR,
+            f"fork anchor {anchor} has no safety-report region",
+            orig_pc=anchor,
+        )
+    cfg = build_cfg(original)
+    liveness = compute_liveness(cfg)
+    for anchor in sorted(regions & anchors):
+        block = cfg.block_starting_at(anchor)
+        if block is None:
+            continue  # MAP003/IR010 report non-leader anchors
+        live = liveness.block_live_in(block.index) - {ZERO}
+        extra = sorted(set(safety.regions[anchor].cells) - live)
+        if extra:
+            regs = ", ".join(f"r{reg}" for reg in extra)
+            _finding(
+                report, "DF004", Severity.ERROR,
+                f"safety report classifies {regs}, not live-in at "
+                f"anchor {anchor}", orig_pc=anchor,
+            )
+    return report
+
+
+def check_safety_runtime(
+    program: Program, distillation, subject: str = "safety runtime"
+) -> CheckReport:
+    """DF005: differential check-mode run — PROVEN cells must never squash.
+
+    Runs the full MSSP engine with ``static_safety="check"``: every
+    live-in is still compared dynamically, and a mismatch on a cell the
+    prover marked PROVEN raises :class:`~repro.errors.CheckFailure`
+    inside the engine.  That failure — an analysis soundness bug, never
+    a legal misspeculation — is what ``DF005`` reports.
+    """
+    from repro.config import MsspConfig
+    from repro.errors import CheckFailure
+    from repro.mssp.engine import MsspEngine
+
+    report = CheckReport(subject=subject)
+    config = MsspConfig(static_safety="check")
+    try:
+        MsspEngine(program, distillation, config=config).run_and_check()
+    except CheckFailure as failure:
+        _finding(report, "DF005", Severity.ERROR, str(failure))
+    return report
 
 
 # ---------------------------------------------------------------------------

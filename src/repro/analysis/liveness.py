@@ -33,6 +33,14 @@ class LivenessInfo:
     live_in: Dict[int, FrozenSet[int]]
     live_out: Dict[int, FrozenSet[int]]
 
+    def block_live_in(self, block_index: int) -> FrozenSet[int]:
+        """Registers live on entry to block ``block_index`` (stable API)."""
+        return self.live_in[block_index]
+
+    def block_live_out(self, block_index: int) -> FrozenSet[int]:
+        """Registers live on exit from block ``block_index`` (stable API)."""
+        return self.live_out[block_index]
+
     def live_after_each(
         self, block: BasicBlock
     ) -> List[FrozenSet[int]]:

@@ -18,8 +18,15 @@ Subcommands
 ``lint``
     Static soundness report: check a workload's original program, its
     distillation (with per-pass IR verification), the pc map, the
-    pre-decoded execution cache, and the runtime's recorded event
-    stream (in-order judgement, squash discard).
+    pre-decoded execution cache, the dataflow analyses and the
+    speculation-safety prover's report, and the runtime's recorded
+    event stream (in-order judgement, squash discard).  ``--format
+    json`` emits the same findings machine-readably.
+``analyze``
+    Dataflow / speculation-safety report: per-region live-in safety
+    classification (PROVEN / STABLE / UNPROVEN), observed squash risk
+    from a differential check-mode run, and the statically skipped
+    verify-compare count.  Exits nonzero if a PROVEN cell squashes.
 ``bench``
     Performance measurement: interpreter microbenchmark (reference
     ``execute`` loop vs the pre-decoded engine) plus the E-suite through
@@ -116,6 +123,34 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--task-size", type=int, default=None,
         help="target dynamic instructions per task",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json shares its finding schema with "
+             "'analyze --format json')",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="dataflow + speculation-safety analysis of a workload",
+    )
+    analyze.add_argument(
+        "workload", nargs="?", choices=sorted(WORKLOADS), default=None,
+        help="workload to analyze (or use --all)",
+    )
+    analyze.add_argument(
+        "--all", action="store_true", dest="analyze_all",
+        help="analyze every registered workload",
+    )
+    analyze.add_argument("--size", type=int, default=None)
+    analyze.add_argument(
+        "--task-size", type=int, default=None,
+        help="target dynamic instructions per task",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json shares its finding schema with "
+             "'lint --format json')",
     )
 
     bench = sub.add_parser(
@@ -313,23 +348,92 @@ def cmd_timeline(args) -> int:
     return 0
 
 
-def cmd_lint(args) -> int:
+def _lint_workload(name, args, config):
+    """All checker reports for one workload, stopping at the first layer
+    that fails.  Returns ``(reports, distill_error)``."""
     from repro.analysis.checker import (
+        check_dataflow,
         check_decoded,
         check_distillation,
         check_jit,
         check_program,
         check_runtime_execution,
+        check_safety_report,
+        check_safety_runtime,
     )
+    from repro.analysis.specsafe import prove_safety
     from repro.distill.distiller import Distiller
     from repro.errors import CheckFailure, DistillError
     from repro.experiments.harness import training_profile
 
-    if args.lint_all:
-        names = sorted(WORKLOADS)
-    elif args.workload is not None:
-        names = [args.workload]
-    else:
+    instance = get_workload(name).instance(args.size)
+    reports = []
+
+    def gate(report) -> bool:
+        reports.append(report)
+        return report.ok
+
+    if not gate(check_program(instance.program, subject=name)):
+        return reports, None
+    if not gate(check_decoded(instance.program, subject=name)):
+        return reports, None
+    if not gate(check_jit(instance.program, subject=f"{name}: jit")):
+        return reports, None
+    if not gate(check_dataflow(instance.program, subject=name)):
+        return reports, None
+    try:
+        distillation = Distiller(config).distill(
+            instance.program, training_profile(instance)
+        )
+    except CheckFailure as failure:
+        from repro.analysis.checker import CheckReport
+
+        stage = failure.pass_name or "?"
+        report = CheckReport(subject=f"{name}: distillation pass {stage!r}")
+        report.findings.extend(failure.findings)
+        reports.append(report)
+        return reports, None
+    except DistillError as error:
+        return reports, str(error)
+    if not gate(check_distillation(
+        instance.program, distillation.distilled, distillation.pc_map,
+        subject=f"{name}: distilled",
+    )):
+        return reports, None
+    if not gate(check_decoded(
+        distillation.distilled, subject=f"{name}: distilled decoded"
+    )):
+        return reports, None
+    safety = prove_safety(
+        instance.program, distillation.distilled, distillation.pc_map
+    )
+    if not gate(check_safety_report(
+        instance.program, distillation.pc_map, safety, subject=name,
+    )):
+        return reports, None
+    if not gate(check_safety_runtime(
+        instance.program, distillation, subject=f"{name}: safety runtime"
+    )):
+        return reports, None
+    gate(check_runtime_execution(
+        instance.program, distillation, subject=f"{name}: runtime"
+    ))
+    return reports, None
+
+
+def _lint_names(args, flag: str):
+    if getattr(args, flag):
+        return sorted(WORKLOADS)
+    if args.workload is not None:
+        return [args.workload]
+    return None
+
+
+def cmd_lint(args) -> int:
+    import json
+
+    names = _lint_names(args, "lint_all")
+    if names is None:
         print("lint: give a workload name or --all", file=sys.stderr)
         return 2
 
@@ -337,70 +441,191 @@ def cmd_lint(args) -> int:
     config = dataclasses.replace(base, verify_after_each_pass=True)
     failures = 0
     warnings = 0
+    payload = []
+    for name in names:
+        reports, distill_error = _lint_workload(name, args, config)
+        ok = distill_error is None and all(r.ok for r in reports)
+        if not ok:
+            failures += 1
+        warnings += sum(len(r.warnings) for r in reports)
+        if args.format == "json":
+            payload.append({
+                "workload": name,
+                "ok": ok,
+                "error": distill_error,
+                "reports": [r.to_json() for r in reports],
+            })
+            continue
+        for report in reports:
+            print(report.render())
+        if distill_error is not None:
+            print(f"{name}: distillation FAIL: {distill_error}")
+    if args.format == "json":
+        print(json.dumps({
+            "ok": not failures,
+            "failures": failures,
+            "warnings": warnings,
+            "workloads": payload,
+        }, indent=2))
+    else:
+        verdict = "clean" if not failures else f"{failures} FAILED"
+        print(
+            f"lint: {len(names)} workload(s), {verdict}, "
+            f"{warnings} warning(s)"
+        )
+    return 1 if failures else 0
+
+
+def cmd_analyze(args) -> int:
+    import json
+
+    from repro.analysis.checker import (
+        check_safety_report,
+        CheckFinding,
+        CheckReport,
+        Severity,
+    )
+    from repro.analysis.specsafe import prove_safety
+    from repro.config import MsspConfig
+    from repro.distill.distiller import Distiller
+    from repro.errors import CheckFailure, DistillError
+    from repro.experiments.harness import training_profile
+    from repro.mssp.engine import MsspEngine
+
+    names = _lint_names(args, "analyze_all")
+    if names is None:
+        print("analyze: give a workload name or --all", file=sys.stderr)
+        return 2
+
+    config = _distill_config(args) or DistillConfig()
+    mssp_config = MsspConfig(static_safety="check")
+    exit_code = 0
+    payload = []
     for name in names:
         instance = get_workload(name).instance(args.size)
-        program_report = check_program(instance.program, subject=name)
-        print(program_report.render())
-        warnings += len(program_report.warnings)
-        if not program_report.ok:
-            failures += 1
-            continue
-        decoded_report = check_decoded(instance.program, subject=name)
-        print(decoded_report.render())
-        warnings += len(decoded_report.warnings)
-        if not decoded_report.ok:
-            failures += 1
-            continue
-        jit_report = check_jit(instance.program, subject=f"{name}: jit")
-        print(jit_report.render())
-        warnings += len(jit_report.warnings)
-        if not jit_report.ok:
-            failures += 1
-            continue
         try:
             distillation = Distiller(config).distill(
                 instance.program, training_profile(instance)
             )
-        except CheckFailure as failure:
-            failures += 1
-            stage = failure.pass_name or "?"
-            print(f"{name}: distillation FAIL in pass {stage!r}")
-            for finding in failure.findings:
-                print(f"  {finding.render()}")
-            continue
         except DistillError as error:
-            failures += 1
-            print(f"{name}: distillation FAIL: {error}")
+            exit_code = 1
+            if args.format == "json":
+                payload.append({"workload": name, "error": str(error)})
+            else:
+                print(f"== {name} ==\n  distillation FAIL: {error}")
             continue
-        artifact_report = check_distillation(
-            instance.program, distillation.distilled, distillation.pc_map,
-            subject=f"{name}: distilled",
+        safety = prove_safety(
+            instance.program, distillation.distilled, distillation.pc_map
         )
-        print(artifact_report.render())
-        warnings += len(artifact_report.warnings)
-        if not artifact_report.ok:
-            failures += 1
+        shape_report = check_safety_report(
+            instance.program, distillation.pc_map, safety, subject=name,
+        )
+        # Differential check-mode run: every live-in is still compared;
+        # a mismatch on a PROVEN cell raises inside the engine (DF005).
+        runtime_report = CheckReport(subject=f"{name}: safety runtime")
+        proven_squash = None
+        counters = None
+        per_anchor = {}
+        try:
+            result = MsspEngine(
+                instance.program, distillation, config=mssp_config
+            ).run_and_check()
+            counters = result.counters
+            for record in result.records:
+                start_pc = getattr(record, "start_pc", None)
+                if start_pc is None:
+                    continue
+                row = per_anchor.setdefault(
+                    start_pc, {"tasks": 0, "squashed": 0, "reasons": {}}
+                )
+                row["tasks"] += 1
+                if not record.committed:
+                    row["squashed"] += 1
+                    reason = record.squash_reason
+                    row["reasons"][reason] = (
+                        row["reasons"].get(reason, 0) + 1
+                    )
+        except CheckFailure as failure:
+            proven_squash = str(failure)
+            runtime_report.findings.append(CheckFinding(
+                check_id="DF005", severity=Severity.ERROR,
+                message=proven_squash,
+            ))
+        findings = shape_report.findings + runtime_report.findings
+        if any(f.severity is Severity.ERROR for f in findings):
+            exit_code = 1
+        if args.format == "json":
+            payload.append({
+                "workload": name,
+                "size": instance.size,
+                "safety": safety.to_json(),
+                "runtime": {
+                    "proven_squash": proven_squash,
+                    "static_verify_skips": (
+                        counters.static_verify_skips if counters else None
+                    ),
+                    "live_ins_checked": (
+                        counters.live_ins_checked if counters else None
+                    ),
+                    "tasks_committed": (
+                        counters.tasks_committed if counters else None
+                    ),
+                    "tasks_squashed": (
+                        counters.tasks_squashed if counters else None
+                    ),
+                },
+                "regions": [
+                    dict(
+                        safety.regions[anchor].to_json(),
+                        tasks=per_anchor.get(anchor, {}).get("tasks", 0),
+                        squashed=per_anchor.get(anchor, {}).get(
+                            "squashed", 0
+                        ),
+                        squash_reasons=per_anchor.get(anchor, {}).get(
+                            "reasons", {}
+                        ),
+                    )
+                    for anchor in sorted(safety.regions)
+                ],
+                "findings": [f.to_json() for f in findings],
+            })
             continue
-        distilled_decoded = check_decoded(
-            distillation.distilled, subject=f"{name}: distilled decoded"
+        print(f"== {name} (size {instance.size}) ==")
+        if safety.bailed:
+            print(f"  prover bailed: {safety.bail_reason}")
+        table = Table(
+            ["anchor", "live-ins", "proven", "stable", "unproven",
+             "mem", "tasks", "squashed", "top reason"],
         )
-        print(distilled_decoded.render())
-        warnings += len(distilled_decoded.warnings)
-        if not distilled_decoded.ok:
-            failures += 1
-            continue
-        runtime_report = check_runtime_execution(
-            instance.program, distillation, subject=f"{name}: runtime"
-        )
-        print(runtime_report.render())
-        warnings += len(runtime_report.warnings)
-        if not runtime_report.ok:
-            failures += 1
-    verdict = "clean" if not failures else f"{failures} FAILED"
-    print(
-        f"lint: {len(names)} workload(s), {verdict}, {warnings} warning(s)"
-    )
-    return 1 if failures else 0
+        for anchor in sorted(safety.regions):
+            region = safety.regions[anchor]
+            counts = region.counts()
+            stats = per_anchor.get(anchor, {})
+            reasons = stats.get("reasons", {})
+            top = max(reasons, key=reasons.get) if reasons else "-"
+            table.add_row(
+                anchor, len(region.cells), counts["proven"],
+                counts["stable"], counts["unproven"],
+                "yes" if region.mem_proven else "no",
+                stats.get("tasks", 0), stats.get("squashed", 0), top,
+            )
+        print(table.render())
+        if counters is not None:
+            print(
+                f"  static verify skips: {counters.static_verify_skips} "
+                f"of {counters.live_ins_checked} live-in compares; "
+                f"{counters.tasks_committed} committed / "
+                f"{counters.tasks_squashed} squashed"
+            )
+        for finding in findings:
+            print("  " + finding.render())
+        if proven_squash is not None:
+            print(f"  DF005 VIOLATION: {proven_squash}")
+    if args.format == "json":
+        print(json.dumps(
+            {"ok": exit_code == 0, "workloads": payload}, indent=2
+        ))
+    return exit_code
 
 
 def cmd_bench(args) -> int:
@@ -513,6 +738,7 @@ COMMANDS = {
     "timeline": cmd_timeline,
     "suite": cmd_suite,
     "lint": cmd_lint,
+    "analyze": cmd_analyze,
     "bench": cmd_bench,
     "report": cmd_report,
 }

@@ -157,6 +157,15 @@ class MsspConfig:
     #: run-ahead window is
     #: ``min(max_inflight_tasks, num_slaves * parallel_chunk_tasks)``).
     parallel_chunk_tasks: int = 16
+    #: Static verify fast path over the speculation-safety prover's
+    #: report (:mod:`repro.analysis.specsafe`): ``"skip"`` skips the
+    #: value compare for statically PROVEN register live-ins, ``"check"``
+    #: compares everything and escalates a mismatch on a PROVEN register
+    #: to a hard :class:`~repro.errors.CheckFailure` (the differential
+    #: soundness cross-check), ``"off"`` disables the report entirely.
+    #: All three modes produce bit-identical results when the analysis
+    #: is sound — ``skip`` merely avoids compares that cannot fail.
+    static_safety: str = "skip"
 
     def __post_init__(self) -> None:
         for name in (
@@ -185,6 +194,10 @@ class MsspConfig:
         if self.exec_tier not in (None, "oracle", "decoded", "jit"):
             raise ValueError(
                 "exec_tier must be None, 'oracle', 'decoded' or 'jit'"
+            )
+        if self.static_safety not in ("off", "skip", "check"):
+            raise ValueError(
+                "static_safety must be 'off', 'skip' or 'check'"
             )
 
 

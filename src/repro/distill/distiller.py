@@ -122,32 +122,32 @@ class Distiller:
         loops = find_loops(cfg, domtree)
         liveness = compute_liveness(cfg)
         ir = lift_to_ir(program, cfg)
-        self._verify_ir(ir, "lift")
+        self._verify_ir(ir, "lift", cfg, liveness)
         original_static = len(program.code)
         pass_stats: Dict[str, object] = {}
 
         if config.enable_value_spec:
             pass_stats["value_spec"] = run_value_spec(ir, profile, config)
-            self._verify_ir(ir, "value_spec")
+            self._verify_ir(ir, "value_spec", cfg, liveness)
         if config.enable_store_elim:
             pass_stats["store_elim"] = run_store_elim(ir, profile, config)
-            self._verify_ir(ir, "store_elim")
+            self._verify_ir(ir, "store_elim", cfg, liveness)
         if config.enable_branch_removal:
             pass_stats["branch_removal"] = run_branch_removal(
                 ir, profile, cfg, domtree, loops, config
             )
-            self._verify_ir(ir, "branch_removal")
+            self._verify_ir(ir, "branch_removal", cfg, liveness)
         if config.enable_cold_code:
             pass_stats["cold_code"] = run_cold_code(ir, profile, config)
-            self._verify_ir(ir, "cold_code")
+            self._verify_ir(ir, "cold_code", cfg, liveness)
         fork_stats = run_fork_placement(
             ir, profile, cfg, loops, liveness, config
         )
         pass_stats["fork_placement"] = fork_stats
-        self._verify_ir(ir, "fork_placement")
+        self._verify_ir(ir, "fork_placement", cfg, liveness)
         if config.enable_dce:
             pass_stats["dce"] = run_dce(ir, config)
-            self._verify_ir(ir, "dce")
+            self._verify_ir(ir, "dce", cfg, liveness)
 
         distilled, pc_map = layout_ir(
             ir, jump_threading=config.enable_jump_threading
@@ -167,11 +167,18 @@ class Distiller:
 
     # -- verify_after_each_pass debug mode -----------------------------------
 
-    def _verify_ir(self, ir: DistillIR, pass_name: str) -> None:
-        """Raise :class:`CheckFailure` if ``pass_name`` broke an invariant."""
+    def _verify_ir(
+        self, ir: DistillIR, pass_name: str, cfg=None, liveness=None
+    ) -> None:
+        """Raise :class:`CheckFailure` if ``pass_name`` broke an invariant.
+
+        ``cfg``/``liveness`` are the original program's analyses,
+        computed once by :meth:`distill` and threaded through so the
+        per-pass checks do not recompute them.
+        """
         if not self.config.verify_after_each_pass:
             return
-        report = check_ir(ir, pass_name=pass_name)
+        report = check_ir(ir, pass_name=pass_name, cfg=cfg, liveness=liveness)
         if report.ok:
             return
         declared = PASS_INVARIANTS.get(pass_name, ())

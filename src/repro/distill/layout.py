@@ -71,6 +71,7 @@ def layout_ir(
     code: List[Instruction] = []
     # (distilled fork pc, orig anchor pc, distilled anchor-block start)
     fork_sites: List[Tuple[int, int, int]] = []
+    provenance: Dict[int, int] = {}
     for block, instrs in placed:
         for dinstr in instrs:
             instr = dinstr.instr
@@ -85,6 +86,8 @@ def layout_ir(
                 fork_sites.append(
                     (len(code), int(instr.target), starts[block.name])
                 )
+            if dinstr.orig_pc is not None:
+                provenance[len(code)] = dinstr.orig_pc
             code.append(instr)
 
     if not code:
@@ -125,7 +128,7 @@ def layout_ir(
     }
     pc_map = PcMap(
         resume=resume, entry_orig=orig_entry, arrival=arrival,
-        jr_table=jr_table,
+        jr_table=jr_table, provenance=provenance,
     )
     return distilled, pc_map
 

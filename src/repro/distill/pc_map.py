@@ -39,11 +39,19 @@ class PcMap:
     #: against architected state); the master translates ``jr`` targets
     #: through this table.  A miss is a master trap (recovered from).
     jr_table: Dict[int, int] = field(default_factory=dict)
+    #: distilled pc -> original pc the instruction descends from.  Layout
+    #: records this for every emitted instruction that survived from the
+    #: original program (synthesized instructions — fork prologues,
+    #: re-materialized fall-through jumps, the trap block — are absent).
+    #: The speculation-safety prover uses it to align the two programs;
+    #: an empty map simply makes the prover bail to all-UNPROVEN.
+    provenance: Dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "resume", dict(self.resume))
         object.__setattr__(self, "arrival", dict(self.arrival))
         object.__setattr__(self, "jr_table", dict(self.jr_table))
+        object.__setattr__(self, "provenance", dict(self.provenance))
         if self.entry_orig not in self.resume:
             raise DistillError("pc map must cover the original entry pc")
 

@@ -297,6 +297,7 @@ def _bench_one(args: Tuple[str, float]) -> Dict[str, object]:
         "instrs_per_sec": simulated / wall if wall > 0 else float("inf"),
         "speedup": row.speedup,
         "squash_rate": result.counters.squash_rate,
+        "static_verify_skips": result.counters.static_verify_skips,
     }
 
 

@@ -37,7 +37,9 @@ from typing import Any, Callable, Optional, Tuple
 
 #: Bump when cached artifact types change incompatibly.
 #: 2: MsspCounters grew the ``dispatch`` field (runtime-core refactor).
-CACHE_SCHEMA = 2
+#: 3: PcMap grew per-instruction ``provenance``; MsspCounters grew
+#:    ``static_verify_skips`` (speculation-safety prover).
+CACHE_SCHEMA = 3
 
 _ENV_VAR = "REPRO_BENCH_CACHE"
 

@@ -50,7 +50,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
+from repro.analysis.specsafe import SafetyReport, prove_safety
 from repro.config import MsspConfig
+from repro.errors import CheckFailure
 from repro.distill.distiller import DistillationResult
 from repro.distill.pc_map import PcMap
 from repro.errors import InvalidPcError, MsspError, StepLimitExceeded
@@ -117,6 +119,7 @@ class MsspEngine:
         original: Program,
         distillation: Union[DistillationResult, tuple],
         config: Optional[MsspConfig] = None,
+        safety_report=None,
     ):
         if isinstance(distillation, DistillationResult):
             distilled, pc_map = distillation.distilled, distillation.pc_map
@@ -162,6 +165,19 @@ class MsspEngine:
         #: that run's ``result.counters.dispatch``).
         self.dispatch_stats = DispatchStats()
         self._executor = None
+        #: Static speculation-safety report driving the verify register
+        #: fast path (``config.static_safety``).  Computed here unless
+        #: injected (tests inject fabricated reports to prove the
+        #: ``check``-mode escalation fires); ``"off"`` skips the prover
+        #: entirely.  The prover never raises — unprovable or unaligned
+        #: artifacts yield a bailed, all-UNPROVEN report, which makes
+        #: verify behave exactly as it did without the analysis.
+        if safety_report is not None:
+            self.safety_report = safety_report
+        elif self.config.static_safety == "off":
+            self.safety_report = SafetyReport()
+        else:
+            self.safety_report = prove_safety(original, distilled, pc_map)
         self._allowed_squash_reasons: Optional[frozenset] = None
         if self.config.assert_static_soundness:
             if not isinstance(distillation, DistillationResult):
@@ -279,6 +295,12 @@ class MsspEngine:
 
     # -- internals -----------------------------------------------------------------
 
+    def static_proven_regs(self, start_pc: int) -> frozenset:
+        """Registers verify may skip for tasks anchored at ``start_pc``."""
+        if self.config.static_safety == "off":
+            return frozenset()
+        return self.safety_report.proven_for(start_pc)
+
     def _make_executor(self):
         """Build the executor backend ``self.runtime`` names.
 
@@ -322,9 +344,22 @@ class MsspEngine:
         an identical :class:`MsspResult`.  Returns
         ``(committed, machine_halted)``.
         """
-        outcome = verify_task(task, arch, versions=self._versions)
+        outcome = verify_task(
+            task, arch, versions=self._versions,
+            safety_mode=self.config.static_safety,
+        )
         counters.live_ins_checked += outcome.checked
         counters.live_ins_mismatched += outcome.mismatched
+        counters.static_verify_skips += outcome.static_skips
+        if outcome.proven_mismatch:
+            # ``check`` mode found a statically PROVEN register whose
+            # prediction was wrong: the safety analysis is unsound for
+            # this artifact.  This must never be recovered from — it is
+            # the strongest differential oracle the prover has.
+            raise CheckFailure(
+                f"statically PROVEN live-in mismatched at anchor "
+                f"{task.start_pc}: {outcome.detail}"
+            )
         if task.exact:
             counters.exact_tasks += 1
         record = TaskAttemptRecord(

@@ -157,6 +157,7 @@ class TaskPipeline:
         open_task = Task(
             tid=next_tid, start_pc=arch.pc,
             checkpoint=Checkpoint.exact(arch), exact=True,
+            proven_regs=core.static_proven_regs(arch.pc),
         )
         open_delta: Optional[Dict[int, int]] = None
         next_tid += 1
@@ -181,6 +182,9 @@ class TaskPipeline:
                         open_task = Task(
                             tid=next_tid, start_pc=event.anchor,
                             checkpoint=event.checkpoint,
+                            proven_regs=core.static_proven_regs(
+                                event.anchor
+                            ),
                         )
                         open_delta = event.mem_delta
                         next_tid += 1

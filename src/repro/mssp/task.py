@@ -106,6 +106,12 @@ class Task:
     #: start).  ``None`` disables the verify fast path for this task —
     #: every memory live-in is compared the slow way.
     base_version: Optional[int] = None
+    #: Registers the speculation-safety prover marked PROVEN for this
+    #: task's anchor (:mod:`repro.analysis.specsafe`).  Set at task
+    #: creation from the engine's :class:`SafetyReport`; verify may skip
+    #: (or soundness-check) these register compares.  A purely static
+    #: attribute — never crosses the executor wire.
+    proven_regs: frozenset = frozenset()
 
     # Filled by verification -----------------------------------------------------
     squash_reason: SquashReason = SquashReason.NONE

@@ -163,6 +163,11 @@ class MsspCounters:
     throttle_episodes: int = 0
     live_ins_checked: int = 0
     live_ins_mismatched: int = 0
+    #: Register live-in compares covered by the static safety prover
+    #: (:mod:`repro.analysis.specsafe`).  Unlike ``CellVersions.skipped``
+    #: this *is* a compared field: the proven set is a pure function of
+    #: the task's anchor, so every backend must report the same count.
+    static_verify_skips: int = 0
     squash_reasons: Dict[str, int] = field(default_factory=dict)
     #: How the run's tasks were routed through the executor backend.
     #: ``compare=False``: routing is backend-dependent by design, and
@@ -219,6 +224,7 @@ class MsspCounters:
             "live_in_accuracy": self.live_in_accuracy,
             "speculative_coverage": self.speculative_coverage,
             "restarts": float(self.restarts),
+            "static_verify_skips": float(self.static_verify_skips),
         }
         for key, value in self.dispatch.summary().items():
             out[key] = float(value)

@@ -104,12 +104,22 @@ class VerifyOutcome:
     #: for that anchor was wrong), or the pc the slave stopped at for
     #: faults/overruns/protected accesses.  ``None`` on success.
     origin_pc: Optional[int] = None
+    #: Register live-in compares covered by the static safety prover
+    #: (:mod:`repro.analysis.specsafe`).  Counted identically in ``skip``
+    #: and ``check`` modes, so counters match between them when the
+    #: analysis is sound.
+    static_skips: int = 0
+    #: ``check`` mode only: a statically PROVEN register mismatched —
+    #: an analysis soundness bug the engine escalates to a hard
+    #: :class:`~repro.errors.CheckFailure`.
+    proven_mismatch: bool = False
 
 
 def verify_task(
     task: Task,
     arch: ArchState,
     versions: Optional[CellVersions] = None,
+    safety_mode: str = "off",
 ) -> VerifyOutcome:
     """Check ``task``'s live-ins against ``arch`` without modifying either.
 
@@ -117,6 +127,16 @@ def verify_task(
     live-ins provably unchanged since the task's view of architected
     state skip the value compare — see the module docstring.  The
     returned outcome is identical either way.
+
+    ``safety_mode`` activates the *static* register fast path over
+    ``task.proven_regs`` (registers the speculation-safety prover
+    guarantees for this anchor): ``"skip"`` skips their value compare,
+    ``"check"`` still compares and flags any mismatch as an analysis
+    soundness failure (``proven_mismatch``), ``"off"`` ignores the set.
+    Skips apply only when the task starts exactly where the machine is —
+    the proof is relative to the anchor's architected state.  Skipped
+    cells still count in ``checked`` so records and counters stay
+    bit-identical across all three modes when the analysis is sound.
     """
     if task.faulted:
         return VerifyOutcome(
@@ -147,9 +167,22 @@ def verify_task(
         mismatched += 1
         reason = SquashReason.WRONG_START_PC
         detail = f"task starts at {task.start_pc}, machine at {arch.pc}"
+    static_skips = 0
+    proven_mismatch = False
+    proven = (
+        task.proven_regs
+        if safety_mode in ("skip", "check") and task.start_pc == arch.pc
+        else frozenset()
+    )
     for index, value in task.live_in_regs.items():
         checked += 1
+        if index in proven:
+            static_skips += 1
+            if safety_mode == "skip":
+                continue
         if arch.regs[index] != value:
+            if index in proven:
+                proven_mismatch = True
             mismatched += 1
             if reason is SquashReason.NONE:
                 reason = SquashReason.REGISTER_LIVE_IN
@@ -183,6 +216,7 @@ def verify_task(
         ok=mismatched == 0, reason=reason, checked=checked,
         mismatched=mismatched, detail=detail,
         origin_pc=None if mismatched == 0 else task.start_pc,
+        static_skips=static_skips, proven_mismatch=proven_mismatch,
     )
 
 

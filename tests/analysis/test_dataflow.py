@@ -1,0 +1,257 @@
+"""Tests for the abstract-interpretation dataflow framework.
+
+Unit tests pin the solver on hand-built programs (forward and backward
+directions, widening termination); the hypothesis section fuzzes the
+shipped domains' soundness obligation — every concretely reachable
+register state is contained in the abstract in-state — on random
+terminating programs, which is exactly what the ``DF002`` lint check
+runs on the workload suite.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.checker import Severity, check_dataflow
+from repro.analysis.dataflow import (
+    INT64_MAX,
+    TOP_RANGE,
+    UNKNOWN,
+    AbstractDomain,
+    ConstantDomain,
+    IntervalDomain,
+    TaintDomain,
+    distill_write_taint,
+    is_fixpoint,
+    solve,
+)
+from repro.analysis.liveness import compute_liveness
+from repro.isa.asm import assemble
+from repro.isa.registers import NUM_REGS, ZERO
+
+from tests.strategies import terminating_programs
+
+DIAMOND_SAME = """
+main:   li r1, 1
+        beq r1, zero, left
+right:  li r2, 7
+        j join
+left:   li r2, 7
+join:   halt
+"""
+
+DIAMOND_DIFF = """
+main:   li r1, 1
+        beq r1, zero, left
+right:  li r2, 7
+        j join
+left:   li r2, 9
+join:   halt
+"""
+
+COUNTING_LOOP = """
+main:   li r1, 0
+loop:   addi r1, r1, 1
+        slti r2, r1, 10
+        bne r2, zero, loop
+        halt
+"""
+
+STRAIGHT = """
+main:   li r1, 5
+        addi r2, r1, 3
+        mul r3, r2, r2
+        halt
+"""
+
+
+def _entry_of(cfg, label_pc):
+    return cfg.block_at(label_pc).index
+
+
+class TestConstantDomain:
+    def test_straightline_folds_exactly(self):
+        program = assemble(STRAIGHT)
+        cfg = build_cfg(program)
+        solution = solve(cfg, ConstantDomain())
+        # state immediately before the halt
+        state = solution.state_before(3)
+        assert state[1] == 5
+        assert state[2] == 8
+        assert state[3] == 64
+
+    def test_agreeing_join_stays_constant(self):
+        program = assemble(DIAMOND_SAME)
+        cfg = build_cfg(program)
+        solution = solve(cfg, ConstantDomain())
+        join_block = cfg.block_at(len(program.code) - 1)
+        assert solution.block_in[join_block.index][2] == 7
+
+    def test_disagreeing_join_goes_unknown(self):
+        program = assemble(DIAMOND_DIFF)
+        cfg = build_cfg(program)
+        solution = solve(cfg, ConstantDomain())
+        join_block = cfg.block_at(len(program.code) - 1)
+        assert solution.block_in[join_block.index][2] is UNKNOWN
+
+    def test_zero_register_is_always_zero(self):
+        program = assemble(STRAIGHT)
+        solution = solve(build_cfg(program), ConstantDomain())
+        for state in solution.block_in.values():
+            assert state[ZERO] == 0
+
+
+class TestIntervalDomain:
+    def test_loop_widens_and_terminates(self):
+        program = assemble(COUNTING_LOOP)
+        cfg = build_cfg(program)
+        solution = solve(cfg, IntervalDomain())
+        # The loop-carried counter grows without a static bound the
+        # domain can see; widening jumps its upper end, after which the
+        # +1 could overflow and the range conservatively goes to TOP.
+        loop_block = cfg.block_at(1)
+        lo, hi = solution.block_in[loop_block.index][1]
+        assert hi == INT64_MAX
+        # Comparison results stay in [0, 1] regardless of widening.
+        state = solution.state_before(3)
+        assert state[2] in ((0, 1), (1, 1), (0, 0))
+
+    def test_straightline_is_exact(self):
+        program = assemble(STRAIGHT)
+        solution = solve(build_cfg(program), IntervalDomain())
+        state = solution.state_before(3)
+        assert state[1] == (5, 5)
+        assert state[2] == (8, 8)
+        assert state[3] == (64, 64)
+
+
+class TestTaintDomain:
+    def test_seed_propagates_through_arithmetic(self):
+        program = assemble(STRAIGHT)
+        cfg = build_cfg(program)
+        solution = solve(cfg, TaintDomain(frozenset({1})))
+        tainted, mem = solution.block_out[cfg.entry_block.index]
+        # r1 is overwritten by an untainted li, then r2/r3 derive from it.
+        assert 1 not in tainted
+        assert 2 not in tainted and 3 not in tainted
+        assert not mem
+
+    def test_tainted_store_taints_memory(self):
+        program = assemble("""
+main:   li r2, 100
+        sw r1, (r2)
+        lw r3, (r2)
+        halt
+""")
+        cfg = build_cfg(program)
+        solution = solve(cfg, TaintDomain(frozenset({1})))
+        tainted, mem = solution.block_out[cfg.entry_block.index]
+        assert mem
+        assert 3 in tainted
+
+    def test_distill_write_taint_seeds_from_distilled_defs(self):
+        program = assemble(STRAIGHT)
+        distilled = assemble("main:  li r9, 1\n        halt")
+        solution = distill_write_taint(build_cfg(program), distilled)
+        assert solution.domain.seed_regs == frozenset({9})
+
+
+class _LiveRegs(AbstractDomain):
+    """Backward liveness as a dataflow domain (solver direction test)."""
+
+    direction = "backward"
+
+    def __init__(self, program):
+        self.code = program.code
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, state, pc, meta):
+        instr = self.code[pc]
+        return (state - instr.defs()) | (instr.uses() - {ZERO})
+
+
+class TestBackwardDirection:
+    @pytest.mark.parametrize("source", [DIAMOND_SAME, COUNTING_LOOP])
+    def test_backward_solution_matches_liveness(self, source):
+        program = assemble(source)
+        cfg = build_cfg(program)
+        liveness = compute_liveness(cfg)
+        solution = solve(cfg, _LiveRegs(program))
+        # For a backward problem, block_out holds the state after the
+        # whole block transferred — i.e. liveness at block entry.
+        for block in cfg.blocks:
+            assert solution.block_out[block.index] == (
+                liveness.block_live_in(block.index)
+            )
+
+    def test_backward_solution_is_fixpoint(self):
+        program = assemble(COUNTING_LOOP)
+        solution = solve(build_cfg(program), _LiveRegs(program))
+        assert is_fixpoint(solution)
+
+
+class TestFixpointCheck:
+    def test_solver_output_is_fixpoint(self):
+        for source in (DIAMOND_SAME, DIAMOND_DIFF, COUNTING_LOOP, STRAIGHT):
+            program = assemble(source)
+            for domain in (ConstantDomain(), IntervalDomain()):
+                assert is_fixpoint(solve(build_cfg(program), domain))
+
+    def test_mutated_solution_is_not_fixpoint(self):
+        """Seeded mutation behind DF001."""
+        program = assemble(COUNTING_LOOP)
+        cfg = build_cfg(program)
+        solution = solve(cfg, ConstantDomain())
+        loop_block = cfg.block_at(1)
+        mutated = list(solution.block_in[loop_block.index])
+        mutated[1] = 123  # claim the loop counter is the constant 123
+        solution.block_in[loop_block.index] = tuple(mutated)
+        assert not is_fixpoint(solution)
+
+
+class TestCheckDataflow:
+    def test_clean_on_hand_programs(self):
+        for source in (DIAMOND_SAME, DIAMOND_DIFF, COUNTING_LOOP, STRAIGHT):
+            report = check_dataflow(assemble(source))
+            assert report.ok, report.render()
+
+    def test_df002_catches_wrong_claim(self, monkeypatch):
+        """Seeded mutation behind DF002: a fixpoint that lies.
+
+        A single-block program's entry state has no in-edges for
+        ``is_fixpoint`` to re-check, so a wrong-but-propagated claim
+        survives DF001 — only the concrete run (DF002) can refute it.
+        """
+        import repro.analysis.dataflow as dataflow
+
+        program = assemble("main:   li r1, 5\n        halt")
+        real_solve = dataflow.solve
+
+        def lying_solve(cfg, domain, widen_after=3):
+            solution = real_solve(cfg, domain, widen_after)
+            if isinstance(domain, ConstantDomain):
+                for index, state in solution.block_in.items():
+                    wrong = list(state)
+                    wrong[2] = 42  # r2 is 0 on every execution
+                    solution.block_in[index] = tuple(wrong)
+                    solution.block_out[index] = domain.transfer(
+                        tuple(wrong), 0, dataflow.decode(cfg.program).meta[0]
+                    )
+            return solution
+
+        monkeypatch.setattr(dataflow, "solve", lying_solve)
+        report = check_dataflow(program)
+        ids = [f.check_id for f in report.errors]
+        assert "DF002" in ids
+
+    @settings(max_examples=40, deadline=None)
+    @given(program=terminating_programs())
+    def test_domains_sound_on_random_programs(self, program):
+        """Hypothesis: abstract states contain the concrete oracle run."""
+        report = check_dataflow(program, max_steps=3_000)
+        assert report.ok, report.render()

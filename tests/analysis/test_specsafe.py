@@ -1,0 +1,233 @@
+"""Tests for the speculation-safety prover and its runtime wiring.
+
+The acceptance spine: every registered workload gets at least one
+PROVEN live-in cell, the three ``static_safety`` modes are bit-identical
+with a nonzero skip count, and the differential check mode never trips
+on an honest report — while a *fabricated* report claiming PROVEN on a
+genuinely mispredicted cell is caught as a hard ``CheckFailure``
+(the ``DF005`` seeded mutation).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.checker import check_safety_report, check_safety_runtime
+from repro.analysis.specsafe import (
+    CellClass,
+    RegionSafety,
+    SafetyReport,
+    prove_safety,
+)
+from repro.config import DistillConfig, MsspConfig
+from repro.distill.distiller import Distiller
+from repro.errors import CheckFailure, MsspError, ReproError
+from repro.experiments.harness import training_profile
+from repro.isa.registers import NUM_REGS, ZERO
+from repro.mssp.engine import MsspEngine
+from repro.mssp.faults import corrupt_distilled, random_garbage_master
+from repro.workloads import get_workload
+
+from tests.workloads.test_suite import SMALL_SIZES
+
+
+def _prepare(name):
+    instance = get_workload(name).instance(SMALL_SIZES[name])
+    distillation = Distiller(DistillConfig()).distill(
+        instance.program, training_profile(instance)
+    )
+    return instance, distillation
+
+
+def _prove(instance, distillation):
+    return prove_safety(
+        instance.program, distillation.distilled, distillation.pc_map
+    )
+
+
+class TestProver:
+    @pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+    def test_every_workload_proves_at_least_one_cell(self, name):
+        instance, distillation = _prepare(name)
+        report = _prove(instance, distillation)
+        assert not report.bailed, report.bail_reason
+        assert report.total_proven >= 1
+
+    @pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+    def test_report_shape_is_checker_clean(self, name):
+        instance, distillation = _prepare(name)
+        report = _prove(instance, distillation)
+        shape = check_safety_report(
+            instance.program, distillation.pc_map, report, subject=name
+        )
+        assert shape.ok, shape.render()
+
+    def test_provenance_free_pc_map_bails(self):
+        instance, distillation = _prepare("crc")
+        stripped = dataclasses.replace(distillation.pc_map, provenance={})
+        report = prove_safety(
+            instance.program, distillation.distilled, stripped
+        )
+        assert report.bailed
+        assert "provenance" in report.bail_reason
+        # Bailing is sound: every live-in cell degrades to UNPROVEN.
+        assert report.total_proven == 0
+        assert set(report.regions) == set(distillation.pc_map.anchors)
+
+    def test_garbage_master_bails(self):
+        instance, _ = _prepare("crc")
+        garbage, pc_map = random_garbage_master(instance.program, seed=3)
+        report = prove_safety(instance.program, garbage, pc_map)
+        assert report.bailed
+        assert report.total_proven == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_corrupted_master_never_raises(self, seed):
+        instance, distillation = _prepare("fib_memo")
+        corrupted = corrupt_distilled(
+            distillation.distilled, len(instance.program.code),
+            seed=seed, severity=0.6,
+        )
+        # Must degrade (bail or weaker claims), never throw.
+        report = prove_safety(
+            instance.program, corrupted, distillation.pc_map
+        )
+        assert isinstance(report, SafetyReport)
+
+
+class TestRuntimeModes:
+    @pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+    def test_modes_bit_identical_with_nonzero_skips(self, name):
+        instance, distillation = _prepare(name)
+        results = {}
+        for mode in ("off", "skip", "check"):
+            config = MsspConfig(static_safety=mode)
+            results[mode] = MsspEngine(
+                instance.program, distillation, config=config
+            ).run_and_check()
+        assert results["skip"].counters.static_verify_skips > 0
+        assert results["off"].final_state == results["skip"].final_state
+        assert results["off"].final_state == results["check"].final_state
+        # skip and check agree on every counter, including the skip
+        # count (it is a pure function of each task's anchor).
+        assert results["skip"].counters == results["check"].counters
+        off = dataclasses.replace(
+            results["off"].counters,
+            static_verify_skips=results["skip"].counters.static_verify_skips,
+        )
+        assert off == results["skip"].counters
+
+    @pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+    def test_check_mode_clean_on_honest_report(self, name):
+        instance, distillation = _prepare(name)
+        report = check_safety_runtime(instance.program, distillation)
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("severity", (0.3, 1.0))
+    def test_corrupted_master_check_mode_stays_sound(self, seed, severity):
+        """Fault injection: PROVEN claims must survive a corrupted master.
+
+        Whatever the corruption does — squash storms, traps, timeouts —
+        a mismatch on a cell the prover still claims PROVEN would be an
+        analysis soundness hole, surfaced as ``CheckFailure``.
+        """
+        instance, distillation = _prepare("hashlookup")
+        corrupted = corrupt_distilled(
+            distillation.distilled, len(instance.program.code),
+            seed=seed, severity=severity,
+        )
+        config = MsspConfig(static_safety="check")
+        try:
+            MsspEngine(
+                instance.program, (corrupted, distillation.pc_map),
+                config=config,
+            ).run_and_check()
+        except CheckFailure as failure:
+            pytest.fail(f"PROVEN cell mismatched under corruption: {failure}")
+        except (MsspError, ReproError):
+            pass  # squashes, traps and budget failures are legal here
+
+
+def _all_proven(honest: SafetyReport) -> SafetyReport:
+    """A fabricated report upgrading every classified cell to PROVEN."""
+    regions = {
+        anchor: RegionSafety(
+            anchor=anchor,
+            cells={reg: CellClass.PROVEN for reg in region.cells},
+            mem_proven=region.mem_proven,
+        )
+        for anchor, region in honest.regions.items()
+    }
+    return SafetyReport(regions=regions)
+
+
+class TestFabricatedReports:
+    def test_unsound_proven_claim_raises_check_failure(self):
+        # fib_memo genuinely mispredicts register live-ins at SMALL
+        # sizes, so an all-PROVEN report must trip the cross-check.
+        instance, distillation = _prepare("fib_memo")
+        fabricated = _all_proven(_prove(instance, distillation))
+        config = MsspConfig(static_safety="check")
+        with pytest.raises(CheckFailure):
+            MsspEngine(
+                instance.program, distillation, config=config,
+                safety_report=fabricated,
+            ).run_and_check()
+
+    def test_df005_reported_through_checker(self, monkeypatch):
+        """Seeded mutation behind DF005."""
+        import repro.mssp.engine as engine_module
+
+        instance, distillation = _prepare("fib_memo")
+        fabricated = _all_proven(_prove(instance, distillation))
+        monkeypatch.setattr(
+            engine_module, "prove_safety", lambda *a, **k: fabricated
+        )
+        report = check_safety_runtime(instance.program, distillation)
+        ids = [f.check_id for f in report.errors]
+        assert ids == ["DF005"]
+
+    def test_df003_region_anchor_mismatch(self):
+        """Seeded mutation behind DF003."""
+        instance, distillation = _prepare("crc")
+        honest = _prove(instance, distillation)
+        regions = dict(honest.regions)
+        dropped = max(regions)
+        del regions[dropped]
+        regions[10_000] = RegionSafety(anchor=10_000)
+        mutated = SafetyReport(regions=regions)
+        report = check_safety_report(
+            instance.program, distillation.pc_map, mutated
+        )
+        ids = sorted(f.check_id for f in report.errors)
+        assert ids == ["DF003", "DF003"]
+
+    def test_df004_non_live_cell(self):
+        """Seeded mutation behind DF004."""
+        from repro.analysis.cfg import build_cfg
+        from repro.analysis.liveness import compute_liveness
+
+        instance, distillation = _prepare("crc")
+        honest = _prove(instance, distillation)
+        cfg = build_cfg(instance.program)
+        liveness = compute_liveness(cfg)
+        anchor = max(honest.regions)
+        block = cfg.block_starting_at(anchor)
+        live = liveness.block_live_in(block.index) - {ZERO}
+        dead = next(
+            reg for reg in range(1, NUM_REGS) if reg not in live
+        )
+        region = honest.regions[anchor]
+        cells = dict(region.cells)
+        cells[dead] = CellClass.PROVEN
+        regions = dict(honest.regions)
+        regions[anchor] = RegionSafety(
+            anchor=anchor, cells=cells, mem_proven=region.mem_proven
+        )
+        report = check_safety_report(
+            instance.program, distillation.pc_map, SafetyReport(regions=regions)
+        )
+        ids = [f.check_id for f in report.errors]
+        assert ids == ["DF004"]
+        assert f"r{dead}" in report.errors[0].message

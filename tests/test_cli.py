@@ -26,6 +26,10 @@ class TestParser:
             ["lint", "compress"],
             ["lint", "--all"],
             ["lint", "crc", "--size", "200", "--task-size", "40"],
+            ["lint", "crc", "--format", "json"],
+            ["analyze", "crc"],
+            ["analyze", "--all"],
+            ["analyze", "crc", "--size", "40", "--format", "json"],
         ],
     )
     def test_accepts_valid_invocations(self, argv):
@@ -82,6 +86,46 @@ class TestCommands:
 
     def test_lint_without_workload_or_all_fails(self, capsys):
         assert main(["lint"]) == 2
+        err = capsys.readouterr().err
+        assert "--all" in err
+
+    def test_lint_json(self, capsys):
+        import json
+
+        assert main(["lint", "crc", "--size", "200", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["workloads"][0]["workload"] == "crc"
+        reports = payload["workloads"][0]["reports"]
+        assert all(r["ok"] for r in reports)
+        # Same finding schema as ``repro analyze --format json``.
+        assert {"subject", "ok", "errors", "warnings", "findings"} <= (
+            set(reports[0])
+        )
+
+    def test_analyze_text(self, capsys):
+        assert main(["analyze", "crc", "--size", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "anchor" in out
+        assert "proven" in out
+        assert "static verify skips" in out
+
+    def test_analyze_json(self, capsys):
+        import json
+
+        assert main(
+            ["analyze", "crc", "--size", "40", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        entry = payload["workloads"][0]
+        assert entry["workload"] == "crc"
+        assert entry["safety"]["counts"]["proven"] >= 1
+        assert entry["runtime"]["static_verify_skips"] > 0
+        assert entry["regions"]
+
+    def test_analyze_without_workload_or_all_fails(self, capsys):
+        assert main(["analyze"]) == 2
         err = capsys.readouterr().err
         assert "--all" in err
 
