@@ -11,6 +11,8 @@ from repro.analysis.checker import (
     check_decoded,
     check_distillation,
     check_ir,
+    check_jit,
+    check_memory,
     check_program,
     predicted_squash_reasons,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "check_decoded",
     "check_distillation",
     "check_ir",
+    "check_jit",
+    "check_memory",
     "check_program",
     "predicted_squash_reasons",
     "DominatorTree",

@@ -94,6 +94,12 @@ CHECKS: Dict[str, str] = {
               "from the program",
     "JIT003": "compiled regions reproduce per-step decoded execution on "
               "fuzzed machine states",
+    "JIT004": "every promoted superblock link re-derives: link targets are "
+              "compiled leaders inside the fused trace, and followed "
+              "branches continue at their taken target",
+    # -- memory-backend checks ------------------------------------------------
+    "MEM001": "the flat paged memory backend and the dict backend observe "
+              "identical ISA-visible state on a bounded differential run",
     # -- runtime event-stream checks ------------------------------------------
     "RT001": "tasks are judged strictly in fork order and committed tids "
              "strictly increase",
@@ -905,7 +911,8 @@ def check_decoded(
 # ---------------------------------------------------------------------------
 
 
-def _fuzz_states(program: Program, entry: int, variant: int):
+def _fuzz_states(program: Program, entry: int, variant: int,
+                 backend: str = "dict"):
     """Deterministic machine states for the JIT003 differential.
 
     Three register-file shapes per region entry: boot-like zeros, small
@@ -915,7 +922,7 @@ def _fuzz_states(program: Program, entry: int, variant: int):
     """
     from repro.machine.state import ArchState, wrap64
 
-    state = ArchState(pc=entry, mem=dict(program.memory))
+    state = ArchState(pc=entry, mem=dict(program.memory), backend=backend)
     if variant == 1:
         for reg in range(1, NUM_REGS):
             state.write_reg(reg, (reg * 3 + entry) % 64)
@@ -932,15 +939,19 @@ def check_jit(program: Program, subject: Optional[str] = None) -> CheckReport:
 
     The JIT *generates Python source* per hot region — the riskiest
     compilation step in the codebase, since a codegen bug executes at
-    full speed with no per-step oracle watching.  Three checks: cache
+    full speed with no per-step oracle watching.  Four checks: cache
     identity discipline (JIT001, mirroring DEC001), region metadata
-    re-derivation (JIT002 — the stored trace and source must equal what
-    :meth:`JitProgram.trace`/:meth:`JitProgram.generate_source` produce
-    today, which also guards the persistent code cache against schema
-    drift), and a state-level differential (JIT003 — every region,
-    executed on fuzzed register files, must leave exactly the machine
-    state the decoded per-step engine reaches after the same number of
-    steps).
+    re-derivation (JIT002 — the stored trace, followed-branch set, and
+    per-variant sources must equal what :meth:`JitProgram.trace`/
+    :meth:`JitProgram.generate_sources` produce today, which also guards
+    the persistent code cache against schema drift), a state-level
+    differential (JIT003 — every region, in both its dict and flat
+    memory flavors, executed on fuzzed register files, must leave
+    exactly the machine state the decoded per-step engine reaches after
+    the same number of steps), and superblock-link validation (JIT004 —
+    promotion is forced along every compiled-region-to-compiled-region
+    exit edge and the fused traces must re-derive, keep their link
+    targets at traced leaders, and pass the same differential).
     """
     from repro.machine.decoded import decode
     from repro.machine.jit import (
@@ -991,12 +1002,13 @@ def check_jit(program: Program, subject: Optional[str] = None) -> CheckReport:
                 "compiled region starts at a non-leader pc",
                 pc=region.entry,
             )
-        expected_pcs = jp.trace(region.entry)
-        if region.pcs != expected_pcs:
+        expected_pcs, expected_taken = jp.trace(region.entry)
+        if region.pcs != expected_pcs or region.taken != expected_taken:
             _finding(
                 report, "JIT002", Severity.ERROR,
-                f"region trace {region.pcs} does not re-derive "
-                f"({expected_pcs} expected)", pc=region.entry,
+                f"region trace {region.pcs} (taken {sorted(region.taken)}) "
+                f"does not re-derive ({expected_pcs} / "
+                f"{sorted(expected_taken)} expected)", pc=region.entry,
             )
             continue
         if region.linear_len != len(region.pcs):
@@ -1006,31 +1018,33 @@ def check_jit(program: Program, subject: Optional[str] = None) -> CheckReport:
                 f"{len(region.pcs)} (budget guards would be wrong)",
                 pc=region.entry,
             )
-        if region.source != jp.generate_source(region.entry):
+        if region.sources != jp.generate_sources(region.entry):
             _finding(
                 report, "JIT002", Severity.ERROR,
-                "stored generated source differs from regeneration "
+                "stored generated sources differ from regeneration "
                 "(codegen is not deterministic, or the region is stale)",
                 pc=region.entry,
             )
 
     # JIT003: region execution == decoded per-step execution, state for
-    # state, on fuzzed register files.
+    # state, on fuzzed register files — for both the dict and the flat
+    # memory flavor of every region's full-protocol function.
     decoded = decode(program)
     steppers = decoded.steppers
-    for region in regions:
+
+    def differential(region, fn, backend: str, label: str) -> None:
         budget = 3 * region.linear_len + 2
         for variant in range(3):
-            fuzzed = _fuzz_states(program, region.entry, variant)
+            fuzzed = _fuzz_states(program, region.entry, variant, backend)
             reference = _fuzz_states(program, region.entry, variant)
             try:
-                steps, _loads, _arrivals, status = region.fn(
+                steps, _loads, _arrivals, status = fn(
                     fuzzed, 0, 0, budget, None, 0, None, 0
                 )
             except Exception as exc:  # noqa: BLE001 - report, never raise
                 _finding(
                     report, "JIT003", Severity.ERROR,
-                    f"region raised {type(exc).__name__}: {exc} "
+                    f"{label} region raised {type(exc).__name__}: {exc} "
                     f"(fuzz variant {variant})", pc=region.entry,
                 )
                 continue
@@ -1041,19 +1055,147 @@ def check_jit(program: Program, subject: Optional[str] = None) -> CheckReport:
             ):
                 _finding(
                     report, "JIT003", Severity.ERROR,
-                    f"region reported halt but the decoded engine sits at "
-                    f"a {program.code[reference.pc].op.mnemonic} after "
-                    f"{steps} steps (fuzz variant {variant})",
+                    f"{label} region reported halt but the decoded engine "
+                    f"sits at a {program.code[reference.pc].op.mnemonic} "
+                    f"after {steps} steps (fuzz variant {variant})",
                     pc=region.entry,
                 )
-            if fuzzed != reference:
+            if fuzzed.regs != reference.regs or fuzzed.pc != reference.pc \
+                    or dict(fuzzed.mem.items()) != dict(reference.mem.items()):
                 _finding(
                     report, "JIT003", Severity.ERROR,
-                    f"state diverges from the decoded engine after "
+                    f"{label} state diverges from the decoded engine after "
                     f"{steps} steps (fuzz variant {variant}): "
                     f"{reference.diff(fuzzed)[:3]}", pc=region.entry,
                 )
                 break
+
+    for region in regions:
+        differential(region, region.full, "dict", "dict-flavor")
+        differential(region, region.full_flat, "flat", "flat-flavor")
+
+    # JIT004: promoted superblock links re-derive.  Force promotion on a
+    # private instance (link threshold 1) along every static exit edge
+    # that lands on another compiled region, then validate the fused
+    # traces — and run the JIT003 differential over them, since fused
+    # regions contain inverted branch guards no plain trace exercises.
+    jp_linked = JitProgram(
+        program, mode="arch", threshold=1, persist=False, link_threshold=1
+    )
+    for entry in sorted(leaders):
+        jp_linked.region_for(entry)
+    for entry, region in sorted(jp_linked.compiled.items()):
+        for target in sorted(region.exit_targets):
+            if target in jp_linked.compiled:
+                jp_linked.region_for(entry)
+                jp_linked.region_for(target)  # transit: promotes at 1
+    for entry, region in sorted(jp_linked.compiled.items()):
+        if not region.links:
+            continue
+        expected_pcs, expected_taken = jp_linked.trace(
+            entry, frozenset(region.links)
+        )
+        if region.pcs != expected_pcs or region.taken != expected_taken:
+            _finding(
+                report, "JIT004", Severity.ERROR,
+                f"fused trace {region.pcs} does not re-derive from links "
+                f"{sorted(region.links)} ({expected_pcs} expected)",
+                pc=entry,
+            )
+            continue
+        traced = set(region.pcs)
+        for target in region.links:
+            if target not in leaders or target not in traced:
+                _finding(
+                    report, "JIT004", Severity.ERROR,
+                    f"link target {target} is not a block leader inside "
+                    "the fused trace", pc=entry,
+                )
+        index_of = {pc: i for i, pc in enumerate(region.pcs)}
+        for branch_pc in region.taken:
+            instr = program.code[branch_pc]
+            position = index_of.get(branch_pc)
+            if (
+                not instr.is_branch
+                or position is None
+                or position + 1 >= len(region.pcs)
+                or region.pcs[position + 1] != instr.target
+            ):
+                _finding(
+                    report, "JIT004", Severity.ERROR,
+                    f"followed branch at pc {branch_pc} does not continue "
+                    f"at its taken target {instr.target}", pc=entry,
+                )
+        differential(region, region.full, "dict", "fused dict-flavor")
+        differential(region, region.full_flat, "flat", "fused flat-flavor")
+    return report
+
+
+def check_memory(
+    program: Program,
+    subject: Optional[str] = None,
+    max_steps: int = 50_000,
+) -> CheckReport:
+    """MEM001: flat/dict memory-backend image equivalence.
+
+    Runs ``program`` through the decoded engine once per backend —
+    canonical sparse dict, flat paged, and the lock-step ``check``
+    wrapper — and requires identical run outcomes and ISA-visible final
+    state.  This is the static-check twin of ``REPRO_MEM=check``: the
+    lock-step wrapper catches per-operation divergence at the access
+    site, while this check gates whole-image equivalence into ``repro
+    lint``.
+    """
+    from repro.errors import StepLimitExceeded
+    from repro.machine.decoded import decode
+    from repro.machine.flatmem import MemoryCheckError, as_dict
+    from repro.machine.state import ArchState
+
+    report = CheckReport(subject=subject or f"{program.name}: memory")
+    decoded = decode(program)
+    outcomes = {}
+    states = {}
+    for backend in ("dict", "flat"):
+        state = ArchState.initial(program, backend=backend)
+        try:
+            outcomes[backend] = decoded.run(state, max_steps)
+        except StepLimitExceeded:
+            outcomes[backend] = ("step-limit", max_steps)
+        states[backend] = state
+    if outcomes["dict"] != outcomes["flat"]:
+        _finding(
+            report, "MEM001", Severity.ERROR,
+            f"run outcome diverges across backends: dict={outcomes['dict']} "
+            f"flat={outcomes['flat']}",
+        )
+    elif states["dict"] != states["flat"]:
+        _finding(
+            report, "MEM001", Severity.ERROR,
+            "final state diverges across backends: "
+            f"{states['dict'].diff(states['flat'])[:3]}",
+        )
+    elif as_dict(states["flat"].mem) != as_dict(states["dict"].mem):
+        _finding(
+            report, "MEM001", Severity.ERROR,
+            "flat image does not round-trip to the canonical sparse dict",
+        )
+    check_state = ArchState.initial(program, backend="check")
+    try:
+        decoded.run(check_state, max_steps)
+    except StepLimitExceeded:
+        pass
+    except MemoryCheckError as error:
+        _finding(
+            report, "MEM001", Severity.ERROR,
+            f"lock-step backend diverged mid-run: {error}",
+        )
+    try:
+        check_state.mem.verify_image()
+    except MemoryCheckError as error:
+        _finding(
+            report, "MEM001", Severity.ERROR,
+            f"lock-step backend image divergence after the run: {error}",
+        )
     return report
 
 

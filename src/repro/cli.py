@@ -94,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
              "REPRO_EXEC environment variable, then decoded); all tiers "
              "are bit-identical",
     )
+    run.add_argument(
+        "--mem", choices=("dict", "flat", "check"), default=None,
+        dest="mem_backend",
+        help="architected-memory backend: sparse dict, flat paged "
+             "arrays, or both in lockstep (differential check); "
+             "default: the REPRO_MEM environment variable, then dict; "
+             "all backends are bit-identical",
+    )
 
     timeline = sub.add_parser(
         "timeline", help="render an ASCII execution timeline"
@@ -275,11 +283,16 @@ def cmd_run(args) -> int:
     )
     timing = dataclasses.replace(TimingConfig(), n_slaves=args.slaves)
     mssp_config = None
-    if args.runtime != "eager" or args.exec_tier is not None:
+    if (
+        args.runtime != "eager"
+        or args.exec_tier is not None
+        or args.mem_backend is not None
+    ):
         from repro.config import MsspConfig
 
         mssp_config = MsspConfig(
-            runtime=args.runtime, exec_tier=args.exec_tier
+            runtime=args.runtime, exec_tier=args.exec_tier,
+            mem_backend=args.mem_backend,
         )
         if args.workers is not None:
             mssp_config = dataclasses.replace(
@@ -293,6 +306,8 @@ def cmd_run(args) -> int:
               f"({mssp_config.num_slaves} slave workers)")
         if mssp_config.exec_tier is not None:
             print(f"  exec tier:               {mssp_config.exec_tier}")
+        if mssp_config.mem_backend is not None:
+            print(f"  memory backend:          {mssp_config.mem_backend}")
     print(f"  sequential instructions: {row.seq_instrs}")
     print(f"  distillation ratio:      {prepared.distillation_ratio:.2f}")
     print(f"  tasks committed/squashed: "
@@ -356,6 +371,7 @@ def _lint_workload(name, args, config):
         check_decoded,
         check_distillation,
         check_jit,
+        check_memory,
         check_program,
         check_runtime_execution,
         check_safety_report,
@@ -378,6 +394,8 @@ def _lint_workload(name, args, config):
     if not gate(check_decoded(instance.program, subject=name)):
         return reports, None
     if not gate(check_jit(instance.program, subject=f"{name}: jit")):
+        return reports, None
+    if not gate(check_memory(instance.program, subject=f"{name}: memory")):
         return reports, None
     if not gate(check_dataflow(instance.program, subject=name)):
         return reports, None
@@ -662,8 +680,13 @@ def cmd_bench(args) -> int:
           f"{micro['decoded_instrs_per_sec']:>12,.0f} instrs/sec")
     print(f"  superblock jit:           "
           f"{micro['jit_instrs_per_sec']:>12,.0f} instrs/sec")
+    print(f"  jit on flat memory:       "
+          f"{micro['flat_instrs_per_sec']:>12,.0f} instrs/sec")
     print(f"  decoded vs reference:     {micro['speedup']:>12.2f}x")
     print(f"  jit vs decoded:           {micro['jit_speedup']:>12.2f}x")
+    print(f"  master jit vs decoded:    {micro['master_jit_speedup']:>12.2f}x"
+          f" ({micro['master_jit_coverage']:.0%} coverage, "
+          f"{micro['jit_link_promotions']} link promotion(s))")
     table = Table(
         ["workload", "size", "wall s", "Msim/s", "speedup", "cache"],
         title=f"E-suite (scale {scale:g}, -j {args.jobs})",

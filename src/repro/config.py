@@ -149,6 +149,13 @@ class MsspConfig:
     #: defers to the ``REPRO_EXEC`` environment variable (default:
     #: decoded).  All tiers are bit-identical; see docs/performance.md.
     exec_tier: Optional[str] = None
+    #: Architected-memory backend: ``"dict"`` (sparse dict reference),
+    #: ``"flat"`` (paged ``array('q')`` store), or ``"check"`` (both in
+    #: lockstep, raising on any divergence — the differential oracle).
+    #: ``None`` defers to the ``REPRO_MEM`` environment variable
+    #: (default: dict).  All backends are bit-identical; see
+    #: docs/performance.md.
+    mem_backend: Optional[str] = None
     #: Workers (threads or processes) backing the pipelined runtimes'
     #: slave pool.
     num_slaves: int = 4
@@ -194,6 +201,10 @@ class MsspConfig:
         if self.exec_tier not in (None, "oracle", "decoded", "jit"):
             raise ValueError(
                 "exec_tier must be None, 'oracle', 'decoded' or 'jit'"
+            )
+        if self.mem_backend not in (None, "dict", "flat", "check"):
+            raise ValueError(
+                "mem_backend must be None, 'dict', 'flat' or 'check'"
             )
         if self.static_safety not in ("off", "skip", "check"):
             raise ValueError(

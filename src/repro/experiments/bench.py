@@ -154,19 +154,32 @@ def microbenchmark(
     scale: float = 1.0,
     repeats: int = 3,
 ) -> Dict[str, float]:
-    """Instructions/second: reference loop vs decoded engine vs JIT."""
+    """Instructions/second across every execution tier and memory backend.
+
+    Five timed stages on one workload: the seed's reference ``execute``
+    loop, the pre-decoded engine, the superblock JIT on the dict
+    backend, the JIT on the flat paged backend
+    (``flat_instrs_per_sec``), and the *master-side* JIT — the distilled
+    program standalone under ``tier="jit"`` vs ``tier="decoded"``
+    (``master_jit_speedup``, with ``master_jit_coverage`` the fraction
+    of distilled instructions retired inside generated code).  Also
+    records the arch JIT's linking counters so the CI bench smoke can
+    assert superblock linking actually engaged.
+    """
     program = get_workload(workload).instance(
         workload_size(workload, scale)
     ).program
     decoded = decode(program)  # decode cost paid up front, like real runs
     jit = jit_for(program)
-    # One warmup run crosses the hotness thresholds and compiles the
-    # loop regions, so the timed runs measure the steady state (real
-    # runs amortize compilation the same way — and persist it).
+    # One warmup run per backend crosses the hotness thresholds and
+    # compiles the loop regions (including link promotions), so the
+    # timed runs measure the steady state (real runs amortize
+    # compilation the same way — and persist it).
     jit.run(ArchState.initial(program), DEFAULT_STEP_LIMIT)
+    jit.run(ArchState.initial(program, backend="flat"), DEFAULT_STEP_LIMIT)
 
-    def time_once(runner) -> Tuple[int, float]:
-        state = ArchState.initial(program)
+    def time_once(runner, backend: str = "dict") -> Tuple[int, float]:
+        state = ArchState.initial(program, backend=backend)
         start = time.perf_counter()
         steps = runner(state)
         return steps, time.perf_counter() - start
@@ -174,6 +187,7 @@ def microbenchmark(
     legacy_best = float("inf")
     decoded_best = float("inf")
     jit_best = float("inf")
+    flat_best = float("inf")
     steps = 0
     for _ in range(max(1, repeats)):
         steps, elapsed = time_once(
@@ -188,17 +202,82 @@ def microbenchmark(
             lambda s: jit.run(s, DEFAULT_STEP_LIMIT)[0]
         )
         jit_best = min(jit_best, elapsed)
+        steps, elapsed = time_once(
+            lambda s: jit.run(s, DEFAULT_STEP_LIMIT)[0], backend="flat"
+        )
+        flat_best = min(flat_best, elapsed)
     legacy_ips = steps / legacy_best if legacy_best > 0 else float("inf")
     decoded_ips = steps / decoded_best if decoded_best > 0 else float("inf")
     jit_ips = steps / jit_best if jit_best > 0 else float("inf")
-    return {
+    flat_ips = steps / flat_best if flat_best > 0 else float("inf")
+    result: Dict[str, object] = {
         "workload": workload,
         "dynamic_instrs": steps,
         "legacy_instrs_per_sec": legacy_ips,
         "decoded_instrs_per_sec": decoded_ips,
         "jit_instrs_per_sec": jit_ips,
+        "flat_instrs_per_sec": flat_ips,
         "speedup": decoded_ips / legacy_ips if legacy_ips else float("inf"),
         "jit_speedup": jit_ips / decoded_ips if decoded_ips else float("inf"),
+        "jit_link_transits": jit.stats["link_transits"],
+        "jit_link_promotions": jit.stats["link_promotions"],
+        "jit_link_demotions": jit.stats["link_demotions"],
+        "jit_fused_regions": jit.stats["fused_regions"],
+    }
+    result.update(master_microbenchmark(workload, scale, repeats))
+    return result
+
+
+def master_microbenchmark(
+    workload: str = MICRO_WORKLOAD,
+    scale: float = 1.0,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Master-side JIT stage: distilled standalone, decoded vs jit tier."""
+    from repro.mssp.master import Master
+
+    ready, _ = cached_prepare(workload, size=workload_size(workload, scale))
+    distilled = ready.distillation.distilled
+    pc_map = ready.distillation.pc_map
+    program = ready.instance.program
+
+    def make_master(tier: str) -> Master:
+        return Master(
+            distilled, MsspConfig(),
+            arrival_pcs=pc_map.arrival_pcs(),
+            jr_table=pc_map.jr_table, tier=tier,
+        )
+
+    # Warm the master-mode code cache (compiles and persists regions).
+    warm = make_master("jit")
+    warm.run_standalone(ArchState.initial(program), DEFAULT_STEP_LIMIT)
+
+    best: Dict[str, float] = {"decoded": float("inf"), "jit": float("inf")}
+    executed = 0
+    for tier in ("decoded", "jit"):
+        master = make_master(tier)
+        for _ in range(max(1, repeats)):
+            arch = ArchState.initial(program)
+            start = time.perf_counter()
+            executed = master.run_standalone(arch, DEFAULT_STEP_LIMIT)
+            best[tier] = min(best[tier], time.perf_counter() - start)
+    probe = make_master("jit")
+    probed = probe.run_standalone(
+        ArchState.initial(program), DEFAULT_STEP_LIMIT
+    )
+    coverage = probe.jit_instrs / probed if probed else 0.0
+    decoded_ips = (
+        executed / best["decoded"] if best["decoded"] > 0 else float("inf")
+    )
+    jit_ips = executed / best["jit"] if best["jit"] > 0 else float("inf")
+    return {
+        "master_dynamic_instrs": executed,
+        "master_decoded_instrs_per_sec": decoded_ips,
+        "master_jit_instrs_per_sec": jit_ips,
+        "master_jit_speedup": (
+            jit_ips / decoded_ips if decoded_ips else float("inf")
+        ),
+        "master_jit_coverage": coverage,
     }
 
 
@@ -337,11 +416,19 @@ def run_bench(
                 )
             )
     suite_wall = time.perf_counter() - suite_start
+    from repro.machine.flatmem import resolve_mem_backend
+    from repro.machine.jit import resolve_exec_tier
+
     return {
         "schema": artifact_cache.CACHE_SCHEMA,
         "scale": scale,
         "jobs": jobs,
         "runtime": runtime,
+        # Environment-resolved execution knobs the suite rows ran under
+        # (the microbenchmark stages measure all tiers/backends
+        # explicitly regardless).
+        "mem_backend": resolve_mem_backend(None),
+        "exec_tier": resolve_exec_tier(None),
         "cpu_count": os.cpu_count(),
         "microbenchmark": micro,
         "suite": rows,
@@ -406,6 +493,25 @@ def check_baseline(
             f"jit-vs-decoded speedup regressed: "
             f"{micro.get('jit_speedup', 0.0):.2f}x < required {min_jit:.2f}x"
         )
+    flat_floor = baseline.get("flat_instrs_per_sec")
+    if flat_floor is not None:
+        allowed = flat_floor * (1.0 - tolerance)
+        actual = micro.get("flat_instrs_per_sec", 0.0)
+        if actual < allowed:
+            problems.append(
+                f"flat-backend jit throughput regressed: "
+                f"{actual:,.0f} instrs/sec < {allowed:,.0f} "
+                f"(baseline {flat_floor:,.0f} - {tolerance:.0%})"
+            )
+    min_master = baseline.get("min_master_jit_speedup")
+    if min_master is not None and (
+        micro.get("master_jit_speedup", 0.0) < min_master
+    ):
+        problems.append(
+            f"master-jit-vs-decoded speedup regressed: "
+            f"{micro.get('master_jit_speedup', 0.0):.2f}x < required "
+            f"{min_master:.2f}x"
+        )
     return problems
 
 
@@ -436,12 +542,17 @@ def write_baseline(summary: Dict[str, object], path: str) -> None:
             f"pre-decoded engine "
             f"~{micro['decoded_instrs_per_sec'] / 1e6:.2f}M instrs/sec, "
             f"jit ~{micro['jit_instrs_per_sec'] / 1e6:.2f}M instrs/sec "
-            f"({micro['jit_speedup']:.2f}x decoded)."
+            f"({micro['jit_speedup']:.2f}x decoded), flat-backend jit "
+            f"~{micro['flat_instrs_per_sec'] / 1e6:.2f}M instrs/sec, "
+            f"master jit {micro['master_jit_speedup']:.2f}x its decoded "
+            f"loop at {micro['master_jit_coverage']:.0%} coverage."
         ),
         "decoded_instrs_per_sec": floor(micro["decoded_instrs_per_sec"]),
         "min_speedup": 2.0,
         "jit_instrs_per_sec": floor(micro["jit_instrs_per_sec"]),
         "min_jit_speedup": 2.0,
+        "flat_instrs_per_sec": floor(micro["flat_instrs_per_sec"]),
+        "min_master_jit_speedup": 1.5,
     }
     Path(path).write_text(
         json.dumps(baseline, indent=2, sort_keys=False) + "\n"

@@ -39,7 +39,10 @@ from typing import Any, Callable, Optional, Tuple
 #: 2: MsspCounters grew the ``dispatch`` field (runtime-core refactor).
 #: 3: PcMap grew per-instruction ``provenance``; MsspCounters grew
 #:    ``static_verify_skips`` (speculation-safety prover).
-CACHE_SCHEMA = 3
+#: 4: ArchState memory may pickle as a ``PagedMemory`` (flat backend);
+#:    MsspConfig grew ``mem_backend``; bench summaries grew the
+#:    flat/master-jit microbenchmark stages.
+CACHE_SCHEMA = 4
 
 _ENV_VAR = "REPRO_BENCH_CACHE"
 

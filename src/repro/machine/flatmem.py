@@ -1,0 +1,383 @@
+"""Flat paged memory backing store for :class:`~repro.machine.state.ArchState`.
+
+The architected memory of the Z-ISA is sparse: a word address space of
+2^64 cells, almost all of which are zero.  The original backing store was
+a ``{address: value}`` dict in *canonical sparse form* (zero cells are
+absent, so mapping equality is ISA-visible equality).  That form is
+compact but pays a hashed lookup per load/store, O(cells) for snapshots,
+and cell-at-a-time comparisons during verify.
+
+:class:`PagedMemory` keeps the same *observable* mapping surface but
+backs it with fixed-size ``array('q')`` pages allocated on first touch:
+
+* page index = ``address >> PAGE_BITS`` (arithmetic shift, so negative
+  addresses land on well-defined negative pages);
+* slot = ``address & PAGE_MASK``;
+* a zero slot is canonically equivalent to an absent cell, so stores of
+  zero simply write zero — no ``pop`` bookkeeping on the hot path;
+* snapshots are page-level ``array`` copies (O(touched pages));
+* bulk comparisons use ``memoryview`` slice equality (C memcmp).
+
+The dict backend is retained as a differential oracle: selected through
+``REPRO_MEM={dict,flat,check}`` (or :class:`MsspConfig.mem_backend`),
+where ``check`` runs both backends in lock-step via :class:`CheckMemory`
+and asserts per-operation agreement.
+
+Everything that consumes ``ArchState.mem`` generically — ``dict(mem)``,
+``mem.items()``, ``mem.get``, ``in``, ``==`` against a plain dict — keeps
+working: :class:`PagedMemory` implements the mapping protocol over its
+*nonzero* cells only, preserving canonical sparse semantics.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+PAGE_BITS = 9
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+MEM_BACKENDS = ("dict", "flat", "check")
+
+_ZERO_PAGE = array("q", bytes(8 * PAGE_SIZE))
+_ZERO_MV = memoryview(_ZERO_PAGE)
+
+
+def resolve_mem_backend(explicit: Optional[str] = None) -> str:
+    """Resolve the memory backend: explicit > ``REPRO_MEM`` env > dict."""
+    backend = explicit if explicit is not None else os.environ.get("REPRO_MEM")
+    if backend is None or backend == "":
+        return "dict"
+    if backend not in MEM_BACKENDS:
+        raise ValueError(
+            f"unknown memory backend {backend!r}; expected one of {MEM_BACKENDS}"
+        )
+    return backend
+
+
+def make_memory(backend: str, init: Optional[Mapping[int, int]] = None):
+    """Construct a memory backing store of the given backend kind."""
+    if backend == "dict":
+        if init is None:
+            return {}
+        if isinstance(init, dict):
+            return {a: v for a, v in init.items() if v}
+        return {a: v for a, v in init.items() if v}
+    if backend == "flat":
+        return PagedMemory(init)
+    if backend == "check":
+        return CheckMemory(init)
+    raise ValueError(f"unknown memory backend {backend!r}")
+
+
+class PagedMemory:
+    """Sparse 64-bit word memory over fixed-size ``array('q')`` pages.
+
+    Observable surface: a mapping of the *nonzero* cells, exactly like
+    the canonical sparse dict it replaces.
+    """
+
+    __slots__ = ("pages",)
+
+    def __init__(self, init: Optional[Mapping[int, int]] = None):
+        self.pages: Dict[int, array] = {}
+        if init:
+            if isinstance(init, PagedMemory):
+                self.pages = {idx: pg[:] for idx, pg in init.pages.items()}
+            else:
+                for address, value in init.items():
+                    if value:
+                        self[address] = value
+
+    # -- cell access -----------------------------------------------------------
+
+    def get(self, address: int, default: int = 0) -> int:
+        page = self.pages.get(address >> PAGE_BITS)
+        if page is None:
+            return default
+        value = page[address & PAGE_MASK]
+        return value if value else default
+
+    def __getitem__(self, address: int) -> int:
+        page = self.pages.get(address >> PAGE_BITS)
+        if page is not None:
+            value = page[address & PAGE_MASK]
+            if value:
+                return value
+        raise KeyError(address)
+
+    def __setitem__(self, address: int, value: int) -> None:
+        index = address >> PAGE_BITS
+        page = self.pages.get(index)
+        if page is None:
+            page = self.pages[index] = _ZERO_PAGE[:]
+        page[address & PAGE_MASK] = value
+
+    def pop(self, address: int, default=None):
+        page = self.pages.get(address >> PAGE_BITS)
+        if page is None:
+            return default
+        slot = address & PAGE_MASK
+        value = page[slot]
+        if value:
+            page[slot] = 0
+            return value
+        return default
+
+    def __contains__(self, address: int) -> bool:
+        page = self.pages.get(address >> PAGE_BITS)
+        return page is not None and page[address & PAGE_MASK] != 0
+
+    def page_for_store(self, address: int) -> array:
+        """The page holding ``address``, allocating it on first touch.
+
+        Generated JIT code inlines the page lookup and calls this only on
+        a page miss, so allocation stays off the steady-state store path.
+        """
+        index = address >> PAGE_BITS
+        page = self.pages.get(index)
+        if page is None:
+            page = self.pages[index] = _ZERO_PAGE[:]
+        return page
+
+    # -- mapping protocol over nonzero cells -----------------------------------
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        for index, page in self.pages.items():
+            base = index << PAGE_BITS
+            for offset, value in enumerate(page):
+                if value:
+                    yield base + offset, value
+
+    def keys(self) -> Iterator[int]:
+        for address, _ in self.items():
+            yield address
+
+    __iter__ = keys
+
+    def values(self) -> Iterator[int]:
+        for _, value in self.items():
+            yield value
+
+    def __len__(self) -> int:
+        return sum(PAGE_SIZE - page.count(0) for page in self.pages.values())
+
+    def __bool__(self) -> bool:
+        return any(PAGE_SIZE != page.count(0) for page in self.pages.values())
+
+    def to_dict(self) -> Dict[int, int]:
+        """The equivalent canonical sparse dict (zero cells absent)."""
+        out: Dict[int, int] = {}
+        for index, page in self.pages.items():
+            if page.count(0) == PAGE_SIZE:
+                continue
+            base = index << PAGE_BITS
+            for offset, value in enumerate(page):
+                if value:
+                    out[base + offset] = value
+        return out
+
+    # -- bulk operations -------------------------------------------------------
+
+    def copy(self) -> "PagedMemory":
+        """Independent copy via page-level array slices: O(touched pages)."""
+        clone = PagedMemory.__new__(PagedMemory)
+        clone.pages = {idx: pg[:] for idx, pg in self.pages.items()}
+        return clone
+
+    def equal_run(self, start: int, values: array) -> bool:
+        """Compare cells ``[start, start + len(values))`` against ``values``.
+
+        Uses ``memoryview`` slice equality per overlapped page (a C
+        memcmp); absent pages compare against the shared zero page.
+        """
+        n = len(values)
+        mv = memoryview(values)
+        position = 0
+        while position < n:
+            address = start + position
+            offset = address & PAGE_MASK
+            take = min(PAGE_SIZE - offset, n - position)
+            page = self.pages.get(address >> PAGE_BITS)
+            theirs = _ZERO_MV if page is None else memoryview(page)
+            if theirs[offset : offset + take] != mv[position : position + take]:
+                return False
+            position += take
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PagedMemory):
+            for index in self.pages.keys() | other.pages.keys():
+                mine = self.pages.get(index)
+                theirs = other.pages.get(index)
+                a = _ZERO_MV if mine is None else memoryview(mine)
+                b = _ZERO_MV if theirs is None else memoryview(theirs)
+                if a != b:
+                    return False
+            return True
+        if isinstance(other, CheckMemory):
+            return self == other.flat
+        if isinstance(other, dict):
+            count = 0
+            for index, page in self.pages.items():
+                base = index << PAGE_BITS
+                for offset, value in enumerate(page):
+                    if value:
+                        count += 1
+                        if other.get(base + offset) != value:
+                            return False
+            return count == len(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        raise TypeError("PagedMemory is unhashable")
+
+    # -- pickling --------------------------------------------------------------
+
+    def __reduce__(self):
+        return (
+            _paged_from_bytes,
+            ({idx: pg.tobytes() for idx, pg in self.pages.items()},),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PagedMemory(pages={len(self.pages)}, cells={len(self)})"
+
+
+def _paged_from_bytes(raw: Dict[int, bytes]) -> PagedMemory:
+    mem = PagedMemory.__new__(PagedMemory)
+    mem.pages = {}
+    for index, blob in raw.items():
+        page = array("q")
+        page.frombytes(blob)
+        mem.pages[index] = page
+    return mem
+
+
+class MemoryCheckError(AssertionError):
+    """A flat/dict differential disagreement detected by :class:`CheckMemory`."""
+
+
+class CheckMemory:
+    """Lock-step differential wrapper: flat backend checked against the dict oracle.
+
+    Every operation runs on both backings and any observable disagreement
+    raises :class:`MemoryCheckError`.  Selected by ``REPRO_MEM=check``;
+    strictly a debugging/CI tool — roughly the cost of both backends.
+    """
+
+    __slots__ = ("oracle", "flat")
+
+    def __init__(self, init: Optional[Mapping[int, int]] = None):
+        if isinstance(init, CheckMemory):
+            self.oracle = dict(init.oracle)
+            self.flat = init.flat.copy()
+        else:
+            self.oracle = (
+                {a: v for a, v in init.items() if v} if init else {}
+            )
+            self.flat = PagedMemory(init)
+
+    def _agree(self, op: str, mine, theirs):
+        if mine != theirs:
+            raise MemoryCheckError(
+                f"flat/dict divergence on {op}: flat={mine!r} dict={theirs!r}"
+            )
+        return theirs
+
+    def get(self, address: int, default: int = 0) -> int:
+        return self._agree(
+            f"get({address})",
+            self.flat.get(address, default),
+            self.oracle.get(address, default),
+        )
+
+    def __getitem__(self, address: int) -> int:
+        value = self.oracle[address]
+        return self._agree(f"[{address}]", self.flat[address], value)
+
+    def __setitem__(self, address: int, value: int) -> None:
+        self.flat[address] = value
+        if value:
+            self.oracle[address] = value
+        else:
+            self.oracle.pop(address, None)
+
+    def pop(self, address: int, default=None):
+        return self._agree(
+            f"pop({address})",
+            self.flat.pop(address, default),
+            self.oracle.pop(address, default),
+        )
+
+    def __contains__(self, address: int) -> bool:
+        return self._agree(
+            f"{address} in mem", address in self.flat, address in self.oracle
+        )
+
+    def items(self):
+        self.verify_image()
+        return self.oracle.items()
+
+    def keys(self):
+        self.verify_image()
+        return self.oracle.keys()
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def values(self):
+        self.verify_image()
+        return self.oracle.values()
+
+    def __len__(self) -> int:
+        return self._agree("len", len(self.flat), len(self.oracle))
+
+    def __bool__(self) -> bool:
+        return self._agree("bool", bool(self.flat), bool(self.oracle))
+
+    def to_dict(self) -> Dict[int, int]:
+        self.verify_image()
+        return dict(self.oracle)
+
+    def copy(self) -> "CheckMemory":
+        clone = CheckMemory.__new__(CheckMemory)
+        clone.oracle = self.oracle.copy()
+        clone.flat = self.flat.copy()
+        return clone
+
+    def verify_image(self) -> None:
+        """Assert whole-image flat/dict equivalence (MEM001's runtime twin)."""
+        if not self.flat == self.oracle:
+            raise MemoryCheckError(
+                "flat/dict image divergence: "
+                f"flat={self.flat.to_dict()!r} dict={self.oracle!r}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        self.verify_image()
+        if isinstance(other, CheckMemory):
+            return self.oracle == other.oracle
+        if isinstance(other, PagedMemory):
+            return other == self.oracle
+        if isinstance(other, dict):
+            return self.oracle == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        raise TypeError("CheckMemory is unhashable")
+
+    def __reduce__(self):
+        return (CheckMemory, (dict(self.oracle),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckMemory(cells={len(self.oracle)})"
+
+
+def as_dict(mem) -> Dict[int, int]:
+    """A plain canonical sparse dict snapshot of any memory backend."""
+    if isinstance(mem, dict):
+        return dict(mem)
+    return mem.to_dict()

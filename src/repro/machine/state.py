@@ -6,9 +6,15 @@ counter.  In the MSSP machine this is the state held in the shared L2 and
 updated only by the verify/commit unit; in the sequential reference model
 it is simply the machine's state.
 
-Memory is sparse — a ``{word address: value}`` dict — with unmapped
-addresses reading as zero, which matches how the workloads are laid out
-(zero-initialized ``.space`` regions never materialize).
+Memory is sparse, with unmapped addresses reading as zero, which matches
+how the workloads are laid out (zero-initialized ``.space`` regions never
+materialize).  Two interchangeable backings implement that surface: the
+canonical sparse ``{word address: value}`` dict, and the paged
+``array('q')`` store in :mod:`repro.machine.flatmem` (selected by
+``REPRO_MEM={dict,flat,check}``; ``check`` runs both differentially).
+Zero cells are absent from the dict and zero-valued in pages — the two
+forms are canonically equal, and cross-backend ``==`` compares
+ISA-visible contents.
 
 The :class:`MemoryView` protocol documents the access interface the
 interpreter core uses; the MSSP master and slave wrap it with overlay/
@@ -22,6 +28,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Tuple
 
 from repro.isa.program import Program
 from repro.isa.registers import NUM_REGS, ZERO
+from repro.machine.flatmem import make_memory, resolve_mem_backend
 
 _MASK64 = (1 << 64) - 1
 
@@ -60,17 +67,23 @@ class ArchState:
         regs: Optional[Iterable[int]] = None,
         mem: Optional[Mapping[int, int]] = None,
         pc: int = 0,
+        backend: Optional[str] = None,
     ):
-        self.regs: List[int] = list(regs) if regs is not None else [0] * NUM_REGS
+        regs_list = (
+            [wrap64(v) for v in regs] if regs is not None else [0] * NUM_REGS
+        )
+        self.regs: List[int] = regs_list
         if len(self.regs) != NUM_REGS:
             raise ValueError(f"expected {NUM_REGS} registers")
-        self.mem: Dict[int, int] = dict(mem) if mem else {}
+        self.mem = make_memory(resolve_mem_backend(backend), mem)
         self.pc = pc
 
     @classmethod
-    def initial(cls, program: Program) -> "ArchState":
+    def initial(
+        cls, program: Program, backend: Optional[str] = None
+    ) -> "ArchState":
         """The boot state for ``program``: zero registers, its data image."""
-        return cls(mem=program.memory, pc=program.entry)
+        return cls(mem=program.memory, pc=program.entry, backend=backend)
 
     # -- MachineStateLike ------------------------------------------------------
 
@@ -100,7 +113,8 @@ class ArchState:
 
         Checkpoint/snapshot hot path: bypasses ``__init__`` (whose
         generic constructors re-validate) and duplicates the slots with
-        ``list.copy``/``dict.copy`` directly.
+        the backend's own ``copy`` — ``dict.copy`` for the sparse dict,
+        page-level array copies (O(touched pages)) for the flat backend.
         """
         clone = ArchState.__new__(ArchState)
         clone.regs = self.regs.copy()

@@ -58,6 +58,7 @@ from repro.distill.pc_map import PcMap
 from repro.errors import InvalidPcError, MsspError, StepLimitExceeded
 from repro.isa.program import Program
 from repro.machine.decoded import decode
+from repro.machine.flatmem import PagedMemory, resolve_mem_backend
 from repro.machine.interpreter import run_to_halt
 from repro.machine.jit import EXIT_HALT, EXIT_STOP, jit_for, resolve_exec_tier
 from repro.machine.state import ArchState
@@ -134,6 +135,10 @@ class MsspEngine:
         #: Execution tier for master, slaves and recovery (config beats
         #: the ``REPRO_EXEC`` environment variable; default decoded).
         self.exec_tier = resolve_exec_tier(self.config.exec_tier)
+        #: Architected-memory backend (config beats the ``REPRO_MEM``
+        #: environment variable; default dict).  Bit-identical results
+        #: across backends; ``check`` runs dict and flat in lockstep.
+        self.mem_backend = resolve_mem_backend(self.config.mem_backend)
         self._decoded_original = decode(
             original, oracle=self.exec_tier == "oracle"
         )
@@ -195,7 +200,7 @@ class MsspEngine:
 
     def run(self) -> MsspResult:
         """Execute the program under MSSP to completion."""
-        arch = ArchState.initial(self.original)
+        arch = ArchState.initial(self.original, backend=self.mem_backend)
         self._versions = CellVersions()
         master = Master(
             self.distilled, self.config,
@@ -423,6 +428,7 @@ class MsspEngine:
         halted = False
         budget = self.config.max_total_instrs - counters.total_instrs
         jp = self._jit_recover
+        flat = isinstance(arch.mem, PagedMemory)
         # Superblocks may run only while every bound stays unreachable
         # within one region body; the per-step loop below handles the
         # boundaries (anchor stops and budget raises fire at exactly the
@@ -435,7 +441,7 @@ class MsspEngine:
             if jp is not None:
                 region = jp.region_for(pc)
                 if region is not None and steps + region.linear_len < cap:
-                    steps, loads, _arrivals, status = region.fn(
+                    steps, loads, _arrivals, status = region.select(flat)(
                         arch, steps, loads, cap, None, 0,
                         anchors, min_instrs,
                     )

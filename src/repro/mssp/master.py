@@ -26,6 +26,7 @@ from repro.config import MsspConfig
 from repro.isa.instructions import Opcode
 from repro.isa.program import Program
 from repro.machine.decoded import decode
+from repro.machine.jit import EXIT_HALT, jit_for
 from repro.machine.state import ArchState, wrap64
 from repro.mssp.task import Checkpoint
 
@@ -123,13 +124,22 @@ class Master:
         self._view: Optional[_MasterView] = None
         self._arrivals: Dict[int, int] = {}
         self.total_instrs = 0
+        #: Distilled instructions executed inside generated JIT code (the
+        #: master-JIT coverage numerator; bench smoke asserts on it).
+        self.jit_instrs = 0
         self.restarts = 0
-        # Execution tier: only ``oracle`` changes the stepper here.  The
-        # jit tier is deliberately equivalent to decoded for the master —
-        # its loop intercepts FORK/JR and counts arrivals at every pc,
-        # which superblocks cannot cross, and the distilled program is a
-        # few hundred static instructions at most.
+        # Execution tier: ``oracle`` swaps the per-step stepper; ``jit``
+        # additionally compiles hot distilled regions in the ``master``
+        # codegen mode — the tracer treats FORK/JR as region boundaries
+        # (the hardware intercepts both before execution) and per-pc
+        # arrival counting is batched inside generated code, so the
+        # superblocks preserve this loop's exact observable event stream.
         self._decoded = decode(distilled, oracle=tier == "oracle")
+        self._jit = (
+            jit_for(distilled, "master", arrival_pcs=self.arrival_pcs)
+            if tier == "jit"
+            else None
+        )
         # Per-pc dispatch for the two opcodes the master hardware
         # intercepts before execution: None for ordinary instructions,
         # (FORK, anchor) for forks, (JR, rs) for indirect jumps (whose
@@ -160,12 +170,33 @@ class Master:
         budget = self.config.max_master_instrs_per_task
         arrival_pcs = self.arrival_pcs
         arrivals = self._arrivals
+        jp = self._jit
         executed = 0
         loads = 0
         while True:
             pc = view.pc
             if not 0 <= pc < size:
                 return MasterEvent(MasterEventKind.TRAP, executed, loads)
+            if jp is not None:
+                # Region dispatch happens *instead of* the per-step
+                # arrival count below: generated code counts the arrival
+                # of every traced pc (this one included) at its visit.
+                region = jp.region_for(pc)
+                if (
+                    region is not None
+                    and executed + region.linear_len < budget
+                ):
+                    before = executed
+                    executed, loads, status = region.master(
+                        view, executed, loads, budget, arrivals
+                    )
+                    self.total_instrs += executed - before
+                    self.jit_instrs += executed - before
+                    if status == EXIT_HALT:
+                        return MasterEvent(
+                            MasterEventKind.HALT, executed, loads
+                        )
+                    continue
             if pc in arrival_pcs:
                 anchor = arrival_pcs[pc]
                 arrivals[anchor] = arrivals.get(anchor, 0) + 1
@@ -219,11 +250,27 @@ class Master:
         size = self._decoded.size
         steppers = self._decoded.steppers
         special = self._special
+        jp = self._jit
+        scratch_arrivals: Dict[int, int] = {}
         executed = 0
         while True:
             pc = view.pc
             if not 0 <= pc < size:
                 return executed  # ran off the text: treat as terminated
+            if jp is not None:
+                region = jp.region_for(pc)
+                if (
+                    region is not None
+                    and executed + region.linear_len < max_steps
+                ):
+                    before = executed
+                    executed, _loads, status = region.master(
+                        view, executed, 0, max_steps, scratch_arrivals
+                    )
+                    self.jit_instrs += executed - before
+                    if status == EXIT_HALT:
+                        return executed
+                    continue
             dispatch = special[pc]
             if dispatch is not None and dispatch[0] is Opcode.JR:
                 target = self.jr_table.get(view.read_reg(dispatch[1]))

@@ -32,6 +32,7 @@ import os
 import weakref
 from typing import Callable, Dict, List, Optional
 
+from repro.machine.flatmem import as_dict
 from repro.machine.state import ArchState
 from repro.mssp.runtime.events import EventBus, PoolDegraded
 from repro.mssp.runtime.procpool import (
@@ -210,7 +211,8 @@ class ThreadExecutor(SlaveExecutor):
     def begin_episode(self, arch: ArchState) -> None:
         # Freeze the episode-start image: committing tasks mutate
         # arch.mem on the main thread while chunks read concurrently.
-        self._base = dict(arch.mem)
+        # (as_dict snapshots the flat backend page-wise, not cell-wise.)
+        self._base = as_dict(arch.mem)
 
     def submit_chunk(self, batch) -> Optional[ChunkHandle]:
         pool = self._ensure_pool()
@@ -331,11 +333,12 @@ class ProcessExecutor(SlaveExecutor):
         """Memory changed since boot (value 0 encodes a deleted cell)."""
         boot = self._boot_mem
         delta: Dict[int, int] = {}
-        for address, value in arch.mem.items():
+        current = as_dict(arch.mem)
+        for address, value in current.items():
             if boot.get(address, 0) != value:
                 delta[address] = value
         for address, value in boot.items():
-            if value and address not in arch.mem:
+            if value and address not in current:
                 delta[address] = 0
         return delta
 

@@ -568,18 +568,95 @@ class TestCheckJit:
         """Seeded codegen bug: swap the generated `add` for a `sub`."""
         from repro.machine import jit as jit_mod
 
-        original = jit_mod.JitProgram._compile_source
+        original = jit_mod.JitProgram._compile_sources
 
-        def miscompiling(self, entry, source, pcs):
-            return original(
-                self, entry, source.replace(" + ", " - "), pcs
-            )
+        def miscompiling(self, entry, pcs, taken, links, sources):
+            sources = {
+                variant: source.replace("+ r", "- r")
+                for variant, source in sources.items()
+            }
+            return original(self, entry, pcs, taken, links, sources)
 
         monkeypatch.setattr(
-            jit_mod.JitProgram, "_compile_source", miscompiling
+            jit_mod.JitProgram, "_compile_sources", miscompiling
         )
         report = check_jit(rich_program)
         assert "JIT003" in error_ids(report)
+
+    def test_clean_program_exercises_link_promotion(self, rich_program):
+        """JIT004 must not be vacuous: the forced-promotion pass inside
+        check_jit has to actually fuse regions on the rich fixture."""
+        from repro.machine.jit import JitProgram, block_leaders
+
+        jp = JitProgram(
+            rich_program, threshold=1, persist=False, link_threshold=1
+        )
+        for entry in sorted(block_leaders(rich_program)):
+            jp.region_for(entry)
+        for entry, region in sorted(jp.compiled.items()):
+            for target in sorted(region.exit_targets):
+                if target in jp.compiled:
+                    jp.region_for(entry)
+                    jp.region_for(target)
+        assert jp.stats["link_promotions"] > 0
+        assert any(r.links for r in jp.compiled.values())
+
+    def test_unfused_promotion_is_jit004(self, rich_program, monkeypatch):
+        """Seeded link bug: promotion publishes the link without fusing
+        the target's trace into the region."""
+        from repro.machine import jit as jit_mod
+
+        def bogus_promote(self, entry, target):
+            region = self.compiled.get(entry)
+            if region is None:
+                return
+            region.links = region.links + (target,)
+            self.links[entry] = set(region.links)
+            self._transit.pop(entry, None)
+            self.stats["link_promotions"] += 1
+
+        monkeypatch.setattr(jit_mod.JitProgram, "_promote", bogus_promote)
+        report = check_jit(rich_program)
+        assert "JIT004" in error_ids(report)
+
+
+# -- memory backends --------------------------------------------------------
+
+
+class TestCheckMemory:
+    def test_clean_program_has_no_errors(self, rich_program):
+        from repro.analysis.checker import check_memory
+
+        report = check_memory(rich_program)
+        assert report.ok
+        assert not report.findings
+
+    def test_skewed_flat_loads_are_mem001(self, rich_program, monkeypatch):
+        """Seeded paging bug: flat-backend loads return value + 1."""
+        from repro.analysis.checker import check_memory
+        from repro.machine import flatmem
+
+        original_get = flatmem.PagedMemory.get
+
+        def skewed_get(self, address, default=0):
+            value = original_get(self, address, default)
+            return value + 1 if isinstance(value, int) and value else value
+
+        monkeypatch.setattr(flatmem.PagedMemory, "get", skewed_get)
+        report = check_memory(rich_program)
+        assert "MEM001" in error_ids(report)
+
+    def test_lost_flat_stores_are_mem001(self, rich_program, monkeypatch):
+        """Seeded paging bug: the flat backend silently drops stores."""
+        from repro.analysis.checker import check_memory
+        from repro.machine import flatmem
+
+        def lossy_set(self, address, value):
+            pass
+
+        monkeypatch.setattr(flatmem.PagedMemory, "__setitem__", lossy_set)
+        report = check_memory(rich_program)
+        assert "MEM001" in error_ids(report)
 
 
 # -- layer 6: runtime event streams -----------------------------------------

@@ -1,0 +1,274 @@
+"""Unit + differential tests for the flat paged memory backend."""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.flatmem import (
+    PAGE_BITS,
+    PAGE_SIZE,
+    CheckMemory,
+    MemoryCheckError,
+    PagedMemory,
+    as_dict,
+    make_memory,
+    resolve_mem_backend,
+)
+from repro.machine.state import ArchState, wrap64
+
+
+class TestBackendResolution:
+    def test_default_is_dict(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEM", raising=False)
+        assert resolve_mem_backend(None) == "dict"
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEM", "flat")
+        assert resolve_mem_backend(None) == "flat"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEM", "flat")
+        assert resolve_mem_backend("check") == "check"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_mem_backend("mmap")
+
+    def test_make_memory_kinds(self):
+        assert isinstance(make_memory("dict", {1: 2}), dict)
+        assert isinstance(make_memory("flat", {1: 2}), PagedMemory)
+        assert isinstance(make_memory("check", {1: 2}), CheckMemory)
+
+    def test_archstate_backend_param(self):
+        state = ArchState(mem={4: 9}, backend="flat")
+        assert isinstance(state.mem, PagedMemory)
+        assert state.load(4) == 9
+
+
+class TestPagedMemoryBasics:
+    def test_absent_reads_default(self):
+        mem = PagedMemory()
+        assert mem.get(123) == 0
+        assert mem.get(123, None) is None
+        assert 123 not in mem
+
+    def test_store_load_roundtrip(self):
+        mem = PagedMemory()
+        mem[10] = -5
+        assert mem[10] == -5
+        assert mem.get(10) == -5
+        assert 10 in mem
+
+    def test_zero_slot_is_absent(self):
+        mem = PagedMemory({10: 7})
+        mem[10] = 0
+        assert 10 not in mem
+        with pytest.raises(KeyError):
+            mem[10]
+        assert len(mem) == 0
+        assert not mem
+
+    def test_pop(self):
+        mem = PagedMemory({10: 7})
+        assert mem.pop(10, None) == 7
+        assert mem.pop(10, None) is None
+        assert mem.pop(99, "d") == "d"
+
+    def test_negative_addresses(self):
+        mem = PagedMemory()
+        mem[-1] = 4
+        mem[-PAGE_SIZE - 1] = 5
+        assert mem[-1] == 4
+        assert mem[-PAGE_SIZE - 1] == 5
+        assert sorted(mem.keys()) == [-PAGE_SIZE - 1, -1]
+        assert set(mem.pages) == {-1, -2}
+
+    def test_mapping_protocol_matches_dict(self):
+        image = {0: 1, 511: 2, 512: 3, 10_000: -4, -7: 5}
+        mem = PagedMemory(image)
+        assert dict(mem.items()) == image
+        assert set(mem.keys()) == set(image)
+        assert sorted(mem.values()) == sorted(image.values())
+        assert len(mem) == len(image)
+        assert dict(mem) == image
+        assert as_dict(mem) == image
+        assert mem.to_dict() == image
+
+    def test_eq_against_dict_and_paged(self):
+        image = {5: 1, PAGE_SIZE + 3: -2}
+        a, b = PagedMemory(image), PagedMemory(image)
+        assert a == b
+        assert a == image
+        assert not a == {5: 1}
+        b[5] = 99
+        assert a != b
+        # an all-zero page is equal to no page at all
+        c = PagedMemory(image)
+        c[7] = 1
+        c[7] = 0
+        assert c == a
+
+    def test_init_drops_zero_entries(self):
+        # a non-canonical init mapping is canonicalized on entry
+        mem = PagedMemory({1: 0, 2: 5})
+        assert 1 not in mem
+        assert len(mem) == 1
+
+
+class TestBulkOps:
+    def test_copy_is_independent(self):
+        mem = PagedMemory({1: 2})
+        clone = mem.copy()
+        clone[1] = 9
+        clone[2] = 3
+        assert mem[1] == 2
+        assert 2 not in mem
+
+    def test_copy_is_o_touched_pages(self):
+        # two cells a terabyte apart: exactly two pages, and the copy
+        # duplicates pages, never the address space
+        mem = PagedMemory({0: 1, 10**12: 2})
+        assert len(mem.pages) == 2
+        clone = mem.copy()
+        assert len(clone.pages) == 2
+        assert clone == mem
+
+    def test_archstate_flat_copy_page_level(self):
+        state = ArchState(mem={0: 1, 10**12: 2}, backend="flat")
+        clone = state.copy()
+        assert isinstance(clone.mem, PagedMemory)
+        assert len(clone.mem.pages) == 2
+        assert clone == state
+
+    def test_equal_run_within_and_across_pages(self):
+        from array import array
+
+        mem = PagedMemory()
+        start = PAGE_SIZE - 3
+        values = [1, 2, 3, 4, 5, 6]
+        for i, v in enumerate(values):
+            mem[start + i] = v
+        assert mem.equal_run(start, array("q", values))
+        wrong = array("q", values)
+        wrong[4] = 99
+        assert not mem.equal_run(start, wrong)
+
+    def test_equal_run_absent_pages_read_zero(self):
+        from array import array
+
+        mem = PagedMemory()
+        assert mem.equal_run(12345, array("q", [0] * 20))
+        assert not mem.equal_run(12345, array("q", [0] * 19 + [1]))
+
+
+class TestPickling:
+    def test_paged_memory_roundtrip(self):
+        image = {0: 1, PAGE_SIZE: -9, 10**9: 7}
+        mem = PagedMemory(image)
+        clone = pickle.loads(pickle.dumps(mem))
+        assert isinstance(clone, PagedMemory)
+        assert clone == mem
+        assert clone.to_dict() == image
+
+    def test_archstate_flat_roundtrip(self):
+        state = ArchState(mem={4: 2, 700: -1}, pc=9, backend="flat")
+        state.write_reg(3, 5)
+        clone = pickle.loads(pickle.dumps(state))
+        assert isinstance(clone.mem, PagedMemory)
+        assert clone == state
+
+    def test_check_memory_roundtrip(self):
+        mem = CheckMemory({4: 2})
+        clone = pickle.loads(pickle.dumps(mem))
+        assert isinstance(clone, CheckMemory)
+        assert clone == {4: 2}
+
+
+class TestCheckMemory:
+    def test_lockstep_ops_agree(self):
+        mem = CheckMemory()
+        mem[5] = 7
+        assert mem[5] == 7
+        assert mem.get(5) == 7
+        assert 5 in mem
+        assert mem.pop(5) == 7
+        assert 5 not in mem
+        mem.verify_image()
+
+    def test_divergence_raises(self):
+        mem = CheckMemory({5: 7})
+        mem.flat[5] = 8  # corrupt the flat backing behind the oracle's back
+        with pytest.raises(MemoryCheckError):
+            mem.get(5)
+
+    def test_image_divergence_raises(self):
+        mem = CheckMemory({5: 7})
+        mem.flat[6] = 1
+        with pytest.raises(MemoryCheckError):
+            mem.verify_image()
+
+    def test_archstate_check_backend(self):
+        state = ArchState(backend="check")
+        state.store(5, 3)
+        state.store(5, 0)
+        assert state.load(5) == 0
+        state.mem.verify_image()
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["set", "pop", "get", "contains"]),
+            # cluster addresses around page boundaries to stress paging
+            st.integers(min_value=-2, max_value=2).map(
+                lambda k: k * PAGE_SIZE
+            ).flatmap(
+                lambda base: st.integers(base - 3, base + 3)
+            ),
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+        ),
+        max_size=80,
+    )
+)
+def test_paged_memory_differential_vs_dict(ops):
+    """Random op sequences observe identical behavior on both backends."""
+    flat, oracle = PagedMemory(), {}
+    for op, address, value in ops:
+        if op == "set":
+            flat[address] = value
+            if value:
+                oracle[address] = value
+            else:
+                oracle.pop(address, None)
+        elif op == "pop":
+            assert flat.pop(address, None) == oracle.pop(address, None)
+        elif op == "get":
+            assert flat.get(address, None) == oracle.get(address, None)
+        else:
+            assert (address in flat) == (address in oracle)
+    assert flat == oracle
+    assert flat.to_dict() == oracle
+    assert len(flat) == len(oracle)
+
+
+def test_random_store_sequence_state_differential():
+    """ArchState store/load streams agree across dict and flat backends."""
+    rng = random.Random(1234)
+    dict_state = ArchState(backend="dict")
+    flat_state = ArchState(backend="flat")
+    addresses = [rng.randrange(-1000, 100_000) for _ in range(50)]
+    for step in range(600):
+        address = rng.choice(addresses)
+        if rng.random() < 0.6:
+            value = rng.choice([0, 1, -1, 2**62, -(2**63), rng.getrandbits(64)])
+            dict_state.store(address, value)
+            flat_state.store(address, value)
+        else:
+            assert dict_state.load(address) == flat_state.load(address)
+    assert flat_state == dict_state
+    assert dict_state.diff(flat_state) == []
+    assert wrap64(sum(flat_state.mem.values()) ) == wrap64(sum(dict_state.mem.values()))

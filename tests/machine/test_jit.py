@@ -235,9 +235,12 @@ class TestRegionMetadata:
         for entry, region in jp.compiled.items():
             assert region.entry == entry
             assert entry in jp.leaders
-            assert region.pcs == jp.trace(entry)
+            pcs, taken = jp.trace(entry)
+            assert region.pcs == pcs
+            assert region.taken == taken
             assert region.linear_len == len(region.pcs)
             assert region.source == jp.generate_source(entry)
+            assert region.sources == jp.generate_sources(entry)
             assert region.mode == jp.mode
 
     def test_generate_source_is_deterministic(self):
@@ -258,6 +261,127 @@ class TestRegionMetadata:
                     assert target in leaders
             if instr.is_terminator and pc + 1 < len(program.code):
                 assert pc + 1 in leaders
+
+
+#: Two regions bouncing through an always-taken branch: the canonical
+#: link-promotion shape.  The branch at the end of the ``loop`` block is
+#: taken on every iteration, so the loop→hot exit transits consecutively
+#: and fuses; the fall-through ``addi r2, r2, 999`` is dead code the
+#: fused trace skips entirely.
+LINK_FIXTURE = """
+        .text
+main:   li r1, 300
+        li r2, 0
+loop:   addi r2, r2, 1
+        bne r1, r0, hot
+        addi r2, r2, 999
+hot:    addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+"""
+
+#: A rarely-taken branch (1 in 64 iterations): with a link threshold of
+#: one, the first taken occurrence fuses loop+rare — and then the
+#: inverted guard misses 63 times out of 64, so link health must tear
+#: the fusion back down (demotion) instead of paying the guard-exit
+#: dispatch forever.
+FALL_BIASED_FIXTURE = """
+        .text
+main:   li r1, 500
+        li r2, 0
+loop:   andi r3, r1, 63
+        beq r3, r0, rare
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+rare:   addi r2, r2, 1
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+"""
+
+
+class TestSuperblockLinking:
+    def test_hot_exit_promotes_into_fused_region(self):
+        """Consecutive same-target transits fuse the target's trace into
+        the source region — and the fused run stays bit-identical."""
+        program = assemble(LINK_FIXTURE)
+        ref_state = ArchState.initial(program)
+        ref = decode(program).run(ref_state, 100_000)
+        jp = JitProgram(program, threshold=1, persist=False)
+        state = ArchState.initial(program)
+        assert jp.run(state, 100_000) == ref
+        assert state == ref_state
+        assert jp.stats["link_transits"] > 0
+        assert jp.stats["link_promotions"] >= 1
+        assert jp.stats["fused_regions"] >= 1
+        fused = [r for r in jp.compiled.values() if r.links]
+        assert fused
+        for region in fused:
+            for target in region.links:
+                assert target in region.pcs
+            assert region.taken, "a fused trace follows at least one branch"
+
+    def test_fall_biased_link_is_demoted(self):
+        """An unhealthy link (guard misses outgrowing internal loop
+        passes) is torn down, never re-promoted, and the run stays
+        bit-identical through promote, demote, and recompile."""
+        program = assemble(FALL_BIASED_FIXTURE)
+        ref_state = ArchState.initial(program)
+        ref = decode(program).run(ref_state, 100_000)
+        jp = JitProgram(
+            program, threshold=1, persist=False, link_threshold=1
+        )
+        state = ArchState.initial(program)
+        assert jp.run(state, 100_000) == ref
+        assert state == ref_state
+        assert jp.stats["link_promotions"] >= 1
+        assert jp.stats["link_demotions"] >= 1
+        loop_entry, rare_entry = 2, 7
+        # The unhealthy pair specifically is gone and blacklisted (no
+        # promotion flip-flopping); other, healthy fusions may remain.
+        assert rare_entry not in jp.links.get(loop_entry, set())
+        assert (loop_entry, rare_entry) in jp._no_extend
+
+    def test_invalidate_mid_run_tears_links_down_safely(self):
+        """Forced deopt while a linked superblock is hot: invalidate the
+        fused region mid-run, resume on the torn-down cache, and reach
+        the identical final state."""
+        program = assemble(LINK_FIXTURE)
+        ref_state = ArchState.initial(program)
+        total, halted = decode(program).run(ref_state, 100_000)
+        assert halted
+        jp = JitProgram(
+            program, threshold=1, persist=False, link_threshold=1
+        )
+        state = ArchState.initial(program)
+        with pytest.raises(StepLimitExceeded):
+            jp.run(state, total // 2)
+        assert jp.stats["link_promotions"] >= 1
+        fused = [e for e, r in jp.compiled.items() if r.links]
+        assert fused
+        for entry in fused:
+            jp.invalidate(entry)
+        assert jp.stats["fused_regions"] == 0
+        resumed_steps, resumed_halt = jp.run(state, 100_000)
+        assert resumed_halt
+        assert resumed_steps == total - total // 2
+        assert state == ref_state
+
+    def test_trace_with_links_follows_the_promoted_branch(self):
+        program = assemble(LINK_FIXTURE)
+        jp = JitProgram(program, threshold=1, persist=False)
+        loop_entry = 2  # first pc of the ``loop`` block
+        plain_pcs, plain_taken = jp.trace(loop_entry)
+        assert not plain_taken
+        hot_entry = 5  # first pc of the ``hot`` block
+        fused_pcs, fused_taken = jp.trace(
+            loop_entry, frozenset({hot_entry})
+        )
+        assert hot_entry in fused_pcs
+        assert fused_taken
+        # Dead fall-through of the followed branch is not in the trace.
+        assert 4 not in fused_pcs
 
 
 class TestPersistentCodeCache:

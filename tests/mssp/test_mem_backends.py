@@ -1,0 +1,140 @@
+"""Memory-backend differential tests: dict / flat / check end to end.
+
+The architected-memory backend (``MsspConfig.mem_backend`` /
+``REPRO_MEM``) selects how architected state is *stored* — it must never
+select what the machine computes.  The acceptance matrix holds the whole
+observable :class:`~repro.mssp.engine.MsspResult` bit-identical on every
+workload across mem {dict, flat} x exec tier {decoded, jit} x runtime
+{eager, thread}, with squash/recovery traffic included, plus pickle
+round-trips for flat-backed checkpointed state.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.config import MsspConfig
+from repro.experiments.harness import prepare
+from repro.machine.flatmem import PagedMemory
+from repro.machine.state import ArchState
+from repro.mssp import MsspEngine, ParallelMsspEngine
+from repro.mssp.faults import corrupt_live_in
+from repro.mssp.master import Master
+from repro.workloads import get_workload, workload_names
+
+_PREPARED = {}
+
+
+def prepared(name):
+    if name not in _PREPARED:
+        spec = get_workload(name)
+        _PREPARED[name] = prepare(spec, size=max(4, spec.default_size // 8))
+    return _PREPARED[name]
+
+
+def assert_identical(reference, candidate):
+    assert candidate.records == reference.records
+    assert candidate.counters == reference.counters
+    assert candidate.device_trace == reference.device_trace
+    assert candidate.halted == reference.halted
+    assert candidate.final_state.pc == reference.final_state.pc
+    assert candidate.final_state.diff(reference.final_state) == []
+
+
+def run_combo(ready, mem, tier, runtime):
+    config = MsspConfig(
+        mem_backend=mem, exec_tier=tier, runtime=runtime, num_slaves=2
+    )
+    cls = MsspEngine if runtime == "eager" else ParallelMsspEngine
+    engine = cls(ready.instance.program, ready.distillation, config)
+    try:
+        return engine.run()
+    finally:
+        engine.close()
+
+
+class TestBackendMatrix:
+    """mem x tier x runtime: all eight combos agree, per workload."""
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_full_matrix_bit_identical(self, name):
+        ready = prepared(name)
+        reference = run_combo(ready, "dict", "decoded", "eager")
+        for mem in ("dict", "flat"):
+            for tier in ("decoded", "jit"):
+                for runtime in ("eager", "thread"):
+                    if (mem, tier, runtime) == ("dict", "decoded", "eager"):
+                        continue
+                    candidate = run_combo(ready, mem, tier, runtime)
+                    assert_identical(reference, candidate)
+
+    def test_check_backend_runs_lockstep_clean(self):
+        """The differential oracle backend: dict and flat in lockstep,
+        raising on divergence — a clean run proves the flat store
+        tracked the dict bit for bit through forks/squashes/commits."""
+        ready = prepared("fib_memo")
+        reference = run_combo(ready, "dict", "decoded", "eager")
+        candidate = run_combo(ready, "check", "jit", "eager")
+        assert_identical(reference, candidate)
+
+
+class TestSquashWithFlatBackend:
+    def test_forced_squash_identical_across_backends(self, monkeypatch):
+        """Squash + recovery write architected state through the
+        non-speculative path (and bulk-invalidate the verify stamps);
+        the flat backend must come out bit-identical — with the squash
+        landing in a run whose jit-tier master executes generated code
+        (captured masters prove both the restart and the coverage)."""
+        captured = []
+
+        class CapturingMaster(Master):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                captured.append(self)
+
+        monkeypatch.setattr("repro.mssp.engine.Master", CapturingMaster)
+        ready = prepared("fib_memo")
+        results = []
+        for mem in ("dict", "flat"):
+            engine = MsspEngine(
+                ready.instance.program, ready.distillation,
+                MsspConfig(mem_backend=mem, exec_tier="jit"),
+            )
+            engine.events.subscribe(corrupt_live_in(3))
+            results.append(engine.run())
+        reference, flat = results
+        assert reference.counters.tasks_squashed > 0
+        assert_identical(reference, flat)
+        for master in captured:
+            assert master.jit_instrs > 0  # generated code really ran
+            assert master.restarts > 1    # ... and the squash reseeded it
+
+
+class TestFlatStatePickling:
+    def test_final_state_round_trips(self):
+        ready = prepared("compress")
+        result = run_combo(ready, "flat", "jit", "eager")
+        state = result.final_state
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone == state
+        assert clone.diff(state) == []
+
+    def test_flat_arch_state_round_trips_through_checkpointing(self):
+        """A flat-backed state survives pickling with its paged store
+        intact (the process runtime ships checkpoints by value)."""
+        program = prepared("compress").instance.program
+        state = ArchState.initial(program, backend="flat")
+        assert isinstance(state.mem, PagedMemory)
+        state.store(12345, 77)
+        state.store(-600, -9)
+        clone = pickle.loads(pickle.dumps(state))
+        assert isinstance(clone.mem, PagedMemory)
+        assert clone == state
+        clone.store(12345, 1)  # independence
+        assert state.load(12345) == 77
+
+    def test_config_round_trips_mem_backend(self):
+        config = MsspConfig(mem_backend="flat")
+        assert pickle.loads(pickle.dumps(config)) == config
+        assert dataclasses.replace(config).mem_backend == "flat"
