@@ -105,6 +105,9 @@ CHECKS: Dict[str, str] = {
              "strictly increase",
     "RT002": "a squash discards every in-flight successor: none is judged "
              "again before being re-forked",
+    "RT003": "every 'redistilled' event is preceded by at least its "
+             "embedded threshold of live-in squashes attributed to the "
+             "re-distilled region",
     # -- dataflow / speculation-safety checks ---------------------------------
     "DF001": "every dataflow solution is a true fixpoint (one more transfer "
              "round does not move it)",
@@ -1219,21 +1222,50 @@ def check_runtime_events(events, subject: str = "runtime") -> CheckReport:
       strictly increase across the whole run;
     * **RT002** — squash discard: a squash (or master failure) kills
       every forked-but-unjudged successor; a killed tid may only be
-      judged again after a fresh ``task_forked`` re-opens it.
+      judged again after a fresh ``task_forked`` re-opens it;
+    * **RT003** — re-distillation audit: a ``redistilled`` event must be
+      preceded by at least its embedded ``threshold`` of live-in
+      misprediction squashes attributed (via ``origin_pc``) to the
+      re-distilled region since the previous ``redistilled`` event — the
+      adaptive loop may only hot-swap the master on accumulated squash
+      evidence, never spontaneously.
     """
+    from repro.mssp.redistill import LIVE_IN_REASONS
+
     report = CheckReport(subject=subject)
     #: Forked, not yet judged — episode order; the head judges first.
     outstanding: List[int] = []
     #: Killed by a squash/failure, awaiting re-fork before re-judgement.
     discarded: Set[int] = set()
     last_committed: Optional[int] = None
+    #: Live-in squashes per origin region since the last redistillation
+    #: (the evidence trail RT003 audits).
+    live_in_misses: Dict[int, int] = {}
     for event in events:
         kind = getattr(event, "kind", "")
+        if kind == "redistilled":
+            seen = live_in_misses.get(event.region, 0)
+            if seen < event.threshold:
+                _finding(
+                    report, "RT003", Severity.ERROR,
+                    f"region {event.region} re-distilled after only "
+                    f"{seen} live-in squash(es); its threshold is "
+                    f"{event.threshold}",
+                )
+            # The runtime starts a clean evidence slate after a swap.
+            live_in_misses.clear()
+            continue
         if kind == "task_forked":
             discarded.discard(event.tid)
             outstanding.append(event.tid)
         elif kind in ("task_committed", "task_squashed"):
             tid = event.tid
+            if kind == "task_squashed" and event.reason in LIVE_IN_REASONS:
+                origin = getattr(event.record, "origin_pc", None)
+                if origin is not None:
+                    live_in_misses[origin] = (
+                        live_in_misses.get(origin, 0) + 1
+                    )
             if tid in discarded:
                 discarded.discard(tid)
                 _finding(
@@ -1274,7 +1306,7 @@ def check_runtime_events(events, subject: str = "runtime") -> CheckReport:
 
 
 def check_runtime_execution(
-    program, distillation, subject: str = "runtime"
+    program, distillation, subject: str = "runtime", profile=None
 ) -> CheckReport:
     """Run MSSP under a pipelined backend and lint its event stream.
 
@@ -1283,6 +1315,11 @@ def check_runtime_execution(
     cross chunk boundaries, records every event through an
     :class:`~repro.mssp.runtime.events.EventLog`, and hands the stream
     to :func:`check_runtime_events`.
+
+    With a training ``profile``, the run also enables the adaptive
+    prediction loop (live-in value predictors + squash-driven online
+    re-distillation), so squashing workloads emit ``redistilled``
+    events for **RT003** to audit.
     """
     from repro.config import MsspConfig
     from repro.mssp.engine import create_engine
@@ -1292,8 +1329,12 @@ def check_runtime_execution(
         runtime="thread", num_slaves=2, parallel_chunk_tasks=4,
         max_inflight_tasks=16,
     )
+    if profile is not None:
+        config = config.with_adaptation()
     log = EventLog()
     with create_engine(program, distillation, config) as engine:
+        if profile is not None:
+            engine.enable_adaptation(profile)
         engine.events.subscribe(log)
         engine.run()
     return check_runtime_events(log.events, subject=subject)

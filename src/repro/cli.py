@@ -102,6 +102,26 @@ def build_parser() -> argparse.ArgumentParser:
              "default: the REPRO_MEM environment variable, then dict; "
              "all backends are bit-identical",
     )
+    run.add_argument(
+        "--adaptive", action="store_true",
+        help="enable the adaptive prediction loop: live-in value "
+             "predictors plus squash-driven online re-distillation "
+             "(shortcut for --predictors auto --redistill-threshold 2)",
+    )
+    run.add_argument(
+        "--predictors",
+        choices=("off", "last", "stride", "context", "auto", "observe"),
+        default=None,
+        help="live-in value predictors for UNPROVEN checkpoint cells "
+             "('auto' races all kinds per cell; 'observe' trains and "
+             "reports but never overrides)",
+    )
+    run.add_argument(
+        "--redistill-threshold", type=int, default=None,
+        dest="redistill_threshold", metavar="N",
+        help="live-in squashes in one fork region that trigger online "
+             "re-distillation (default: off)",
+    )
 
     timeline = sub.add_parser(
         "timeline", help="render an ASCII execution timeline"
@@ -287,6 +307,9 @@ def cmd_run(args) -> int:
         args.runtime != "eager"
         or args.exec_tier is not None
         or args.mem_backend is not None
+        or args.adaptive
+        or args.predictors is not None
+        or args.redistill_threshold is not None
     ):
         from repro.config import MsspConfig
 
@@ -294,6 +317,16 @@ def cmd_run(args) -> int:
             runtime=args.runtime, exec_tier=args.exec_tier,
             mem_backend=args.mem_backend,
         )
+        if args.adaptive:
+            mssp_config = mssp_config.with_adaptation()
+        if args.predictors is not None:
+            mssp_config = dataclasses.replace(
+                mssp_config, predictors=args.predictors
+            )
+        if args.redistill_threshold is not None:
+            mssp_config = dataclasses.replace(
+                mssp_config, redistill_threshold=args.redistill_threshold
+            )
         if args.workers is not None:
             mssp_config = dataclasses.replace(
                 mssp_config, num_slaves=args.workers
@@ -313,6 +346,13 @@ def cmd_run(args) -> int:
     print(f"  tasks committed/squashed: "
           f"{counters.tasks_committed}/{counters.tasks_squashed}")
     print(f"  live-in accuracy:        {counters.live_in_accuracy:.3f}")
+    if mssp_config is not None and (
+        mssp_config.predictors != "off"
+        or mssp_config.redistill_threshold is not None
+    ):
+        print(f"  predictor hits/misses:   "
+              f"{counters.predictor_hits}/{counters.predictor_misses}")
+        print(f"  redistillations:         {counters.redistillations}")
     print(f"  MSSP cycles:             {row.breakdown.total_cycles:.0f}")
     print(f"  speedup vs in-order:     {row.speedup:.2f}x "
           f"({args.slaves} slaves)")
@@ -399,10 +439,9 @@ def _lint_workload(name, args, config):
         return reports, None
     if not gate(check_dataflow(instance.program, subject=name)):
         return reports, None
+    profile = training_profile(instance)
     try:
-        distillation = Distiller(config).distill(
-            instance.program, training_profile(instance)
-        )
+        distillation = Distiller(config).distill(instance.program, profile)
     except CheckFailure as failure:
         from repro.analysis.checker import CheckReport
 
@@ -434,7 +473,8 @@ def _lint_workload(name, args, config):
     )):
         return reports, None
     gate(check_runtime_execution(
-        instance.program, distillation, subject=f"{name}: runtime"
+        instance.program, distillation, subject=f"{name}: runtime",
+        profile=profile,
     ))
     return reports, None
 
@@ -516,7 +556,10 @@ def cmd_analyze(args) -> int:
         return 2
 
     config = _distill_config(args) or DistillConfig()
-    mssp_config = MsspConfig(static_safety="check")
+    # "observe" trains the live-in value predictors on the run without
+    # ever overriding a checkpoint, so the squash-risk table can report
+    # what a predictor *would* achieve per UNPROVEN cell.
+    mssp_config = MsspConfig(static_safety="check", predictors="observe")
     exit_code = 0
     payload = []
     for name in names:
@@ -544,11 +587,19 @@ def cmd_analyze(args) -> int:
         proven_squash = None
         counters = None
         per_anchor = {}
+        predictor_stats = {}
         try:
-            result = MsspEngine(
+            engine = MsspEngine(
                 instance.program, distillation, config=mssp_config
-            ).run_and_check()
+            )
+            result = engine.run_and_check()
             counters = result.counters
+            bank = engine.predictor
+            if bank is not None:
+                for anchor in safety.regions:
+                    stats = bank.stats_for(anchor)
+                    if stats:
+                        predictor_stats[anchor] = stats
             for record in result.records:
                 start_pc = getattr(record, "start_pc", None)
                 if start_pc is None:
@@ -602,6 +653,18 @@ def cmd_analyze(args) -> int:
                         squash_reasons=per_anchor.get(anchor, {}).get(
                             "reasons", {}
                         ),
+                        predictors=[
+                            {
+                                "reg": reg,
+                                "kind": cell.kind,
+                                "hit_rate": cell.hit_rate,
+                                "observations": cell.observations,
+                                "master_misses": cell.master_misses,
+                            }
+                            for reg, cell in sorted(
+                                predictor_stats.get(anchor, {}).items()
+                            )
+                        ],
                     )
                     for anchor in sorted(safety.regions)
                 ],
@@ -613,7 +676,7 @@ def cmd_analyze(args) -> int:
             print(f"  prover bailed: {safety.bail_reason}")
         table = Table(
             ["anchor", "live-ins", "proven", "stable", "unproven",
-             "mem", "tasks", "squashed", "top reason"],
+             "mem", "tasks", "squashed", "top reason", "predictors"],
         )
         for anchor in sorted(safety.regions):
             region = safety.regions[anchor]
@@ -621,11 +684,17 @@ def cmd_analyze(args) -> int:
             stats = per_anchor.get(anchor, {})
             reasons = stats.get("reasons", {})
             top = max(reasons, key=reasons.get) if reasons else "-"
+            cells = predictor_stats.get(anchor, {})
+            predicted = " ".join(
+                f"r{reg}:{cell.kind} {cell.hit_rate:.0%}"
+                for reg, cell in sorted(cells.items())
+            ) or "-"
             table.add_row(
                 anchor, len(region.cells), counts["proven"],
                 counts["stable"], counts["unproven"],
                 "yes" if region.mem_proven else "no",
                 stats.get("tasks", 0), stats.get("squashed", 0), top,
+                predicted,
             )
         print(table.render())
         if counters is not None:
@@ -688,14 +757,20 @@ def cmd_bench(args) -> int:
           f" ({micro['master_jit_coverage']:.0%} coverage, "
           f"{micro['jit_link_promotions']} link promotion(s))")
     table = Table(
-        ["workload", "size", "wall s", "Msim/s", "speedup", "cache"],
-        title=f"E-suite (scale {scale:g}, -j {args.jobs})",
+        ["workload", "size", "wall s", "Msim/s", "speedup",
+         "squash", "adapt", "redist", "cache"],
+        title=f"E-suite (scale {scale:g}, -j {args.jobs}; squash/adapt = "
+              f"squash rate without/with the adaptive prediction loop)",
     )
     for row in summary["suite"]:
         table.add_row(
             row["workload"], row["size"], f"{row['wall_seconds']:.3f}",
             f"{row['instrs_per_sec'] / 1e6:.2f}",
-            f"{row['speedup']:.2f}", "hit" if row["cache_hit"] else "miss",
+            f"{row['speedup']:.2f}",
+            f"{row['squash_rate']:.3f}",
+            f"{row['adaptive_squash_rate']:.3f}",
+            row["redistillations"],
+            "hit" if row["cache_hit"] else "miss",
         )
     print(table.render())
     if args.runtime != "eager":

@@ -173,6 +173,32 @@ class MsspConfig:
     #: All three modes produce bit-identical results when the analysis
     #: is sound — ``skip`` merely avoids compares that cannot fail.
     static_safety: str = "skip"
+    #: Live-in value prediction (:mod:`repro.mssp.predict`): ``"off"``
+    #: disables the predictor bank; ``"last"``/``"stride"``/``"context"``
+    #: enable one predictor kind; ``"auto"`` runs a per-cell tournament
+    #: and overrides with whichever kind has trained best; ``"observe"``
+    #: trains and reports statistics but never overrides a checkpoint
+    #: (used by ``repro analyze`` to annotate squash-risk tables).
+    #: Predictions only patch fork checkpoints for UNPROVEN live-in
+    #: register cells, and only once the master has been consecutively
+    #: wrong about the cell ``predict_miss_gate`` times — so on
+    #: workloads the master predicts correctly the gate never opens and
+    #: results are bit-identical to ``"off"``.  Verify/squash is
+    #: unchanged as the correctness backstop.
+    predictors: str = "off"
+    #: Consecutive identical-outcome training observations required
+    #: before a cell predictor is confident enough to override.
+    predict_confidence: int = 3
+    #: Consecutive master mispredictions of a cell required before the
+    #: predictor may override it (the bit-identity gate; see above).
+    predict_miss_gate: int = 2
+    #: Squash-driven online re-distillation threshold: once a single
+    #: fork region has accumulated this many live-in misprediction
+    #: squashes, the :class:`~repro.mssp.redistill.Redistiller` folds the
+    #: observed values into the training profile and re-distills the
+    #: master mid-run (requires :meth:`MsspEngine.enable_adaptation`).
+    #: ``None`` disables re-distillation.
+    redistill_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -210,6 +236,33 @@ class MsspConfig:
             raise ValueError(
                 "static_safety must be 'off', 'skip' or 'check'"
             )
+        if self.predictors not in (
+            "off", "last", "stride", "context", "auto", "observe"
+        ):
+            raise ValueError(
+                "predictors must be 'off', 'last', 'stride', 'context', "
+                "'auto' or 'observe'"
+            )
+        for name in ("predict_confidence", "predict_miss_gate"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        if self.redistill_threshold is not None and self.redistill_threshold < 1:
+            raise ValueError("redistill_threshold must be positive (or None)")
+
+    def with_adaptation(
+        self,
+        predictors: str = "auto",
+        redistill_threshold: Optional[int] = 2,
+    ) -> "MsspConfig":
+        """A copy with the adaptive prediction loop enabled: live-in
+        value predictors plus squash-driven online re-distillation
+        (``repro bench``'s "adaptive" stage and the CLI ``--adaptive``
+        flag both use these defaults)."""
+        return replace(
+            self,
+            predictors=predictors,
+            redistill_threshold=redistill_threshold,
+        )
 
 
 @dataclass(frozen=True)

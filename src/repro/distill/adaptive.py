@@ -1,0 +1,214 @@
+"""Incremental re-distillation: fold runtime observations into a profile.
+
+The offline distiller is profile-guided; when the evaluation input
+drifts away from the training inputs, its speculative bets (``value_spec``
+constants, asserted branches) start squashing tasks.  This module is the
+distiller-side half of the online adaptation loop: given evidence
+gathered by the runtime (:mod:`repro.mssp.redistill`), it synthesizes a
+*delta profile* — counterexample observations weighted heavily enough to
+flip the offending pass decisions — merges it into the training profile,
+and re-runs the (pure, deterministic) :class:`~repro.distill.distiller.
+Distiller` to produce a replacement artifact.
+
+Two evidence→observation mappings are supported:
+
+* **value-site revalidation** — every ``value_spec`` site ``(pc, value)``
+  is re-checked against live architected memory at the addresses the
+  training profile recorded for that load; a mismatch contributes an
+  observed ``(pc, address, actual value)`` weighted by the site's
+  training count, dropping the stale constant's share below
+  ``value_spec_min_share`` (de-specialization);
+* **suppressed-path de-assertion** — for each asserted branch, the
+  write-set of the suppressed successor block is intersected with the
+  registers squash verification reported mismatched; an overlap
+  contributes rare-direction branch counts equal to the dominant count,
+  driving the bias to 0.5 (de-assertion).
+
+Folding is cumulative: the returned profile becomes the next round's
+base, so observations survive later rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.config import DistillConfig
+from repro.distill.distiller import DistillationResult, Distiller
+from repro.isa.program import Program
+from repro.profiling.profile_data import (
+    BranchProfile,
+    LoadProfile,
+    Profile,
+    VALUE_HISTOGRAM_CAP,
+)
+
+__all__ = [
+    "AdaptationDelta",
+    "suppressed_block_writes",
+    "despecialization_observations",
+    "deassertion_observations",
+    "fold_observations",
+    "redistill",
+]
+
+#: Linear-walk bound for a suppressed successor block (blocks in this
+#: ISA are short; the bound only guards against degenerate layouts).
+_BLOCK_WALK_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class AdaptationDelta:
+    """What one re-distillation round changed, for events/reports."""
+
+    despecialized: Tuple[Tuple[int, int], ...]   # (pc, observed value)
+    deasserted: Tuple[Tuple[int, bool], ...]     # (pc, was dominant_taken)
+
+    @property
+    def empty(self) -> bool:
+        return not self.despecialized and not self.deasserted
+
+
+def suppressed_block_writes(program: Program, start_pc: int) -> FrozenSet[int]:
+    """Registers written on the linear block starting at ``start_pc``.
+
+    The suppressed direction of an asserted branch begins a block the
+    distilled program never executes; if the evaluation input takes it,
+    every register it writes diverges in the master.  The walk stops at
+    the first control transfer (branch/jump/halt), which ends the
+    straight-line portion the assertion uniquely suppressed.
+    """
+    writes: Set[int] = set()
+    pc = start_pc
+    code = program.code
+    for _ in range(_BLOCK_WALK_LIMIT):
+        if not 0 <= pc < len(code):
+            break
+        instr = code[pc]
+        writes |= instr.defs()
+        if instr.is_terminator:
+            break
+        pc += 1
+    writes.discard(0)
+    return frozenset(writes)
+
+
+def despecialization_observations(
+    profile: Profile,
+    specialized_sites: Iterable[Tuple[int, int]],
+    read_cell: Callable[[Iterable[int]], Dict[int, int]],
+) -> List[Tuple[int, int, int]]:
+    """``(pc, address, observed value)`` for stale ``value_spec`` sites.
+
+    ``read_cell`` reads a batch of architected memory cells (typically
+    :meth:`~repro.machine.state.ArchState.load_cells`).  A site is stale
+    when any profiled address currently holds a value other than the
+    specialized constant.
+    """
+    out: List[Tuple[int, int, int]] = []
+    for pc, spec_value in specialized_sites:
+        load = profile.loads.get(pc)
+        if load is None or not load.addresses:
+            continue
+        current = read_cell(sorted(load.addresses))
+        for address in sorted(current):
+            observed = current[address]
+            if observed != spec_value:
+                out.append((pc, address, observed))
+    return out
+
+
+def deassertion_observations(
+    program: Program,
+    asserted_sites: Iterable[Tuple[int, bool]],
+    suspect_regs: FrozenSet[int],
+) -> List[Tuple[int, bool]]:
+    """``(pc, rare_direction_taken)`` for asserted branches implicated by
+    squash evidence: the suppressed successor's write set intersects the
+    registers verification observed mismatched."""
+    if not suspect_regs:
+        return []
+    out: List[Tuple[int, bool]] = []
+    for pc, dominant_taken in asserted_sites:
+        instr = program.code[pc]
+        if dominant_taken:
+            suppressed_start = pc + 1
+        else:
+            suppressed_start = int(instr.target)
+        if suppressed_block_writes(program, suppressed_start) & suspect_regs:
+            out.append((pc, not dominant_taken))
+    return out
+
+
+def fold_observations(
+    profile: Profile,
+    despec: Iterable[Tuple[int, int, int]],
+    deassert: Iterable[Tuple[int, bool]],
+) -> Profile:
+    """Merge counterexample observations into ``profile``.
+
+    Weights are chosen to decisively flip the pass decisions they target:
+    a de-specializing load observation is weighted by the site's full
+    training count (new value's share ≥ 0.5 < ``value_spec_min_share``),
+    and a de-asserting branch observation adds rare-direction counts
+    equal to the dominant direction's (bias → 0.5 < threshold).
+    """
+    delta = Profile(profile.program_name, profile.code_length)
+    for pc, address, value in despec:
+        base = profile.loads.get(pc)
+        weight = max(1, base.count if base is not None else 1)
+        load = delta.loads.setdefault(pc, LoadProfile())
+        load.count += weight
+        if not load.polymorphic:
+            load.values[value] = load.values.get(value, 0) + weight
+            load.addresses.add(address)
+            if len(load.values) > VALUE_HISTOGRAM_CAP:
+                load.polymorphic = True
+                load.values.clear()
+                load.addresses.clear()
+    for pc, rare_taken in deassert:
+        base = profile.branches.get(pc)
+        weight = max(1, base.count if base is not None else 1)
+        branch = delta.branches.setdefault(pc, BranchProfile())
+        if rare_taken:
+            branch.taken += weight
+        else:
+            branch.not_taken += weight
+    return profile.merge(delta)
+
+
+def redistill(
+    program: Program,
+    profile: Profile,
+    prior: DistillationResult,
+    read_cell: Callable[[Iterable[int]], Dict[int, int]],
+    suspect_regs: FrozenSet[int],
+    config: Optional[DistillConfig] = None,
+) -> Tuple[Optional[DistillationResult], Profile, AdaptationDelta]:
+    """One re-distillation round.
+
+    Gathers both observation kinds against ``prior``'s pass statistics,
+    folds them into ``profile``, and re-runs the full distiller.  Returns
+    ``(result, folded profile, delta)``; ``result`` is ``None`` when no
+    observation mapped — re-distilling on an unchanged profile would
+    reproduce the same artifact, so the caller should disarm rather than
+    thrash.
+    """
+    stats = prior.report.pass_stats
+    value_sites = getattr(
+        stats.get("value_spec"), "specialized_sites", []
+    )
+    branch_sites = getattr(
+        stats.get("branch_removal"), "asserted_sites", []
+    )
+    despec = despecialization_observations(profile, value_sites, read_cell)
+    deassert = deassertion_observations(program, branch_sites, suspect_regs)
+    delta = AdaptationDelta(
+        despecialized=tuple(sorted({(pc, v) for pc, _, v in despec})),
+        deasserted=tuple(sorted(deassert)),
+    )
+    if delta.empty:
+        return None, profile, delta
+    folded = fold_observations(profile, despec, deassert)
+    result = Distiller(config or DistillConfig()).distill(program, folded)
+    return result, folded, delta

@@ -26,7 +26,7 @@ master timeout, which no sane distiller emits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
 from repro.analysis.cfg import ControlFlowGraph
@@ -54,6 +54,10 @@ class BranchRemovalStats:
     asserted_not_taken: int = 0
     skipped_back_edges: int = 0
     skipped_loop_exits: int = 0
+    #: ``(original pc, dominant_taken)`` per asserted branch — the
+    #: Redistiller walks each suppressed successor's write set against
+    #: squash-observed mismatched registers to decide what to de-assert.
+    asserted_sites: List[Tuple[int, bool]] = field(default_factory=list)
 
 
 def run_branch_removal(
@@ -108,9 +112,11 @@ def run_branch_removal(
             )
             block.fallthrough = None
             stats.asserted_taken += 1
+            stats.asserted_sites.append((last.orig_pc, True))
         else:
             block.instrs.pop()
             stats.asserted_not_taken += 1
+            stats.asserted_sites.append((last.orig_pc, False))
     return stats
 
 

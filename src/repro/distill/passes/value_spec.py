@@ -11,7 +11,8 @@ at risk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Tuple
 
 from repro.config import DistillConfig
 from repro.distill.ir import DistillIR
@@ -31,6 +32,10 @@ class ValueSpecStats:
 
     candidates: int = 0
     specialized: int = 0
+    #: ``(original pc, specialized value)`` per rewritten load — the
+    #: Redistiller re-validates these against live architected memory
+    #: when deciding what to de-specialize.
+    specialized_sites: List[Tuple[int, int]] = field(default_factory=list)
 
 
 def run_value_spec(
@@ -54,4 +59,5 @@ def run_value_spec(
                 op=Opcode.LI, rd=dinstr.instr.rd, imm=value
             )
             stats.specialized += 1
+            stats.specialized_sites.append((dinstr.orig_pc, value))
     return stats

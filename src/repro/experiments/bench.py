@@ -352,7 +352,13 @@ def measure_parallel_runtime(
 
 
 def _bench_one(args: Tuple[str, float]) -> Dict[str, object]:
-    """One workload through the cached pipeline (process-pool worker)."""
+    """One workload through the cached pipeline (process-pool worker).
+
+    Runs the functional pipeline twice: once with the default (static)
+    configuration and once with the adaptive prediction loop enabled
+    (:meth:`MsspConfig.with_adaptation`), so every suite row records the
+    before/after squash rate the adaptation exists to improve.
+    """
     name, scale = args
     size = workload_size(name, scale)
     start = time.perf_counter()
@@ -366,6 +372,9 @@ def _bench_one(args: Tuple[str, float]) -> Dict[str, object]:
     simulated = (
         result.counters.total_instrs + ready.seq_instrs  # engine + seq check
     )
+    _, adaptive, _ = cached_functional_run(
+        name, size=size, mssp_config=MsspConfig().with_adaptation()
+    )
     return {
         "workload": name,
         "size": size,
@@ -377,6 +386,10 @@ def _bench_one(args: Tuple[str, float]) -> Dict[str, object]:
         "speedup": row.speedup,
         "squash_rate": result.counters.squash_rate,
         "static_verify_skips": result.counters.static_verify_skips,
+        "adaptive_squash_rate": adaptive.counters.squash_rate,
+        "predictor_hits": adaptive.counters.predictor_hits,
+        "predictor_misses": adaptive.counters.predictor_misses,
+        "redistillations": adaptive.counters.redistillations,
     }
 
 

@@ -42,7 +42,12 @@ from typing import Any, Callable, Optional, Tuple
 #: 4: ArchState memory may pickle as a ``PagedMemory`` (flat backend);
 #:    MsspConfig grew ``mem_backend``; bench summaries grew the
 #:    flat/master-jit microbenchmark stages.
-CACHE_SCHEMA = 4
+#: 5: MsspCounters grew ``predictor_hits``/``predictor_misses``/
+#:    ``redistillations``; PreparedWorkload grew ``distill_config``;
+#:    MsspConfig grew the predictor/redistillation knobs; bench suite
+#:    rows grew the adaptive stage (value-predicted live-ins +
+#:    squash-driven online re-distillation).
+CACHE_SCHEMA = 5
 
 _ENV_VAR = "REPRO_BENCH_CACHE"
 

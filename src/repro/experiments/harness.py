@@ -55,6 +55,10 @@ class PreparedWorkload:
     #: (fork executes as nop), the paper's distillation-effectiveness
     #: numerator.
     distilled_instrs: int
+    #: The distiller configuration used for step 2, kept so adaptive
+    #: re-distillation (:mod:`repro.mssp.redistill`) re-runs the same
+    #: distiller the offline artifact came from.
+    distill_config: Optional[DistillConfig] = None
 
     @property
     def name(self) -> str:
@@ -130,7 +134,7 @@ def prepare(
     return PreparedWorkload(
         instance=instance, profile=profile, distillation=distillation,
         seq_instrs=seq_instrs, seq_loads=seq_loads,
-        distilled_instrs=distilled_instrs,
+        distilled_instrs=distilled_instrs, distill_config=distill_config,
     )
 
 
@@ -230,6 +234,10 @@ def evaluate(
         config=mssp_config,
     )
     try:
+        if mssp_config is not None and mssp_config.redistill_threshold:
+            engine.enable_adaptation(
+                prepared.profile, distill_config=prepared.distill_config
+            )
         result = engine.run_and_check() if check else engine.run()
     finally:
         close = getattr(engine, "close", None)

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import os
 from array import array
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 PAGE_BITS = 9
 PAGE_SIZE = 1 << PAGE_BITS
@@ -141,6 +141,22 @@ class PagedMemory:
         if page is None:
             page = self.pages[index] = _ZERO_PAGE[:]
         return page
+
+    def get_many(self, addresses: Iterable[int]) -> Dict[int, int]:
+        """Batched read: ``{address: value}`` with one page lookup per
+        page run (addresses are grouped by page, so reading a cluster of
+        cells — checkpoint patching, redistill site revalidation — costs
+        O(pages touched) dict probes instead of one per cell)."""
+        out: Dict[int, int] = {}
+        page_index: Optional[int] = None
+        page = None
+        for address in sorted(addresses):
+            index = address >> PAGE_BITS
+            if index != page_index:
+                page_index = index
+                page = self.pages.get(index)
+            out[address] = page[address & PAGE_MASK] if page is not None else 0
+        return out
 
     # -- mapping protocol over nonzero cells -----------------------------------
 

@@ -185,3 +185,18 @@ class ArchState:
         regs = {i: self.regs[i] for i in reg_indices}
         mem = {a: self.mem.get(a, 0) for a in addresses}
         return regs, mem
+
+    def load_cells(self, addresses: Iterable[int]) -> Dict[int, int]:
+        """Batched memory read: ``{address: value}`` for many cells.
+
+        Dispatches to the backend's bulk path when it has one (the flat
+        paged store reads page runs with one page lookup each); the dict
+        backend falls back to per-cell ``get``.  Used by the Redistiller
+        to re-validate value-specialization sites against architected
+        memory without paying per-cell dispatch overhead.
+        """
+        bulk = getattr(self.mem, "get_many", None)
+        if bulk is not None:
+            return bulk(addresses)
+        get = self.mem.get
+        return {a: get(a, 0) for a in addresses}

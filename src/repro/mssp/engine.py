@@ -68,6 +68,7 @@ from repro.mssp.runtime.events import (
     EventBus,
     MasterFailed,
     RecoveryRun,
+    Redistilled,
     TaskCommitted,
     TaskSquashed,
 )
@@ -132,6 +133,21 @@ class MsspEngine:
         self.distilled = distilled
         self.pc_map = pc_map
         self.config = config or MsspConfig()
+        #: Full distillation artifact when one was provided (the adaptive
+        #: re-distillation loop needs its pass statistics); swapped by
+        #: :meth:`_install_distillation`, with the construction-time
+        #: artifact kept so repeated runs start identically.
+        self._distillation: Optional[DistillationResult] = (
+            distillation if isinstance(distillation, DistillationResult)
+            else None
+        )
+        self._initial_distillation = self._distillation
+        #: Live-in value predictor bank (:mod:`repro.mssp.predict`);
+        #: rebuilt fresh at each :meth:`run` so repeated runs are
+        #: identical.  ``None`` when ``config.predictors == "off"``.
+        self.predictor = None
+        #: Squash-driven re-distiller, armed by :meth:`enable_adaptation`.
+        self.redistiller = None
         #: Execution tier for master, slaves and recovery (config beats
         #: the ``REPRO_EXEC`` environment variable; default decoded).
         self.exec_tier = resolve_exec_tier(self.config.exec_tier)
@@ -202,12 +218,19 @@ class MsspEngine:
         """Execute the program under MSSP to completion."""
         arch = ArchState.initial(self.original, backend=self.mem_backend)
         self._versions = CellVersions()
-        master = Master(
-            self.distilled, self.config,
-            arrival_pcs=self.pc_map.arrival_pcs(),
-            jr_table=self.pc_map.jr_table,
-            tier=self.exec_tier,
-        )
+        # Fresh adaptive state per run, so repeated runs of one engine
+        # are identical: a new predictor bank, a reset redistiller, and
+        # the construction-time artifact if a prior run hot-swapped it.
+        self.predictor = self._make_predictor()
+        redistiller = self.redistiller
+        if redistiller is not None:
+            redistiller.reset()
+            if (
+                self._initial_distillation is not None
+                and self._distillation is not self._initial_distillation
+            ):
+                self._install_distillation(self._initial_distillation)
+        master = self._build_master()
         counters = MsspCounters()
         self.dispatch_stats = counters.dispatch
         device_trace: List[DeviceAccess] = []
@@ -224,6 +247,25 @@ class MsspEngine:
         unsubscribe = self.events.subscribe(recorder)
         try:
             while not halted:
+                # Adaptive hot swap, strictly between episodes (so never
+                # under an in-flight speculation): if squash evidence
+                # crossed the threshold, re-distill and replace the
+                # master with every dependent cache invalidated.
+                if redistiller is not None:
+                    swap = redistiller.maybe_redistill(arch)
+                    if swap is not None:
+                        region, misses, result, delta = swap
+                        self._install_distillation(result)
+                        master = self._build_master()
+                        counters.redistillations += 1
+                        self.events.emit(Redistilled(
+                            region=region,
+                            misses=misses,
+                            threshold=redistiller.threshold,
+                            despecialized=len(delta.despecialized),
+                            deasserted=len(delta.deasserted),
+                            generation=redistiller.generation,
+                        ))
                 if not self.pc_map.is_anchor(arch.pc):
                     # The machine is at a pc the master cannot restart
                     # from (possible only with a malformed map, e.g. a
@@ -235,6 +277,11 @@ class MsspEngine:
                     continue
                 master.restart(arch, self.pc_map.resume_pc(arch.pc))
                 counters.restarts += 1
+                if self.predictor is not None:
+                    # Freeze this episode's override snapshot: training
+                    # continues at every judge, but what forks see is
+                    # fixed here, identically for every backend.
+                    self.predictor.begin_episode()
                 halted, next_tid = pipeline.run_episode(
                     arch, master, counters, recent_outcomes, next_tid
                 )
@@ -281,6 +328,36 @@ class MsspEngine:
             )
         return result
 
+    def enable_adaptation(self, profile, distill_config=None, threshold=None):
+        """Arm the squash-driven re-distillation loop.
+
+        ``profile`` is the training profile distillation started from
+        (observed counterexamples are folded into it);
+        ``distill_config`` defaults to the distiller's own defaults;
+        ``threshold`` defaults to ``config.redistill_threshold``.
+        Returns the armed :class:`~repro.mssp.redistill.Redistiller`,
+        or ``None`` when no threshold is configured anywhere (the loop
+        stays off).  Requires the engine to have been built from a full
+        :class:`DistillationResult` — re-distillation reads its pass
+        statistics to know which speculative bets to revisit.
+        """
+        if threshold is None and self.config.redistill_threshold is None:
+            return None
+        if self._distillation is None:
+            raise MsspError(
+                "adaptation needs a full DistillationResult (its pass "
+                "statistics identify the distiller's speculative bets)"
+            )
+        from repro.mssp.redistill import Redistiller
+
+        if self.redistiller is not None:
+            self.redistiller.close()
+        self.redistiller = Redistiller(
+            self, profile, distill_config=distill_config,
+            threshold=threshold,
+        )
+        return self.redistiller
+
     def close(self) -> None:
         """Release the executor backend (worker processes/threads).
 
@@ -291,6 +368,9 @@ class MsspEngine:
         self._executor = None
         if executor is not None:
             executor.close()
+        if self.redistiller is not None:
+            self.redistiller.close()
+            self.redistiller = None
 
     def __enter__(self) -> "MsspEngine":
         return self
@@ -305,6 +385,71 @@ class MsspEngine:
         if self.config.static_safety == "off":
             return frozenset()
         return self.safety_report.proven_for(start_pc)
+
+    def _make_predictor(self):
+        """A fresh predictor bank for one run (None when disabled)."""
+        if self.config.predictors == "off":
+            return None
+        from repro.mssp.predict import ValuePredictorBank
+
+        bank = ValuePredictorBank(
+            kind=self.config.predictors,
+            confidence=self.config.predict_confidence,
+            miss_gate=self.config.predict_miss_gate,
+        )
+        bank.retarget(
+            self.pc_map.anchors,
+            self.safety_report if self.config.static_safety != "off"
+            else None,
+        )
+        return bank
+
+    def _build_master(self) -> Master:
+        """A master over the *current* distilled artifact."""
+        return Master(
+            self.distilled, self.config,
+            arrival_pcs=self.pc_map.arrival_pcs(),
+            jr_table=self.pc_map.jr_table,
+            tier=self.exec_tier,
+        )
+
+    def _install_distillation(self, result: DistillationResult) -> None:
+        """Hot-swap the distilled artifact, coherently.
+
+        Everything derived from the old distilled program / pc map is
+        rebuilt or invalidated here: the recovery superblock cache, the
+        safety report (and with it the verify fast path and the per-task
+        proven sets), the statically allowed squash causes, the memory
+        version stamps (bulk invalidation — the cheap, always-sound
+        option), and the predictor bank's targets (whose master-miss
+        streaks reset: the old master's miss history says nothing about
+        the new master).  The caller rebuilds the Master itself.
+        """
+        self._distillation = result
+        self.distilled = result.distilled
+        self.pc_map = result.pc_map
+        self._jit_recover = None
+        if self.exec_tier == "jit" and self.regions is None:
+            candidate = jit_for(self.original)
+            if self.pc_map.anchors <= candidate.leaders:
+                self._jit_recover = candidate
+        if self.config.static_safety == "off":
+            self.safety_report = SafetyReport()
+        else:
+            self.safety_report = prove_safety(
+                self.original, self.distilled, self.pc_map
+            )
+        if self._allowed_squash_reasons is not None:
+            from repro.analysis.checker import predicted_squash_reasons
+
+            self._allowed_squash_reasons = predicted_squash_reasons(result)
+        self._versions.invalidate_all()
+        if self.predictor is not None:
+            self.predictor.retarget(
+                self.pc_map.anchors,
+                self.safety_report if self.config.static_safety != "off"
+                else None,
+            )
 
     def _make_executor(self):
         """Build the executor backend ``self.runtime`` names.
@@ -367,6 +512,20 @@ class MsspEngine:
             )
         if task.exact:
             counters.exact_tasks += 1
+        bank = self.predictor
+        if (
+            bank is not None
+            and not task.exact
+            and task.start_pc == arch.pc
+        ):
+            # Train the bank from architected truth at the anchor (arch
+            # has not moved yet: commit applies live-outs below).  The
+            # judge is the one stage every backend passes through in the
+            # same order, so training — and therefore every later
+            # override — is bit-identical across runtimes.
+            hits, misses = bank.observe_task(task, arch)
+            counters.predictor_hits += hits
+            counters.predictor_misses += misses
         record = TaskAttemptRecord(
             tid=task.tid,
             start_pc=task.start_pc,
@@ -397,8 +556,19 @@ class MsspEngine:
         counters.tasks_squashed += 1
         counters.squashed_instrs += task.n_instrs
         counters.note_squash_reason(outcome.reason.value)
+        mismatched_regs: tuple = ()
+        if task.start_pc == arch.pc:
+            # Redistillation evidence: which register live-ins actually
+            # disagreed with architected truth (the slave recorded the
+            # value it read, so compare those against arch directly).
+            regs = arch.regs
+            mismatched_regs = tuple(
+                r for r, value in sorted(task.live_in_regs.items())
+                if value != regs[r]
+            )
         self.events.emit(TaskSquashed(
-            tid=task.tid, reason=outcome.reason.value, record=record
+            tid=task.tid, reason=outcome.reason.value, record=record,
+            mismatched_regs=mismatched_regs,
         ))
         return False, False
 

@@ -1,0 +1,162 @@
+"""Squash-driven online re-distillation (the runtime half of the loop).
+
+A :class:`Redistiller` subscribes to the engine's EventBus and
+accumulates a per-region miss profile from ``task_squashed`` events:
+how many live-in misprediction squashes each fork anchor has caused,
+and which register cells verification observed mismatched.  Once one
+region crosses the configured threshold, the engine (between episodes —
+i.e. between tasks, never under an in-flight speculation) asks it to
+re-distill: the evidence is mapped onto the distiller's speculative
+decisions (:mod:`repro.distill.adaptive`), folded into the training
+profile, and the whole (pure, deterministic) distiller re-runs.  The
+engine then hot-swaps the new artifact, invalidating every dependent
+cache coherently, and emits a ``redistilled`` event carrying the
+threshold so the RT003 lint check can audit the trigger from the event
+stream alone.
+
+Only squash reasons with clean region attribution participate
+(:data:`LIVE_IN_REASONS`: register/memory live-in mismatches, whose
+``origin_pc`` is the task's anchor).  Faults, overruns, master timeouts
+and wrong-start-pc squashes are not live-in mispredictions the
+distiller can learn from.
+
+A round that maps no evidence (squashes the distiller's bets cannot
+explain *yet*) resets that region's count and keeps listening — early
+triggers can fire before verification has reported the mismatched
+registers that implicate a suppressed path, so later evidence may still
+map.  The probe is cheap (the distiller only re-runs once evidence
+maps), and :data:`MAX_ROUNDS` bounds actual re-distillations.  Folding
+is cumulative across rounds: each folded profile becomes the next base.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.config import DistillConfig
+from repro.distill.adaptive import AdaptationDelta, redistill
+from repro.distill.distiller import DistillationResult
+from repro.errors import MsspError
+from repro.machine.state import ArchState
+from repro.profiling.profile_data import Profile
+
+__all__ = ["LIVE_IN_REASONS", "Redistiller"]
+
+#: Squash reasons that accumulate toward the re-distillation trigger.
+LIVE_IN_REASONS = frozenset(("register-live-in", "memory-live-in"))
+
+#: Safety valve: rounds per run, far above anything a real workload
+#: needs (each round must map fresh evidence to proceed at all).
+MAX_ROUNDS = 8
+
+
+class Redistiller:
+    """Accumulates squash evidence and produces replacement artifacts.
+
+    Construct via :meth:`~repro.mssp.engine.MsspEngine.enable_adaptation`
+    — the engine owns the subscription lifecycle and the hot swap; this
+    class owns the evidence and the trigger decision.
+    """
+
+    def __init__(
+        self,
+        engine,
+        profile: Profile,
+        distill_config: Optional[DistillConfig] = None,
+        threshold: Optional[int] = None,
+    ) -> None:
+        if threshold is None:
+            threshold = engine.config.redistill_threshold
+        if threshold is None:
+            raise MsspError(
+                "redistillation needs a threshold: set "
+                "MsspConfig.redistill_threshold or pass one explicitly"
+            )
+        self.engine = engine
+        self.threshold = int(threshold)
+        self.config = distill_config
+        #: The pristine training profile; :meth:`reset` restores it so
+        #: repeated engine runs adapt from the same starting point.
+        self._base_profile = profile
+        self.profile = profile
+        self.miss_counts: Dict[int, int] = {}
+        self.mismatched_regs: Set[int] = set()
+        self.generation = 0
+        self.exhausted = False
+        self._unsubscribe = engine.events.subscribe(self._on_event)
+
+    # -- evidence ----------------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        if getattr(event, "kind", None) != "task_squashed":
+            return
+        if event.reason not in LIVE_IN_REASONS:
+            return
+        origin = getattr(event.record, "origin_pc", None)
+        if origin is None:
+            return
+        self.miss_counts[origin] = self.miss_counts.get(origin, 0) + 1
+        self.mismatched_regs.update(event.mismatched_regs)
+
+    def reset(self) -> None:
+        """Back to the pristine state (start of an engine run)."""
+        self.profile = self._base_profile
+        self.miss_counts = {}
+        self.mismatched_regs = set()
+        self.generation = 0
+        self.exhausted = False
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+    # -- trigger -----------------------------------------------------------
+
+    def hot_region(self) -> Optional[int]:
+        """The anchor past threshold (smallest wins, deterministically)."""
+        over = [
+            anchor
+            for anchor, count in self.miss_counts.items()
+            if count >= self.threshold
+        ]
+        return min(over) if over else None
+
+    def maybe_redistill(
+        self, arch: ArchState
+    ) -> Optional[Tuple[int, int, DistillationResult, AdaptationDelta]]:
+        """Re-distill if a region crossed the threshold.
+
+        Called by the engine between episodes.  Returns ``(region,
+        misses, result, delta)`` for the engine to hot-swap, or ``None``
+        (below threshold, disarmed, or no evidence mapped).  On success
+        the miss profile resets — the new master starts with a clean
+        slate — and the folded profile becomes the next round's base.
+        """
+        if self.exhausted or self.generation >= MAX_ROUNDS:
+            return None
+        region = self.hot_region()
+        if region is None:
+            return None
+        prior = self.engine._distillation
+        if prior is None:
+            self.exhausted = True
+            return None
+        misses = self.miss_counts[region]
+        result, folded, delta = redistill(
+            self.engine.original,
+            self.profile,
+            prior,
+            arch.load_cells,
+            frozenset(self.mismatched_regs),
+            config=self.config,
+        )
+        if result is None:
+            # Nothing the distiller bet on explains the squashes *so
+            # far* — the region must earn another full threshold of
+            # misses (with fresh mismatch evidence) to probe again.
+            self.miss_counts[region] = 0
+            return None
+        self.profile = folded
+        self.generation += 1
+        self.miss_counts = {}
+        self.mismatched_regs = set()
+        return region, misses, result, delta

@@ -29,6 +29,8 @@ __all__ = [
     "ResultAdopted",
     "TaskCommitted",
     "TaskSquashed",
+    "LiveInPredicted",
+    "Redistilled",
     "MasterFailed",
     "RecoveryRun",
     "JitDeopt",
@@ -102,12 +104,48 @@ class TaskCommitted(RuntimeEvent):
 
 @dataclass(frozen=True)
 class TaskSquashed(RuntimeEvent):
-    """Verification failed; the episode's in-flight successors die."""
+    """Verification failed; the episode's in-flight successors die.
+
+    ``mismatched_regs`` names the register live-ins whose architected
+    values disagreed with the checkpoint (empty for non-live-in squash
+    reasons) — the evidence stream the
+    :class:`~repro.mssp.redistill.Redistiller` maps back onto asserted
+    branches whose suppressed paths write those registers.
+    """
 
     kind: ClassVar[str] = "task_squashed"
     tid: int
     reason: str
     record: object  # TaskAttemptRecord
+    mismatched_regs: tuple = ()
+
+
+@dataclass(frozen=True)
+class LiveInPredicted(RuntimeEvent):
+    """The predictor bank patched a fork checkpoint's start image."""
+
+    kind: ClassVar[str] = "live_in_predicted"
+    tid: int
+    anchor: int
+    cells: tuple  # sorted register indices overridden
+
+
+@dataclass(frozen=True)
+class Redistilled(RuntimeEvent):
+    """The engine hot-swapped a freshly re-distilled master.
+
+    ``threshold`` is embedded so the RT003 lint check (every
+    ``redistilled`` event preceded by ≥ threshold live-in squashes for
+    ``region``) is self-contained on the event stream.
+    """
+
+    kind: ClassVar[str] = "redistilled"
+    region: int          # hot fork anchor (original-program pc)
+    misses: int          # live-in squashes accumulated for that region
+    threshold: int       # configured redistill_threshold
+    despecialized: int   # value_spec sites de-specialized this round
+    deasserted: int      # asserted branches de-asserted this round
+    generation: int      # 1-based count of swaps this run
 
 
 @dataclass(frozen=True)

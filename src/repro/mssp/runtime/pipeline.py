@@ -40,6 +40,7 @@ from repro.mssp.runtime.events import (
     ChunkDispatched,
     EventBus,
     JitDeopt,
+    LiveInPredicted,
     ResultAdopted,
     TaskExecuted,
     TaskForked,
@@ -179,13 +180,35 @@ class TaskPipeline:
                             tid=open_task.tid, start_pc=open_task.start_pc,
                             end_pc=open_task.end_pc, exact=open_task.exact,
                         ))
+                        # Start-image patching: override the master's
+                        # guess for cells the predictor bank is both
+                        # confident about and gate-open on (episode-
+                        # frozen snapshot, so every backend patches
+                        # identically).  Only registers are patched —
+                        # checkpoint memory is delta-chained on the
+                        # process wire.  Exact tasks are never patched.
+                        checkpoint = event.checkpoint
+                        predicted: Dict[int, int] = {}
+                        bank = getattr(core, "predictor", None)
+                        if bank is not None:
+                            overrides = bank.predictions_for(event.anchor)
+                            if overrides:
+                                checkpoint, predicted = checkpoint.patched(
+                                    overrides
+                                )
                         open_task = Task(
                             tid=next_tid, start_pc=event.anchor,
-                            checkpoint=event.checkpoint,
+                            checkpoint=checkpoint,
                             proven_regs=core.static_proven_regs(
                                 event.anchor
                             ),
+                            predicted_cells=predicted,
                         )
+                        if predicted:
+                            events.emit(LiveInPredicted(
+                                tid=open_task.tid, anchor=event.anchor,
+                                cells=tuple(sorted(predicted)),
+                            ))
                         open_delta = event.mem_delta
                         next_tid += 1
                     elif event.kind is MasterEventKind.HALT:

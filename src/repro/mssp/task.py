@@ -43,6 +43,30 @@ class Checkpoint:
     def __len__(self) -> int:
         return len(self.regs) + len(self.mem)
 
+    def patched(
+        self, overrides: Dict[int, int]
+    ) -> Tuple["Checkpoint", Dict[int, int]]:
+        """Start-image patching: a copy with predicted register values
+        written over the master's, plus ``{reg: master's value}`` for the
+        cells actually changed.
+
+        Only registers are ever patched — register images ship verbatim
+        per task on every executor wire, whereas checkpoint *memory* is
+        delta-chained by the process executor (``mem_k == mem_{k-1} |
+        delta_k``), so patching it would corrupt the chain.  Returns
+        ``(self, {})`` when no override changes anything, so unpatched
+        checkpoints are never copied.
+        """
+        replaced: Dict[int, int] = {}
+        regs = list(self.regs)
+        for reg, value in overrides.items():
+            if 0 < reg < len(regs) and regs[reg] != value:
+                replaced[reg] = regs[reg]
+                regs[reg] = value
+        if not replaced:
+            return self, {}
+        return Checkpoint(regs=tuple(regs), mem=self.mem), replaced
+
 
 class TaskStatus(enum.Enum):
     """Lifecycle of a task."""
@@ -112,6 +136,13 @@ class Task:
     #: (or soundness-check) these register compares.  A purely static
     #: attribute — never crosses the executor wire.
     proven_regs: frozenset = frozenset()
+    #: Live-in cells the predictor bank overrode in this task's
+    #: checkpoint, mapping register → the master's *original* (pre-patch)
+    #: value; the predicted value is ``checkpoint.regs[reg]``.  Like
+    #: ``proven_regs``, a creation-time attribute that never crosses the
+    #: executor wire — the judge uses it to score predictor hits/misses
+    #: and to recover the master's own guess for training.
+    predicted_cells: Dict[int, int] = field(default_factory=dict)
 
     # Filled by verification -----------------------------------------------------
     squash_reason: SquashReason = SquashReason.NONE

@@ -168,6 +168,17 @@ class MsspCounters:
     #: this *is* a compared field: the proven set is a pure function of
     #: the task's anchor, so every backend must report the same count.
     static_verify_skips: int = 0
+    #: Predictor-overridden live-in cells that matched / missed
+    #: architected truth at judge time (:mod:`repro.mssp.predict`).
+    #: Compared fields: overrides are decided from an episode-frozen
+    #: snapshot trained at the shared judge, so every backend overrides
+    #: — and scores — identically.  Zero whenever the miss gate never
+    #: opened (in particular, always zero with ``predictors="off"``).
+    predictor_hits: int = 0
+    predictor_misses: int = 0
+    #: Mid-run master hot swaps by the adaptive re-distillation loop
+    #: (:mod:`repro.mssp.redistill`); also a compared field.
+    redistillations: int = 0
     squash_reasons: Dict[str, int] = field(default_factory=dict)
     #: How the run's tasks were routed through the executor backend.
     #: ``compare=False``: routing is backend-dependent by design, and
@@ -225,6 +236,9 @@ class MsspCounters:
             "speculative_coverage": self.speculative_coverage,
             "restarts": float(self.restarts),
             "static_verify_skips": float(self.static_verify_skips),
+            "predictor_hits": float(self.predictor_hits),
+            "predictor_misses": float(self.predictor_misses),
+            "redistillations": float(self.redistillations),
         }
         for key, value in self.dispatch.summary().items():
             out[key] = float(value)

@@ -1,0 +1,135 @@
+"""``mispredict`` — phase-shifting mode values that defeat ``value_spec``.
+
+The kernel reads a *mode* word from a small table indexed by the loop
+counter's high bits, so the mode is constant for long phases and then
+shifts.  The training inputs make the whole table one value (the
+distiller specializes the mode load to that constant); the evaluation
+input drifts the table, so each phase shift turns the specialized
+constant stale and the master's derived live-in (``r9``) mispredicts
+every subsequent task — exactly the adversarial input for the adaptive
+prediction loop: a last-value predictor rescues the stable stretch of a
+phase, and squash-driven re-distillation de-specializes the mode load
+for good.
+
+A latch register is *stored before it is rewritten* each iteration, so
+it is a register live-in at the fork anchor; the pure-data checksum is
+mode-independent, keeping the rest of the master's prediction exact.
+
+Results: ``RESULT_BASE`` = checksum, ``RESULT_BASE+1`` = final latch,
+``RESULT_BASE+2`` = iteration count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.isa.program import Program
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import (
+    INPUT_BASE,
+    RESULT_BASE,
+    WorkloadSpec,
+    emit_guard_fixups,
+    never_taken_guard,
+)
+
+#: Mode-table slots (indexed by ``(counter >> PHASE_SHIFT) & 7``).
+MODE_SLOTS = 8
+MODE_BASE = INPUT_BASE
+DATA_BASE = INPUT_BASE + MODE_SLOTS
+
+def phase_shift(size: int) -> int:
+    """Countdown bits below the mode index for a ``size``-iteration run.
+
+    Size-relative so every size — including the 0.1-scale CI smoke —
+    sees several phases: the index is ``(counter >> shift) & 7`` and
+    this shift keeps ``size >> shift`` in 4..7, i.e. 4-8 phases of
+    ``2**shift`` iterations each.
+    """
+    return max(1, max(1, size // 4).bit_length() - 1)
+
+#: The mode value every training input exhibits (flat table).
+BASE_MODE = 0x40
+
+#: Training seeds are *searched* so their drift draw is zero (flat mode
+#: table — the distiller specializes the mode load); the evaluation seed
+#: is searched for a non-zero drift (the table varies by phase).  The
+#: workload tests pin these properties down.
+TRAIN_SEEDS = (104, 113)
+EVAL_SEED = 770
+
+
+def build_code(size: int) -> Program:
+    b = ProgramBuilder(name="mispredict")
+
+    b.label("main")
+    b.li("r1", size)            # iterations remaining (countdown)
+    b.li("r4", DATA_BASE)       # data base: loop-invariant (provable live-in)
+    b.li("r9", BASE_MODE ^ 5)   # mode latch (read before written below)
+    b.li("r10", 0)              # checksum
+    b.li("r12", 0)              # iterations executed
+
+    guards = []
+    b.label("loop")
+    # The latch is *read* (stored) before this iteration rewrites it, so
+    # r9 is a register live-in at the fork anchor — the cell the master
+    # gets wrong once the specialized mode constant goes stale.
+    b.sw("r9", "zero", RESULT_BASE + 1)
+    guards.append(never_taken_guard(b, "mp_latch", "r9", "r4"))
+    b.srli("r2", "r1", phase_shift(size))
+    b.andi("r2", "r2", MODE_SLOTS - 1)
+    b.addi("r3", "r2", MODE_BASE)
+    b.lw("r7", "r3", 0)         # mode word: the value_spec target
+    b.xori("r9", "r7", 5)       # rewrite the latch from the mode
+    b.add("r11", "r4", "r12")   # cursor = invariant base + iteration count
+    b.lw("r8", "r11", 0)        # pure data, mode-independent
+    b.add("r10", "r10", "r8")
+    b.addi("r12", "r12", 1)
+    b.addi("r1", "r1", -1)
+    b.bne("r1", "zero", "loop")
+
+    b.sw("r10", "zero", RESULT_BASE)
+    b.sw("r9", "zero", RESULT_BASE + 1)
+    b.sw("r12", "zero", RESULT_BASE + 2)
+    b.halt()
+    emit_guard_fixups(b, guards)
+    return b.build()
+
+
+def drift_for(rng: random.Random) -> int:
+    """The seed's phase drift (the first draw; 0 = flat table)."""
+    return rng.randrange(4)
+
+
+def gen_data(size: int, rng: random.Random) -> Dict[int, int]:
+    """Mode table plus a checksum stream.
+
+    The top phase's slot always holds :data:`BASE_MODE`; lower slots
+    drift away from it by ``drift`` per phase.  With ``drift == 0``
+    (every training seed) the table is flat and the mode load is
+    perfectly specializable; with ``drift > 0`` (the evaluation seed)
+    each phase shift invalidates the constant.
+    """
+    drift = drift_for(rng)
+    top = (size >> phase_shift(size)) & (MODE_SLOTS - 1)
+    data = {}
+    for slot in range(MODE_SLOTS):
+        below = max(0, top - slot)
+        data[MODE_BASE + slot] = BASE_MODE + drift * below
+    for index in range(size):
+        data[DATA_BASE + index] = rng.randint(1, 2 ** 16)
+    return data
+
+
+SPEC = WorkloadSpec(
+    name="mispredict",
+    description="phase-shifting mode table that defeats value "
+                "specialization: stale constants squash until the "
+                "adaptive loop re-predicts or re-distills",
+    build_code=build_code,
+    gen_data=gen_data,
+    default_size=2047,
+    train_seeds=TRAIN_SEEDS,
+    eval_seed=EVAL_SEED,
+)

@@ -1,7 +1,9 @@
 """Workload registry: name → :class:`~repro.workloads.base.WorkloadSpec`.
 
-The twelve workloads model the control/memory behaviours spanned by the
-MICRO paper's SPECint-2000 suite; see DESIGN.md §4 for the mapping.
+Twelve workloads model the control/memory behaviours spanned by the
+MICRO paper's SPECint-2000 suite (see DESIGN.md §4 for the mapping);
+``mispredict`` is the thirteenth, an adversarial input for the adaptive
+prediction loop (phase-shifting values that defeat ``value_spec``).
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.workloads import (
     hashlookup,
     interp,
     matmul,
+    mispredict,
     parse,
     pointer_chase,
     sort,
@@ -38,6 +41,7 @@ _ALL = [
     stringops.SPEC,
     fib_memo.SPEC,
     interp.SPEC,
+    mispredict.SPEC,
 ]
 
 WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _ALL}

@@ -1,0 +1,125 @@
+"""The ``mispredict`` workload: the adversarial input it promises to be.
+
+Pins the seed-search invariants (flat training tables, drifting
+evaluation table), the squash behaviour the phase shifts provoke, and
+the acceptance criterion of the adaptive prediction loop: with
+predictors + re-distillation enabled, the squashing workloads squash
+*strictly less* than the static baseline.
+"""
+
+import random
+
+import pytest
+
+from repro.config import MsspConfig
+from repro.experiments import evaluate, prepare
+from repro.workloads import get_workload
+from repro.workloads.mispredict import (
+    BASE_MODE,
+    EVAL_SEED,
+    MODE_BASE,
+    MODE_SLOTS,
+    TRAIN_SEEDS,
+    drift_for,
+    gen_data,
+    phase_shift,
+)
+
+from tests.workloads.test_suite import SMALL_SIZES
+
+#: The workloads whose default-configuration runs actually squash —
+#: the before/after population for the adaptive loop.
+SQUASHING = ("hashlookup", "fib_memo", "mispredict")
+
+
+class TestSeedProperties:
+    def test_training_seeds_are_flat(self):
+        """Every training input has drift 0: the mode table is constant
+        and the distiller will specialize the mode load."""
+        for seed in TRAIN_SEEDS:
+            assert drift_for(random.Random(seed)) == 0
+            data = gen_data(512, random.Random(seed))
+            modes = {data[MODE_BASE + s] for s in range(MODE_SLOTS)}
+            assert modes == {BASE_MODE}
+
+    def test_eval_seed_drifts(self):
+        """The evaluation input shifts the mode across phases."""
+        assert drift_for(random.Random(EVAL_SEED)) > 0
+        data = gen_data(2047, random.Random(EVAL_SEED))
+        modes = {data[MODE_BASE + s] for s in range(MODE_SLOTS)}
+        assert len(modes) > 1
+        # The top phase still matches training, so the first phase of
+        # the run is clean before the shifts begin.
+        top = (2047 >> phase_shift(2047)) & (MODE_SLOTS - 1)
+        assert data[MODE_BASE + top] == BASE_MODE
+
+    def test_phase_shift_gives_phases_at_every_scale(self):
+        """Even the 0.1-scale CI smoke sizes see several phases."""
+        for size in (64, 204, 1100, 2047):
+            phases = size >> phase_shift(size)
+            assert 4 <= phases <= 7
+
+    def test_mode_load_gets_specialized(self):
+        prepared = prepare(
+            get_workload("mispredict"), size=SMALL_SIZES["mispredict"]
+        )
+        stats = prepared.distillation.report.pass_stats["value_spec"]
+        assert any(
+            value == BASE_MODE for _, value in stats.specialized_sites
+        )
+
+
+class TestAdversarialBehaviour:
+    def test_baseline_squashes_heavily(self):
+        prepared = prepare(
+            get_workload("mispredict"), size=SMALL_SIZES["mispredict"]
+        )
+        row = evaluate(prepared)
+        counters = row.counters
+        assert counters.tasks_squashed > 10
+        assert counters.squash_reasons.get("register-live-in", 0) > 10
+
+
+class TestAdaptiveAcceptance:
+    @pytest.mark.parametrize("name", SQUASHING)
+    def test_adaptation_strictly_reduces_squashes(self, name):
+        """The PR's acceptance criterion: predictors + re-distillation
+        squash strictly less than the static configuration, while the
+        run stays SEQ-equivalent (evaluate checks it).  Default sizes —
+        the same population ``repro bench`` records — because the tiny
+        test sizes spread their few squashes across regions without
+        crossing the trigger threshold."""
+        prepared = prepare(get_workload(name))
+        baseline = evaluate(prepared)
+        adaptive = evaluate(
+            prepared, mssp_config=MsspConfig().with_adaptation()
+        )
+        assert baseline.counters.tasks_squashed > 0
+        assert (
+            adaptive.counters.tasks_squashed
+            < baseline.counters.tasks_squashed
+        )
+
+    def test_mispredict_redistills(self):
+        prepared = prepare(
+            get_workload("mispredict"), size=SMALL_SIZES["mispredict"]
+        )
+        adaptive = evaluate(
+            prepared, mssp_config=MsspConfig().with_adaptation()
+        )
+        assert adaptive.counters.redistillations >= 1
+
+    def test_counters_surface_in_summary(self):
+        prepared = prepare(
+            get_workload("mispredict"), size=SMALL_SIZES["mispredict"]
+        )
+        adaptive = evaluate(
+            prepared,
+            mssp_config=MsspConfig().with_adaptation(
+                redistill_threshold=None
+            ),
+        )
+        summary = adaptive.counters.summary()
+        assert summary["predictor_hits"] > 0
+        assert "predictor_misses" in summary
+        assert "redistillations" in summary

@@ -30,6 +30,7 @@ SMALL_SIZES = {
     "stringops": 60,
     "fib_memo": 600,
     "interp": 12,
+    "mispredict": 1100,
 }
 
 ALL_NAMES = sorted(WORKLOADS)
@@ -40,8 +41,8 @@ def small_instance(name):
 
 
 class TestRegistry:
-    def test_twelve_workloads(self):
-        assert len(WORKLOADS) == 12
+    def test_thirteen_workloads(self):
+        assert len(WORKLOADS) == 13
         assert set(workload_names()) == set(SMALL_SIZES)
 
     def test_unknown_workload(self):
