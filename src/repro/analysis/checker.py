@@ -108,6 +108,9 @@ CHECKS: Dict[str, str] = {
     "RT003": "every 'redistilled' event is preceded by at least its "
              "embedded threshold of live-in squashes attributed to the "
              "re-distilled region",
+    "RT004": "every accepted episode reaches exactly one terminal event "
+             "(completed or shed) and no server worker ever exceeds its "
+             "declared episode capacity",
     # -- dataflow / speculation-safety checks ---------------------------------
     "DF001": "every dataflow solution is a true fixpoint (one more transfer "
              "round does not move it)",
@@ -1338,6 +1341,131 @@ def check_runtime_execution(
         engine.events.subscribe(log)
         engine.run()
     return check_runtime_events(log.events, subject=subject)
+
+
+def check_server_events(events, subject: str = "server") -> CheckReport:
+    """Check an episode-server event stream against the serving protocol.
+
+    ``events`` is an emission-ordered sequence of runtime events; only
+    the ``episode_*`` kinds are inspected, so a mixed stream (engine
+    events interleaved with server events) lints cleanly.  One
+    invariant family is enforced:
+
+    * **RT004** — admission accounting: every ``episode_accepted``
+      reaches *exactly one* terminal event (``episode_completed`` or
+      ``episode_shed``) — no lost requests, no double answers; every
+      ``episode_dispatched`` names an accepted, still-open request; and
+      no worker ever holds more dispatched-but-unfinished episodes than
+      the capacity its dispatch events declare.  A request re-dispatched
+      to another worker (fault recovery re-queue) releases its previous
+      worker's slot.
+    """
+    report = CheckReport(subject=subject)
+    ever: Set[int] = set()
+    open_requests: Set[int] = set()
+    assigned: Dict[int, int] = {}       # request -> current worker
+    loads: Dict[int, Set[int]] = {}     # worker -> open requests held
+    for event in events:
+        kind = getattr(event, "kind", "")
+        if kind == "episode_accepted":
+            rid = event.request_id
+            if rid in ever:
+                _finding(
+                    report, "RT004", Severity.ERROR,
+                    f"request {rid} accepted more than once",
+                )
+            ever.add(rid)
+            open_requests.add(rid)
+        elif kind == "episode_dispatched":
+            rid = event.request_id
+            if rid not in open_requests:
+                _finding(
+                    report, "RT004", Severity.ERROR,
+                    f"request {rid} dispatched to worker {event.worker} "
+                    f"without being accepted and open",
+                )
+                continue
+            previous = assigned.pop(rid, None)
+            if previous is not None:
+                loads.setdefault(previous, set()).discard(rid)
+            assigned[rid] = event.worker
+            held = loads.setdefault(event.worker, set())
+            held.add(rid)
+            if len(held) > event.capacity:
+                _finding(
+                    report, "RT004", Severity.ERROR,
+                    f"worker {event.worker} holds {len(held)} episodes, "
+                    f"exceeding its declared capacity {event.capacity}",
+                )
+        elif kind in ("episode_completed", "episode_shed"):
+            rid = event.request_id
+            if rid not in open_requests:
+                _finding(
+                    report, "RT004", Severity.ERROR,
+                    f"terminal '{kind}' for request {rid} without a "
+                    f"matching open 'episode_accepted' (lost or "
+                    f"double-terminated request)",
+                )
+                continue
+            open_requests.discard(rid)
+            worker = assigned.pop(rid, None)
+            if worker is not None:
+                loads.setdefault(worker, set()).discard(rid)
+    for rid in sorted(open_requests):
+        _finding(
+            report, "RT004", Severity.ERROR,
+            f"request {rid} was accepted but never reached a terminal "
+            f"event (completed or shed)",
+        )
+    return report
+
+
+def check_server_execution(
+    workload: str,
+    program,
+    distillation,
+    subject: str = "server",
+    profile=None,
+    size: int = 0,
+) -> CheckReport:
+    """Serve a burst through an in-process episode server; lint RT004.
+
+    The server is preloaded with the lint-computed distillation (no
+    re-distilling) and driven with digest-addressed requests over a
+    deliberately tight fleet — two workers of capacity one with a
+    two-deep queue — so the burst exercises direct dispatch, queueing,
+    and (when the burst outruns the fleet) the shed path; the recorded
+    episode event stream then goes to :func:`check_server_events`.
+    """
+    from repro.config import MsspConfig, ServeConfig
+    from repro.experiments import cache as artifact_cache
+    from repro.mssp.runtime.events import EventLog
+    from repro.serve import EpisodeRequest, EpisodeServer, ServedProgram
+
+    content = artifact_cache.program_digest(program)
+    entry = ServedProgram(
+        name=workload, size=size,
+        key=artifact_cache.digest(workload, size, content, None),
+        digest=content, program=program, distillation=distillation,
+        profile=profile,
+    )
+    config = MsspConfig(runtime="thread", num_slaves=2)
+    log = EventLog()
+    server = EpisodeServer(ServeConfig(
+        workers=2, worker_capacity=1, max_queue_depth=2,
+    ))
+    server.events.subscribe(log)
+    server.preload(entry)
+    with server:
+        handles = [
+            server.submit(EpisodeRequest(
+                digest=content, config=config, tenant=f"lint-{i}",
+            ))
+            for i in range(5)
+        ]
+        for handle in handles:
+            handle.result()
+    return check_server_events(log.events, subject=subject)
 
 
 # ---------------------------------------------------------------------------

@@ -31,7 +31,14 @@ Subcommands
     Performance measurement: interpreter microbenchmark (reference
     ``execute`` loop vs the pre-decoded engine) plus the E-suite through
     the persistent artifact cache; writes ``BENCH_summary.json`` and can
-    gate against a committed baseline.
+    gate against a committed baseline.  ``--serve`` runs the serving
+    benchmark instead: warm-vs-cold throughput and open-loop Poisson
+    arrivals against the episode server.
+``serve``
+    Run the persistent multi-tenant episode server: JSONL requests on
+    stdin (or ``--requests FILE``), JSONL responses on stdout, serving
+    statistics on stderr; ``--warmup`` pre-distills and pre-JITs
+    workloads at startup.
 """
 
 from __future__ import annotations
@@ -225,6 +232,75 @@ def build_parser() -> argparse.ArgumentParser:
              "per workload (-j sets the slave worker count; 'parallel' "
              "is a deprecated alias of 'process')",
     )
+    bench.add_argument(
+        "--serve", action="store_true",
+        help="run the serving benchmark instead: warm-vs-cold throughput "
+             "plus open-loop Poisson arrivals against the episode server "
+             "(--workloads selects the mix; --runtime the engine backend)",
+    )
+    bench.add_argument(
+        "--serve-rates", default=None, metavar="R1[,R2...]",
+        help="open-loop arrival rates in episodes/sec (default: 2,8)",
+    )
+    bench.add_argument(
+        "--serve-requests", type=int, default=24, metavar="N",
+        help="requests per open-loop rate point (default: 24)",
+    )
+    bench.add_argument(
+        "--serve-workers", type=int, default=2, metavar="N",
+        help="server worker fleet size for --serve (default: 2)",
+    )
+    bench.add_argument(
+        "--serve-seed", type=int, default=0, metavar="SEED",
+        help="seed for the Poisson arrival schedules (default: 0)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent multi-tenant episode server "
+             "(JSONL requests on stdin, JSONL responses on stdout)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="server worker fleet size (default: 2)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=4,
+        help="episodes one worker may hold at once (default: 4)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=32, dest="queue_depth",
+        help="bounded backlog depth for admission='wait' (default: 32)",
+    )
+    serve.add_argument(
+        "--admission", choices=("wait", "shed"), default="wait",
+        help="admission policy when the fleet is saturated: queue "
+             "bounded ('wait') or reject immediately ('shed')",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=4, dest="max_batch",
+        help="compatible queued episodes folded into one service turn "
+             "(default: 4)",
+    )
+    serve.add_argument(
+        "--warmup", default=None, metavar="W1[,W2...]",
+        help="workloads to pre-distill and pre-JIT at startup",
+    )
+    serve.add_argument(
+        "--runtime", choices=("eager", "thread", "process", "parallel"),
+        default="thread",
+        help="slave-execution backend for served episodes "
+             "(default: thread)",
+    )
+    serve.add_argument(
+        "--exec-tier", choices=("oracle", "decoded", "jit"), default=None,
+        help="execution tier for served episodes (default: REPRO_EXEC, "
+             "then decoded)",
+    )
+    serve.add_argument(
+        "--requests", default=None, metavar="PATH",
+        help="read JSONL requests from a file instead of stdin",
+    )
 
     report = sub.add_parser(
         "report", help="write a markdown report of a suite run"
@@ -416,6 +492,7 @@ def _lint_workload(name, args, config):
         check_runtime_execution,
         check_safety_report,
         check_safety_runtime,
+        check_server_execution,
     )
     from repro.analysis.specsafe import prove_safety
     from repro.distill.distiller import Distiller
@@ -472,9 +549,14 @@ def _lint_workload(name, args, config):
         instance.program, distillation, subject=f"{name}: safety runtime"
     )):
         return reports, None
-    gate(check_runtime_execution(
+    if not gate(check_runtime_execution(
         instance.program, distillation, subject=f"{name}: runtime",
         profile=profile,
+    )):
+        return reports, None
+    gate(check_server_execution(
+        name, instance.program, distillation,
+        subject=f"{name}: server", profile=profile, size=instance.size,
     ))
     return reports, None
 
@@ -715,6 +797,169 @@ def cmd_analyze(args) -> int:
     return exit_code
 
 
+def cmd_serve(args) -> int:
+    """JSONL front-end over the in-process episode server.
+
+    One request per input line — ``{"workload": "crc", "size": 6,
+    "tenant": "a"}`` or ``{"digest": "..."}`` — submitted as a stream;
+    one JSON response per line on stdout in request order, serving
+    statistics on stderr at end of stream.  No sockets: pipe requests
+    in, pipe responses out.
+    """
+    import json
+
+    from repro.config import MsspConfig, ServeConfig
+    from repro.serve import EpisodeServer, EpisodeRequest, state_digest
+
+    warmup = tuple(
+        name.strip()
+        for name in (args.warmup or "").split(",") if name.strip()
+    )
+    unknown = [name for name in warmup if name not in WORKLOADS]
+    if unknown:
+        print(f"serve: unknown warmup workload(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    mssp_config = MsspConfig(
+        runtime=args.runtime, exec_tier=args.exec_tier
+    )
+    server = EpisodeServer(
+        ServeConfig(
+            workers=args.workers, worker_capacity=args.capacity,
+            max_queue_depth=args.queue_depth, admission=args.admission,
+            max_batch=args.max_batch, warmup=warmup,
+        ),
+        mssp_config=mssp_config,
+    )
+    stream = open(args.requests) if args.requests else sys.stdin
+    handles = []
+    rejected = []
+    try:
+        with server:
+            for line in stream:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    payload = json.loads(line)
+                    request = EpisodeRequest(
+                        workload=payload.get("workload"),
+                        digest=payload.get("digest"),
+                        size=payload.get("size"),
+                        config=mssp_config,
+                        tenant=str(payload.get("tenant", "default")),
+                    )
+                    if (
+                        request.workload is not None
+                        and request.workload not in WORKLOADS
+                    ):
+                        raise ValueError(
+                            f"unknown workload {request.workload!r}"
+                        )
+                except Exception as error:  # noqa: BLE001 - per line
+                    rejected.append({
+                        "status": "error",
+                        "error": f"bad request line: {error}",
+                    })
+                    continue
+                handles.append(server.submit(request))
+            for handle in handles:
+                response = handle.result()
+                out = {
+                    "request_id": response.request_id,
+                    "status": response.status,
+                    "workload": response.workload,
+                    "digest": response.digest,
+                    "tenant": response.tenant,
+                    "worker": response.worker,
+                    "batched": response.batched,
+                    "cache": response.cache,
+                    "latency_ms": round(response.latency_seconds * 1e3, 3),
+                    "queue_ms": round(response.queue_seconds * 1e3, 3),
+                }
+                if response.ok:
+                    counters = response.result.counters
+                    out["state_digest"] = state_digest(
+                        response.result.final_state
+                    )
+                    out["tasks_committed"] = counters.tasks_committed
+                    out["tasks_squashed"] = counters.tasks_squashed
+                else:
+                    out["error"] = response.error
+                print(json.dumps(out), flush=True)
+            for out in rejected:
+                print(json.dumps(out), flush=True)
+            stats = dict(server.stats.summary())
+            stats["cache"] = server.cache_summary()
+    finally:
+        if args.requests:
+            stream.close()
+    print(f"serve: {json.dumps(stats)}", file=sys.stderr)
+    return 0
+
+
+def _bench_serve(args, scale: float) -> int:
+    from repro.config import MsspConfig, ServeConfig
+    from repro.experiments.bench import write_summary
+    from repro.experiments import cache as artifact_cache
+    from repro.serve.bench import (
+        DEFAULT_RATES,
+        DEFAULT_SERVE_WORKLOADS,
+        run_serve_bench,
+    )
+
+    workloads = (
+        tuple(args.workloads) if args.workloads else DEFAULT_SERVE_WORKLOADS
+    )
+    rates = (
+        tuple(float(r) for r in args.serve_rates.split(","))
+        if args.serve_rates else DEFAULT_RATES
+    )
+    serve = run_serve_bench(
+        workloads=workloads, rates=rates,
+        requests_per_rate=args.serve_requests, scale=scale,
+        seed=args.serve_seed,
+        serve_config=ServeConfig(workers=args.serve_workers),
+        mssp_config=MsspConfig(runtime=args.runtime),
+    )
+    cold = serve["cold"]
+    warm = serve["warm"]
+    print(
+        f"serving benchmark ({', '.join(workloads)}; "
+        f"runtime {serve['runtime'] or 'default'}, "
+        f"{args.serve_workers} server workers):"
+    )
+    print(f"  cold (1 fresh pipeline/episode): "
+          f"{cold['episodes_per_sec']:>10.2f} episodes/sec")
+    print(f"  warm server (burst):             "
+          f"{warm['episodes_per_sec']:>10.2f} episodes/sec")
+    print(f"  warm vs cold:                    "
+          f"{serve['speedup_vs_cold']:>10.2f}x")
+    print(f"  shared-cache hit rate:           "
+          f"{serve['cache_hit_rate']:>10.0%}")
+    table = Table(
+        ["rate/s", "offered", "done", "shed", "eps/s", "p50 ms",
+         "p99 ms", "p99.9 ms", "maxQ"],
+        title="open-loop Poisson arrivals",
+    )
+    for row in serve["open_loop"]:
+        table.add_row(
+            f"{row['rate']:g}", row["offered"], row["completed"],
+            row["shed"], f"{row['episodes_per_sec']:.2f}",
+            f"{row['latency_p50_ms']:.2f}",
+            f"{row['latency_p99_ms']:.2f}",
+            f"{row['latency_p999_ms']:.2f}",
+            row["max_queue_depth"],
+        )
+    print(table.render())
+    write_summary(
+        {"schema": artifact_cache.CACHE_SCHEMA, "serve_bench": serve},
+        args.output,
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     import os
 
@@ -734,6 +979,8 @@ def cmd_bench(args) -> int:
         scale = 0.1 if args.quick else float(
             os.environ.get("REPRO_BENCH_SCALE", "1.0")
         )
+    if args.serve:
+        return _bench_serve(args, scale)
     summary = run_bench(
         workloads=args.workloads, scale=scale, jobs=args.jobs,
         runtime=args.runtime,
@@ -838,6 +1085,7 @@ COMMANDS = {
     "lint": cmd_lint,
     "analyze": cmd_analyze,
     "bench": cmd_bench,
+    "serve": cmd_serve,
     "report": cmd_report,
 }
 

@@ -266,6 +266,48 @@ class MsspConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the persistent multi-tenant episode server
+    (:mod:`repro.serve`).
+
+    The server multiplexes a stream of episode requests from many
+    tenants onto one shared warm worker fleet.  Admission control
+    mirrors the master-dispatches-to-loaded-nodes idiom: an arriving
+    request goes to the least-loaded worker with free capacity; when
+    every worker is saturated it queues (``admission="wait"``) up to
+    ``max_queue_depth`` entries, beyond which — or immediately, under
+    ``admission="shed"`` — it is rejected with a typed
+    :class:`~repro.serve.server.ServerBusy` response.
+
+    ``worker_capacity`` is the number of episodes a worker may hold
+    (running plus assigned) at once; the RT004 lint check audits that
+    the recorded event stream never exceeds it.  ``max_batch`` bounds
+    how many *compatible* queued requests (same program digest and
+    engine configuration) a worker folds into one service turn on the
+    already-acquired warm engine instead of round-tripping the
+    scheduler per episode.
+    """
+
+    workers: int = 2
+    worker_capacity: int = 4
+    max_queue_depth: int = 32
+    admission: str = "wait"
+    max_batch: int = 4
+    #: Workload names pre-distilled/pre-JITted at server start so the
+    #: first tenant request is not a cold-compile outlier.
+    warmup: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("workers", "worker_capacity", "max_batch"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        if self.admission not in ("wait", "shed"):
+            raise ValueError("admission must be 'wait' or 'shed'")
+
+
+@dataclass(frozen=True)
 class TimingConfig:
     """Parameters of the task-level timing model.
 

@@ -372,7 +372,7 @@ def _bench_one(args: Tuple[str, float]) -> Dict[str, object]:
     simulated = (
         result.counters.total_instrs + ready.seq_instrs  # engine + seq check
     )
-    _, adaptive, _ = cached_functional_run(
+    _, adaptive, adaptive_hit = cached_functional_run(
         name, size=size, mssp_config=MsspConfig().with_adaptation()
     )
     return {
@@ -380,6 +380,7 @@ def _bench_one(args: Tuple[str, float]) -> Dict[str, object]:
         "size": size,
         "wall_seconds": wall,
         "cache_hit": hit,
+        "adaptive_cache_hit": adaptive_hit,
         "seq_instrs": ready.seq_instrs,
         "simulated_instrs": simulated,
         "instrs_per_sec": simulated / wall if wall > 0 else float("inf"),
@@ -446,12 +447,34 @@ def run_bench(
         "microbenchmark": micro,
         "suite": rows,
         "suite_wall_seconds": suite_wall,
-        "cache_hits": sum(1 for r in rows if r["cache_hit"]),
+        "cache_hits": suite_cache_hits(rows),
+        "adaptive_cache_hits": suite_cache_hits(rows, "adaptive_cache_hit"),
         "cache_dir": str(artifact_cache.cache_dir()),
     }
 
 
+def suite_cache_hits(rows: List[Dict[str, object]], flag: str = "cache_hit") -> int:
+    """How many suite rows hit the persistent cache, from per-row flags.
+
+    The single source of truth for the top-level ``cache_hits`` /
+    ``adaptive_cache_hits`` aggregates: always derived from the rows, so
+    the summary can never disagree with its own table (a warm rerun
+    reports ``cache_hits == len(suite)``, not a stale 0).
+    """
+    return sum(1 for row in rows if row.get(flag))
+
+
 def write_summary(summary: Dict[str, object], path: str) -> None:
+    rows = summary.get("suite")
+    if isinstance(rows, list):
+        # Re-derive the aggregate flags from the rows at write time so a
+        # caller that filtered or merged rows cannot emit a summary whose
+        # top-level counts contradict its own table.
+        summary = dict(summary)
+        summary["cache_hits"] = suite_cache_hits(rows)
+        summary["adaptive_cache_hits"] = suite_cache_hits(
+            rows, "adaptive_cache_hit"
+        )
     Path(path).write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
 
 

@@ -47,7 +47,11 @@ from typing import Any, Callable, Optional, Tuple
 #:    MsspConfig grew the predictor/redistillation knobs; bench suite
 #:    rows grew the adaptive stage (value-predicted live-ins +
 #:    squash-driven online re-distillation).
-CACHE_SCHEMA = 5
+#: 6: bench summaries grew the serving stage (``serve_bench``: open-loop
+#:    arrivals, warm-vs-cold throughput, shared-cache hit rates); suite
+#:    rows grew ``adaptive_cache_hit`` and top-level ``cache_hits`` is
+#:    now derived from the per-row flags.
+CACHE_SCHEMA = 6
 
 _ENV_VAR = "REPRO_BENCH_CACHE"
 

@@ -11,6 +11,10 @@ over this package.
 
 from repro.mssp.runtime.events import (
     ChunkDispatched,
+    EpisodeAccepted,
+    EpisodeCompleted,
+    EpisodeDispatched,
+    EpisodeShed,
     EventBus,
     EventLog,
     JitDeopt,
@@ -48,6 +52,10 @@ __all__ = [
     "RecoveryRun",
     "JitDeopt",
     "PoolDegraded",
+    "EpisodeAccepted",
+    "EpisodeDispatched",
+    "EpisodeCompleted",
+    "EpisodeShed",
     "EventBus",
     "EventLog",
     "SlaveExecutor",

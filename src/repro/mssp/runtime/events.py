@@ -35,6 +35,10 @@ __all__ = [
     "RecoveryRun",
     "JitDeopt",
     "PoolDegraded",
+    "EpisodeAccepted",
+    "EpisodeDispatched",
+    "EpisodeCompleted",
+    "EpisodeShed",
     "EventBus",
     "EventLog",
 ]
@@ -181,6 +185,59 @@ class PoolDegraded(RuntimeEvent):
     kind: ClassVar[str] = "pool_degraded"
     executor: str
     why: str
+
+
+@dataclass(frozen=True)
+class EpisodeAccepted(RuntimeEvent):
+    """The episode server admitted a tenant request (queued or direct).
+
+    Every accepted request terminates in exactly one
+    ``episode_completed`` or ``episode_shed`` — the pairing RT004
+    audits.  ``digest`` is the request's program content digest, the
+    key the cross-tenant warm caches share state under.
+    """
+
+    kind: ClassVar[str] = "episode_accepted"
+    request_id: int
+    digest: str
+    tenant: str = "default"
+
+
+@dataclass(frozen=True)
+class EpisodeDispatched(RuntimeEvent):
+    """The scheduler assigned an accepted request to a server worker.
+
+    ``capacity`` is the worker's declared episode capacity, embedded so
+    the RT004 lint check (no worker ever holds more dispatched-but-
+    uncompleted episodes than its capacity) is self-contained on the
+    event stream.  ``batched`` marks requests folded into a compatible
+    in-service batch rather than routed by least-loaded dispatch.
+    """
+
+    kind: ClassVar[str] = "episode_dispatched"
+    request_id: int
+    worker: int
+    capacity: int
+    batched: bool = False
+
+
+@dataclass(frozen=True)
+class EpisodeCompleted(RuntimeEvent):
+    """A dispatched episode finished (result or error) on ``worker``."""
+
+    kind: ClassVar[str] = "episode_completed"
+    request_id: int
+    worker: int
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class EpisodeShed(RuntimeEvent):
+    """Admission control rejected an accepted request (ServerBusy)."""
+
+    kind: ClassVar[str] = "episode_shed"
+    request_id: int
+    why: str = "queue-full"
 
 
 class EventBus:

@@ -1,0 +1,37 @@
+"""MSSP-as-a-service: the persistent multi-tenant episode server.
+
+Public surface: :class:`EpisodeServer` (in-process, no sockets),
+request/response/handle types, the typed :class:`ServerBusy` rejection,
+the warm-cache layers, and the open-loop serving benchmark
+(:mod:`repro.serve.bench`).
+"""
+
+from repro.serve.cache import (
+    CacheCounters,
+    EnginePool,
+    ServedProgram,
+    WarmCache,
+)
+from repro.serve.server import (
+    EpisodeHandle,
+    EpisodeRequest,
+    EpisodeResponse,
+    EpisodeServer,
+    ServerBusy,
+    ServerStats,
+    state_digest,
+)
+
+__all__ = [
+    "EpisodeServer",
+    "EpisodeRequest",
+    "EpisodeResponse",
+    "EpisodeHandle",
+    "ServerBusy",
+    "ServerStats",
+    "ServedProgram",
+    "WarmCache",
+    "EnginePool",
+    "CacheCounters",
+    "state_digest",
+]
