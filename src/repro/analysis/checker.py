@@ -121,6 +121,14 @@ CHECKS: Dict[str, str] = {
              "anchor in the original program",
     "DF005": "no statically PROVEN live-in register mismatches at runtime "
              "(differential check-mode run)",
+    # -- clock / simulation checks --------------------------------------------
+    "SIM001": "every emitted runtime event carries a clock stamp and, per "
+              "emitting actor, stamps never decrease across the stream",
+    "SIM002": "the simulated ('sim') runtime's functional result is "
+              "bit-identical to the eager engine's on the same episode",
+    "SIM003": "the discrete-event cluster replay of a captured trace "
+              "agrees with the analytic timing model at matching "
+              "parameters (within float tolerance)",
 }
 
 
@@ -1210,6 +1218,38 @@ def check_memory(
 # ---------------------------------------------------------------------------
 
 
+def _check_stamps(report: CheckReport, events) -> None:
+    """SIM001: clock stamps present and nondecreasing per actor.
+
+    The :class:`~repro.mssp.runtime.events.EventBus` stamps every event
+    it publishes with ``clock.now()`` under a lock, so within one
+    emitting actor the stream's stamps must never run backwards —
+    whether the clock is wall time or the sim runtime's virtual clock.
+    Hand-built (never-emitted) events all read t=0 and pass trivially.
+    """
+    last_at: Dict[str, float] = {}
+    for index, event in enumerate(events):
+        at = getattr(event, "at", None)
+        if not isinstance(at, (int, float)):
+            _finding(
+                report, "SIM001", Severity.ERROR,
+                f"event {index} ({getattr(event, 'kind', '?')}) carries "
+                f"no clock stamp",
+            )
+            continue
+        actor = getattr(event, "actor", "")
+        previous = last_at.get(actor)
+        if previous is not None and at < previous:
+            _finding(
+                report, "SIM001", Severity.ERROR,
+                f"event {index} ({getattr(event, 'kind', '?')}) from "
+                f"actor {actor!r} is stamped {at!r}, before its "
+                f"predecessor's {previous!r} — the stream's clock ran "
+                f"backwards",
+            )
+        last_at[actor] = at
+
+
 def check_runtime_events(events, subject: str = "runtime") -> CheckReport:
     """Check a recorded runtime-event stream against the MSSP protocol.
 
@@ -1231,11 +1271,14 @@ def check_runtime_events(events, subject: str = "runtime") -> CheckReport:
       misprediction squashes attributed (via ``origin_pc``) to the
       re-distilled region since the previous ``redistilled`` event — the
       adaptive loop may only hot-swap the master on accumulated squash
-      evidence, never spontaneously.
+      evidence, never spontaneously;
+    * **SIM001** — clock stamps: every event carries a stamp and, per
+      emitting actor, stamps never decrease (see :func:`_check_stamps`).
     """
     from repro.mssp.redistill import LIVE_IN_REASONS
 
     report = CheckReport(subject=subject)
+    _check_stamps(report, events)
     #: Forked, not yet judged — episode order; the head judges first.
     outstanding: List[int] = []
     #: Killed by a squash/failure, awaiting re-fork before re-judgement.
@@ -1359,8 +1402,12 @@ def check_server_events(events, subject: str = "server") -> CheckReport:
       the capacity its dispatch events declare.  A request re-dispatched
       to another worker (fault recovery re-queue) releases its previous
       worker's slot.
+
+    The stream's clock stamps are also audited (**SIM001**, see
+    :func:`_check_stamps`).
     """
     report = CheckReport(subject=subject)
+    _check_stamps(report, events)
     ever: Set[int] = set()
     open_requests: Set[int] = set()
     assigned: Dict[int, int] = {}       # request -> current worker
@@ -1466,6 +1513,87 @@ def check_server_execution(
         for handle in handles:
             handle.result()
     return check_server_events(log.events, subject=subject)
+
+
+def check_sim_execution(
+    program, distillation, subject: str = "sim"
+) -> CheckReport:
+    """Run the episode on the ``sim`` runtime; lint SIM001–SIM003.
+
+    Three checks, end to end through the one clock seam:
+
+    * the eager reference run and the virtual-clock ``sim`` run must
+      produce bit-identical functional results (**SIM002**) — simulated
+      time may never perturb architected state;
+    * both runs' event streams must carry nondecreasing per-actor clock
+      stamps (**SIM001**) — wall stamps on the eager stream, virtual
+      stamps on the sim stream;
+    * replaying the captured trace through the discrete-event cluster
+      model must agree with the analytic timing simulator at matching
+      parameters (**SIM003**) — the two implement the same recurrence,
+      so any disagreement beyond float tolerance is a model bug.
+    """
+    from repro.config import MsspConfig, TimingConfig
+    from repro.mssp.engine import create_engine
+    from repro.mssp.runtime.events import EventLog
+    from repro.sim.bench import AGREEMENT_TOLERANCE
+    from repro.sim.cluster import ClusterConfig, ClusterSim
+    from repro.timing.simulator import (
+        MsspTimingSimulator,
+        records_from_events,
+    )
+
+    report = CheckReport(subject=subject)
+    eager_log = EventLog()
+    with create_engine(
+        program, distillation, MsspConfig(runtime="eager")
+    ) as engine:
+        engine.events.subscribe(eager_log)
+        eager = engine.run()
+    sim_log = EventLog()
+    with create_engine(
+        program, distillation, MsspConfig(runtime="sim")
+    ) as engine:
+        engine.events.subscribe(sim_log)
+        sim = engine.run()
+
+    _check_stamps(report, eager_log.events)
+    _check_stamps(report, sim_log.events)
+
+    if sim.counters != eager.counters or sim.records != eager.records:
+        _finding(
+            report, "SIM002", Severity.ERROR,
+            "the sim runtime's counters or trace records diverge from "
+            "the eager engine's",
+        )
+    if (
+        sim.halted != eager.halted
+        or sim.final_state.pc != eager.final_state.pc
+        or sim.final_state.diff(eager.final_state) != []
+    ):
+        _finding(
+            report, "SIM002", Severity.ERROR,
+            "the sim runtime's final architected state diverges from "
+            "the eager engine's",
+        )
+
+    records = records_from_events(eager_log.events)
+    timing = TimingConfig(n_slaves=4)
+    analytic = MsspTimingSimulator(timing).simulate_records(records)
+    replayed = ClusterSim(ClusterConfig.from_timing(timing)).replay(records)
+    scale = max(
+        abs(replayed.total_cycles), abs(analytic.total_cycles), 1.0
+    )
+    gap = abs(replayed.total_cycles - analytic.total_cycles) / scale
+    if gap > AGREEMENT_TOLERANCE:
+        _finding(
+            report, "SIM003", Severity.ERROR,
+            f"cluster replay ({replayed.total_cycles:.1f} cycles) "
+            f"disagrees with the analytic model "
+            f"({analytic.total_cycles:.1f} cycles) by a relative gap "
+            f"of {gap:.2e} (tolerance {AGREEMENT_TOLERANCE:.0e})",
+        )
+    return report
 
 
 # ---------------------------------------------------------------------------

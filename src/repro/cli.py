@@ -39,6 +39,19 @@ Subcommands
     stdin (or ``--requests FILE``), JSONL responses on stdout, serving
     statistics on stderr; ``--warmup`` pre-distills and pre-JITs
     workloads at startup.
+``trace``
+    Capture a workload run's clock-stamped runtime event stream and
+    ``--export`` it as JSONL, or ``--import`` a trace back and
+    summarize it (event kinds, time span, rebuilt trace records, and
+    the calibrated execution-cost rate).
+``sim``
+    Trace-driven cluster simulation: capture one workload's event
+    stream, replay it through the discrete-event cluster at several
+    slave counts (``--slaves 8,16,64``), cross-check every point
+    against the analytic timing model, replay contention /
+    heterogeneity / failure scenarios, and merge the sweep into a
+    summary JSON (``--output BENCH_summary.json``) as its
+    ``sim_bench`` section.
 """
 
 from __future__ import annotations
@@ -84,11 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="target dynamic instructions per task",
     )
     run.add_argument(
-        "--runtime", choices=("eager", "thread", "process", "parallel"),
+        "--runtime",
+        choices=("eager", "thread", "process", "parallel", "sim"),
         default="eager",
         help="slave-execution backend: eager in-process tasks, a thread "
-             "pool, or a process pool of slave workers ('parallel' is a "
-             "deprecated alias of 'process'; results are bit-identical)",
+             "pool, a process pool of slave workers, or simulated slaves "
+             "on a virtual clock ('parallel' is a deprecated alias of "
+             "'process'; all backends are bit-identical)",
     )
     run.add_argument(
         "--workers", type=int, default=None,
@@ -302,6 +317,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="read JSONL requests from a file instead of stdin",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="capture or inspect a clock-stamped runtime event trace",
+    )
+    trace.add_argument(
+        "workload", nargs="?", choices=sorted(WORKLOADS), default=None,
+        help="workload to run and capture (omit with --import)",
+    )
+    trace.add_argument("--size", type=int, default=None)
+    trace.add_argument(
+        "--runtime", choices=("eager", "thread", "process", "sim"),
+        default="eager",
+        help="slave-execution backend for the captured run",
+    )
+    trace.add_argument(
+        "--slaves", type=int, default=None,
+        help="slave workers for the captured run "
+             "(default: MsspConfig.num_slaves)",
+    )
+    trace.add_argument(
+        "--export", default=None, metavar="OUT.jsonl", dest="export_path",
+        help="run the workload and write the captured event stream "
+             "as JSONL",
+    )
+    trace.add_argument(
+        "--import", default=None, metavar="IN.jsonl", dest="import_path",
+        help="read a JSONL trace back and summarize it (kinds, span, "
+             "rebuilt trace records, calibrated cost rate)",
+    )
+
+    sim = sub.add_parser(
+        "sim",
+        help="trace-driven cluster simulation: capture a workload's "
+             "event stream, replay it at several slave counts, and "
+             "cross-check the discrete-event replay against the "
+             "analytic timing model",
+    )
+    sim.add_argument(
+        "workload", nargs="?", choices=sorted(WORKLOADS),
+        default="compress",
+        help="workload to capture and sweep (default: compress)",
+    )
+    sim.add_argument("--size", type=int, default=None)
+    sim.add_argument(
+        "--slaves", default="8,16,64", metavar="N1[,N2...]",
+        help="simulated slave counts to sweep (default: 8,16,64)",
+    )
+    sim.add_argument(
+        "--no-scenarios", action="store_true", dest="no_scenarios",
+        help="skip the contention/heterogeneity/failure scenario replays",
+    )
+    sim.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="merge the sweep as the 'sim_bench' section of this "
+             "summary JSON (e.g. BENCH_summary.json)",
+    )
+
     report = sub.add_parser(
         "report", help="write a markdown report of a suite run"
     )
@@ -493,6 +565,7 @@ def _lint_workload(name, args, config):
         check_safety_report,
         check_safety_runtime,
         check_server_execution,
+        check_sim_execution,
     )
     from repro.analysis.specsafe import prove_safety
     from repro.distill.distiller import Distiller
@@ -552,6 +625,10 @@ def _lint_workload(name, args, config):
     if not gate(check_runtime_execution(
         instance.program, distillation, subject=f"{name}: runtime",
         profile=profile,
+    )):
+        return reports, None
+    if not gate(check_sim_execution(
+        instance.program, distillation, subject=f"{name}: sim",
     )):
         return reports, None
     gate(check_server_execution(
@@ -1063,6 +1140,162 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _capture_trace(args):
+    """Run a workload with an ``EventLog`` subscribed; the stamped events."""
+    from repro.config import MsspConfig
+    from repro.experiments import prepare
+    from repro.mssp.engine import create_engine
+    from repro.mssp.runtime.events import EventLog
+
+    prepared = prepare(get_workload(args.workload), size=args.size)
+    config = MsspConfig(runtime=args.runtime)
+    if args.slaves is not None:
+        config = dataclasses.replace(config, num_slaves=args.slaves)
+    log = EventLog()
+    with create_engine(
+        prepared.instance.program, prepared.distillation, config
+    ) as engine:
+        engine.events.subscribe(log)
+        engine.run()
+    return prepared, log.events
+
+
+def _trace_summary(events) -> dict:
+    from collections import Counter
+
+    from repro.timing.clock import CostModel
+    from repro.timing.simulator import records_from_events
+
+    kinds = Counter(event.kind for event in events)
+    stamps = [event.at for event in events]
+    summary = {
+        "events": len(events),
+        "kinds": dict(sorted(kinds.items())),
+        "span": (max(stamps) - min(stamps)) if stamps else 0.0,
+        "records": len(records_from_events(events)),
+    }
+    try:
+        summary["calibrated_slave_instr"] = CostModel.calibrate(
+            events
+        ).slave_instr
+    except ValueError:
+        summary["calibrated_slave_instr"] = None
+    return summary
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from repro.sim.tracefile import export_events, import_events
+
+    if args.import_path is not None:
+        events = import_events(args.import_path)
+        summary = _trace_summary(events)
+        print(f"imported {summary['events']} event(s) "
+              f"from {args.import_path}")
+        print(f"  kinds:   {json.dumps(summary['kinds'])}")
+        print(f"  span:    {summary['span']:.6f}s "
+              f"({summary['records']} trace record(s))")
+        rate = summary["calibrated_slave_instr"]
+        if rate is not None:
+            print(f"  calibrated cost: {rate:.3e} s/instr")
+        else:
+            print("  calibrated cost: n/a (no measured task costs)")
+        return 0
+    if args.workload is None:
+        print("trace: give a workload to capture or --import a trace",
+              file=sys.stderr)
+        return 2
+    prepared, events = _capture_trace(args)
+    summary = _trace_summary(events)
+    print(f"captured {summary['events']} event(s) from {prepared.name} "
+          f"({args.runtime} runtime)")
+    print(f"  kinds:   {json.dumps(summary['kinds'])}")
+    print(f"  span:    {summary['span']:.6f}s "
+          f"({summary['records']} trace record(s))")
+    if args.export_path is not None:
+        count = export_events(events, args.export_path)
+        print(f"wrote {count} event(s) to {args.export_path}")
+    return 0
+
+
+def cmd_sim(args) -> int:
+    import json
+    import os
+
+    from repro.sim.bench import run_sim_bench
+
+    try:
+        slave_counts = tuple(
+            int(part) for part in args.slaves.split(",") if part.strip()
+        )
+    except ValueError:
+        print(f"sim: bad --slaves value {args.slaves!r}", file=sys.stderr)
+        return 2
+    if not slave_counts or any(n < 1 for n in slave_counts):
+        print("sim: --slaves needs positive slave counts", file=sys.stderr)
+        return 2
+
+    section = run_sim_bench(
+        workload=args.workload, slave_counts=slave_counts,
+        size=args.size, scenarios=not args.no_scenarios,
+    )
+    print(f"cluster simulation ({section['workload']}: "
+          f"{section['tasks_replayed']} tasks, "
+          f"{section['total_instrs']} sequential instrs)")
+    print(f"  functional result bit-identical to eager: "
+          f"{'yes' if section['bit_identical'] else 'NO'}")
+    table = Table(
+        ["slaves", "sim cycles", "analytic", "gap", "agrees", "speedup",
+         "stall", "commit-bound"],
+        title="slave-count sweep (discrete-event replay vs analytic model)",
+    )
+    for row in section["sweep"]:
+        table.add_row(
+            row["n_slaves"], f"{row['sim_cycles']:.0f}",
+            f"{row['analytic_cycles']:.0f}",
+            f"{row['agreement_gap']:.2e}",
+            "yes" if row["agrees"] else "NO",
+            f"{row['speedup']:.2f}x",
+            f"{row['master_stall_cycles']:.0f}",
+            row["commit_bound_tasks"],
+        )
+    print(table.render())
+    if section.get("scenarios"):
+        stable = Table(
+            ["scenario", "slaves", "sim cycles", "vs ideal", "speedup"],
+            title="cluster scenarios beyond the analytic model",
+        )
+        for row in section["scenarios"]:
+            stable.add_row(
+                row["scenario"], row["n_slaves"],
+                f"{row['sim_cycles']:.0f}",
+                f"{row['slowdown_vs_ideal']:.2f}x",
+                f"{row['speedup']:.2f}x",
+            )
+        print(stable.render())
+    ok = section["bit_identical"] and all(
+        row["agrees"] for row in section["sweep"]
+    )
+    if args.output is not None:
+        from repro.experiments import cache as artifact_cache
+        from repro.experiments.bench import write_summary
+
+        if os.path.exists(args.output):
+            with open(args.output, "r", encoding="utf-8") as handle:
+                summary = json.load(handle)
+        else:
+            summary = {"schema": artifact_cache.CACHE_SCHEMA}
+        summary["sim_bench"] = section
+        write_summary(summary, args.output)
+        print(f"wrote {args.output}")
+    if not ok:
+        print("sim: replay DISAGREED with the analytic model "
+              "or diverged functionally", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
@@ -1086,6 +1319,8 @@ COMMANDS = {
     "analyze": cmd_analyze,
     "bench": cmd_bench,
     "serve": cmd_serve,
+    "trace": cmd_trace,
+    "sim": cmd_sim,
     "report": cmd_report,
 }
 

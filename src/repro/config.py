@@ -218,11 +218,11 @@ class MsspConfig:
                 "checkpoint_mode must be 'cumulative' or 'delta'"
             )
         if self.runtime not in (
-            None, "eager", "thread", "process", "parallel"
+            None, "eager", "thread", "process", "parallel", "sim"
         ):
             raise ValueError(
-                "runtime must be None, 'eager', 'thread', 'process' "
-                "or 'parallel' (deprecated alias of 'process')"
+                "runtime must be None, 'eager', 'thread', 'process', "
+                "'sim' or 'parallel' (deprecated alias of 'process')"
             )
         if self.exec_tier not in (None, "oracle", "decoded", "jit"):
             raise ValueError(

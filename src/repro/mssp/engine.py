@@ -122,6 +122,8 @@ class MsspEngine:
         distillation: Union[DistillationResult, tuple],
         config: Optional[MsspConfig] = None,
         safety_report=None,
+        clock=None,
+        cost_model=None,
     ):
         if isinstance(distillation, DistillationResult):
             distilled, pc_map = distillation.distilled, distillation.pc_map
@@ -178,10 +180,24 @@ class MsspEngine:
         #: (config beats the ``REPRO_RUNTIME`` environment variable;
         #: default eager; ``"parallel"`` is a deprecated process alias).
         self.runtime = resolve_runtime(self.config.runtime)
+        #: The engine's one time source.  Wall time by default; the
+        #: ``sim`` backend defaults to a :class:`VirtualClock` the
+        #: executor advances as it prices simulated work.  Injected
+        #: clocks win, so tests and the cluster simulator can drive
+        #: time themselves.
+        if clock is None:
+            from repro.timing.clock import VirtualClock, WallClock
+
+            clock = VirtualClock() if self.runtime == "sim" else WallClock()
+        self.clock = clock
+        #: Cost model pricing simulated work (``sim`` runtime only;
+        #: ``None`` means the SimExecutor's default pricing).
+        self.cost_model = cost_model
         #: Structured runtime-event seam.  Subscribe any callable to
         #: observe forks, dispatches, judgements, squashes, recoveries,
-        #: jit deopts and pool degradations as they happen.
-        self.events = EventBus()
+        #: jit deopts and pool degradations as they happen.  Every event
+        #: it emits is stamped with ``self.clock.now()``.
+        self.events = EventBus(clock=self.clock)
         #: Routing statistics of the most recent run (the same object as
         #: that run's ``result.counters.dispatch``).
         self.dispatch_stats = DispatchStats()
@@ -689,8 +705,11 @@ def create_engine(
     original: Program,
     distillation: Union[DistillationResult, tuple],
     config: Optional[MsspConfig] = None,
+    clock=None,
+    cost_model=None,
 ) -> MsspEngine:
-    """Build an engine for ``config.runtime``: eager, thread or process.
+    """Build an engine for ``config.runtime``: eager, thread, process
+    or sim.
 
     Every runtime is the same :class:`MsspEngine` over a different
     executor backend (``"parallel"`` is a deprecated alias of
@@ -698,7 +717,10 @@ def create_engine(
     close the engine when done — ``with create_engine(...) as engine:``
     — or rely on garbage collection's finalizers as a backstop.
     """
-    return MsspEngine(original, distillation, config=config)
+    return MsspEngine(
+        original, distillation, config=config,
+        clock=clock, cost_model=cost_model,
+    )
 
 
 def run_mssp(

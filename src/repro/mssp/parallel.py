@@ -13,11 +13,13 @@ get overlapped slave execution.  ``runtime="parallel"`` remains a
 working alias of ``"process"``.
 
 This module keeps the old entry point alive: the class is now a thin
-subclass that pins the runtime to the process backend and threads the
-legacy ``executor=`` constructor argument (an externally owned pool)
-through to the :class:`ProcessExecutor`.  The worker-side names that
-used to be defined here (``_execute_chunk``, ``_PipePool``,
-``_ChainMemory``, ...) are re-exported from
+subclass that warns (``DeprecationWarning``, once per process), pins the
+runtime to the documented process backend, and stashes the legacy
+``executor=`` constructor argument (an externally owned pool) where the
+shared :func:`~repro.mssp.runtime.executors.create_executor` factory
+picks it up — the shim no longer carries any dispatch code of its own.
+The worker-side names that used to be defined here (``_execute_chunk``,
+``_PipePool``, ``_ChainMemory``, ...) are re-exported from
 :mod:`repro.mssp.runtime.procpool` unchanged.
 
 For the long-form argument of why overlapped execution stays
@@ -34,7 +36,6 @@ from repro.config import MsspConfig
 from repro.distill.distiller import DistillationResult
 from repro.isa.program import Program
 from repro.mssp.engine import MsspEngine
-from repro.mssp.runtime.executors import ProcessExecutor
 from repro.mssp.runtime.procpool import (  # noqa: F401  (re-exports)
     _RUN_TOKENS,
     _WORKER_BASE_LIMIT,
@@ -71,13 +72,20 @@ class ParallelMsspEngine(MsspEngine):
         config: Optional[MsspConfig] = None,
         executor=None,
     ):
+        import warnings
+
+        warnings.warn(
+            "ParallelMsspEngine is deprecated; use "
+            "create_engine(..., config=MsspConfig(runtime='process'))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(original, distillation, config=config)
         # The class itself is the runtime selection, whatever the config
         # says (configs predating the runtime field default to eager).
         self.runtime = "process"
+        # The shared create_executor factory threads this through to
+        # ProcessExecutor(external=...); the shim has no dispatch code.
+        # (_external_executor is the legacy spelling some callers read.)
+        self._external_pool = executor
         self._external_executor = executor
-
-    def _make_executor(self) -> ProcessExecutor:
-        return ProcessExecutor(
-            self, self.events, external=self._external_executor
-        )

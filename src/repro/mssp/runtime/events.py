@@ -18,6 +18,7 @@ injection lands identically under every executor backend.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, List, Optional
 
@@ -46,9 +47,23 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RuntimeEvent:
-    """Base class; ``kind`` is the stable, documented discriminator."""
+    """Base class; ``kind`` is the stable, documented discriminator.
+
+    ``at`` and ``actor`` are *stamps*, not constructor fields: the
+    emitting :class:`EventBus` writes them per instance (via
+    ``object.__setattr__``, which frozen dataclasses without
+    ``__slots__`` permit) the moment the event is published.  Keeping
+    them out of the dataclass fields leaves every subclass constructor,
+    equality, and repr unchanged while still guaranteeing that every
+    emitted event carries a clock timestamp — the invariant the SIM001
+    lint check audits.
+    """
 
     kind: ClassVar[str] = "runtime-event"
+    # Stamped by EventBus.emit; class-level defaults mean un-emitted
+    # events read as t=0 from an anonymous actor.
+    at = 0.0
+    actor = ""
 
 
 @dataclass(frozen=True)
@@ -87,6 +102,7 @@ class TaskExecuted(RuntimeEvent):
     kind: ClassVar[str] = "task_executed"
     task: object
     adopted: bool = False
+    cost: float = 0.0  # measured wall-seconds spent executing the task
 
 
 @dataclass(frozen=True)
@@ -95,6 +111,7 @@ class ResultAdopted(RuntimeEvent):
 
     kind: ClassVar[str] = "result_adopted"
     tid: int
+    cost: float = 0.0  # measured wall-seconds the worker spent on it
 
 
 @dataclass(frozen=True)
@@ -245,14 +262,34 @@ class EventBus:
 
     Subscribers are plain callables invoked in subscription order on the
     emitting thread; :meth:`subscribe` returns the matching unsubscribe
-    callable.  Emission with no subscribers is one attribute load and a
-    truth test, so the seam costs nothing when nobody listens.
+    callable.
+
+    The bus is also the single place events acquire *time*: every
+    emitted event is stamped with ``clock.now()`` (``at``) and, when the
+    event doesn't already carry one, the bus's ``actor`` label.  The
+    clock defaults to a :class:`~repro.timing.clock.WallClock`; engines
+    running the ``sim`` backend inject a ``VirtualClock`` instead, so
+    the same pipeline emits wall time or simulated time through one
+    seam.
     """
 
-    __slots__ = ("_subscribers",)
+    __slots__ = ("_subscribers", "clock", "actor", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, clock=None, actor: str = "runtime") -> None:
+        if clock is None:
+            # Deferred import: repro.timing imports the simulator, which
+            # imports the engine, which imports this module.
+            from repro.timing.clock import WallClock
+
+            clock = WallClock()
+        self.clock = clock
+        self.actor = actor
         self._subscribers: List[Callable[[RuntimeEvent], None]] = []
+        # Stamp-and-publish is atomic so a multi-threaded producer (the
+        # episode server) cannot interleave a later stamp before an
+        # earlier one in subscriber order — the per-actor monotonicity
+        # SIM001 lints.  Re-entrant: a subscriber may emit.
+        self._lock = threading.RLock()
 
     def subscribe(
         self, subscriber: Callable[[RuntimeEvent], None]
@@ -268,8 +305,16 @@ class EventBus:
         return unsubscribe
 
     def emit(self, event: RuntimeEvent) -> None:
-        for subscriber in self._subscribers:
-            subscriber(event)
+        # Stamp time (always) and actor (unless the producer set one).
+        # Frozen dataclasses without __slots__ still honour
+        # object.__setattr__, and the stamps are class-attribute
+        # shadows, so equality and repr are untouched.
+        with self._lock:
+            object.__setattr__(event, "at", self.clock.now())
+            if not event.actor:
+                object.__setattr__(event, "actor", self.actor)
+            for subscriber in self._subscribers:
+                subscriber(event)
 
 
 @dataclass

@@ -29,6 +29,8 @@ from the next episode on the pipeline treats it as inline.
 from __future__ import annotations
 
 import os
+import time
+import warnings
 import weakref
 from typing import Callable, Dict, List, Optional
 
@@ -57,8 +59,13 @@ __all__ = [
 ]
 
 #: Runtime names :func:`resolve_runtime` accepts ("parallel" is the
-#: deprecated spelling of "process", kept for config/CLI back-compat).
-RUNTIME_CHOICES = ("eager", "thread", "process", "parallel")
+#: deprecated spelling of "process", kept for config/CLI back-compat;
+#: "sim" runs slaves on the discrete-event simulator's virtual clock).
+RUNTIME_CHOICES = ("eager", "thread", "process", "parallel", "sim")
+
+# One DeprecationWarning per process for runtime="parallel", however
+# many engines resolve it.
+_PARALLEL_WARNED = False
 
 
 def resolve_runtime(setting: Optional[str]) -> str:
@@ -66,16 +73,26 @@ def resolve_runtime(setting: Optional[str]) -> str:
 
     ``None`` defers to the ``REPRO_RUNTIME`` environment variable
     (default eager), mirroring how ``exec_tier``/``REPRO_EXEC`` resolve;
-    the deprecated alias ``"parallel"`` maps to ``"process"``.
+    the deprecated alias ``"parallel"`` maps to ``"process"`` with a
+    one-time :class:`DeprecationWarning`.
     """
     if setting is None:
         setting = os.environ.get("REPRO_RUNTIME") or "eager"
     if setting == "parallel":
+        global _PARALLEL_WARNED
+        if not _PARALLEL_WARNED:
+            _PARALLEL_WARNED = True
+            warnings.warn(
+                "runtime='parallel' is deprecated; use runtime='process' "
+                "(the documented name for the forked-worker backend)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         setting = "process"
-    if setting not in ("eager", "thread", "process"):
+    if setting not in ("eager", "thread", "process", "sim"):
         raise ValueError(
             f"unknown runtime {setting!r}: "
-            "expected 'eager', 'thread' or 'process' "
+            "expected 'eager', 'thread', 'process' or 'sim' "
             "(or the deprecated alias 'parallel')"
         )
     return setting
@@ -237,10 +254,12 @@ class ThreadExecutor(SlaveExecutor):
                     tid=tid, start_pc=start_pc, checkpoint=checkpoint,
                     end_pc=end_pc, end_arrivals=end_arrivals,
                 )
+                t0 = time.perf_counter()
                 execute_task(
                     program, shadow, chain, max_instrs,
                     regions=regions, tier=tier,
                 )
+                shadow.exec_seconds = time.perf_counter() - t0
                 results.append(wire_result(shadow))
                 if shadow.faulted or shadow.overrun or shadow.protected_access:
                     break
@@ -395,5 +414,12 @@ def create_executor(core, events: EventBus) -> SlaveExecutor:
     if runtime == "thread":
         return ThreadExecutor(core, events)
     if runtime == "process":
-        return ProcessExecutor(core, events)
+        return ProcessExecutor(
+            core, events, external=getattr(core, "_external_pool", None)
+        )
+    if runtime == "sim":
+        # Deferred import: repro.sim depends on this module.
+        from repro.sim.executor import SimExecutor
+
+        return SimExecutor(core, events)
     return InlineExecutor(core, events)

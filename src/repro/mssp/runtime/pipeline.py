@@ -30,6 +30,7 @@ Everything observable is announced on the engine's
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
@@ -257,7 +258,11 @@ class TaskPipeline:
                         adopt_wire_result(task, result)
                         adopted = True
                         stats.adopted += 1
-                        events.emit(ResultAdopted(tid=task.tid))
+                        events.emit(
+                            ResultAdopted(
+                                tid=task.tid, cost=task.exec_seconds
+                            )
+                        )
                     else:
                         stats.stale += 1
                 if not adopted:
@@ -266,7 +271,11 @@ class TaskPipeline:
                             stats.missing += 1
                         stats.reexecuted += 1
                     self._execute_locally(task, arch)
-                events.emit(TaskExecuted(task=task, adopted=adopted))
+                events.emit(
+                    TaskExecuted(
+                        task=task, adopted=adopted, cost=task.exec_seconds
+                    )
+                )
                 committed, slave_halted = core._judge_task(
                     task, entry.event, arch, counters
                 )
@@ -387,7 +396,9 @@ class TaskPipeline:
             and task.end_pc not in self._jit_leaders
         ):
             self.events.emit(JitDeopt(tid=task.tid, why="non-leader-end-pc"))
+        t0 = time.perf_counter()
         execute_task(
             core.original, task, arch, core.config.max_task_instrs,
             regions=core.regions, tier=core.exec_tier,
         )
+        task.exec_seconds = time.perf_counter() - t0

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import pickle
+import time
 from typing import Dict, List, Optional
 
 from repro.isa.program import Program
@@ -281,9 +282,11 @@ def _execute_chunk(payload: tuple) -> List[tuple]:
             checkpoint=Checkpoint(regs=regs, mem=ckpt_mem),
             end_pc=end_pc, end_arrivals=end_arrivals,
         )
+        t0 = time.perf_counter()
         execute_task(
             program, task, chain, max_task_instrs, regions=regions, tier=tier
         )
+        task.exec_seconds = time.perf_counter() - t0
         results.append(wire_result(task))
         if task.faulted or task.overrun or task.protected_access:
             break

@@ -124,6 +124,12 @@ class Task:
     faulted: bool = False
     #: The task stopped before touching a protected (I/O) address.
     protected_access: bool = False
+    #: Measured wall-seconds the executing substrate spent running this
+    #: task (thread/process worker or local fallback).  Crosses the
+    #: executor wire so the :class:`~repro.timing.clock.CostModel` can be
+    #: calibrated from real runs; never judged, so it cannot perturb
+    #: bit-identity.
+    exec_seconds: float = 0.0
     #: :class:`~repro.mssp.verify.CellVersions` sequence number at which
     #: this task's view of architected memory is known to have been
     #: current (eager: execution time; parallel adopted results: episode
@@ -162,20 +168,23 @@ class Task:
 
 
 def wire_result(task: Task) -> Tuple:
-    """An executed task's observable outcome as a flat 12-tuple.
+    """An executed task's observable outcome as a flat 13-tuple.
 
     This is the slave→verify wire format every executor backend speaks:
     whichever substrate ran the task (inline, thread pool, worker
-    process), the pipeline adopts exactly these twelve fields — so a
-    backend can only influence the run through them, which is what makes
-    the staleness check in
+    process), the pipeline adopts exactly these fields — so a backend
+    can only influence the run through them, which is what makes the
+    staleness check in
     :meth:`~repro.mssp.runtime.pipeline.TaskPipeline` sufficient for
-    bit-identical adoption.
+    bit-identical adoption.  The trailing ``exec_seconds`` is
+    measurement metadata for cost-model calibration; the verify unit
+    never reads it.
     """
     return (
         task.tid, task.live_in_regs, task.live_in_mem, task.live_out_regs,
         task.live_out_mem, task.n_instrs, task.n_loads, task.end_state_pc,
         task.halted, task.faulted, task.overrun, task.protected_access,
+        task.exec_seconds,
     )
 
 
@@ -184,5 +193,5 @@ def adopt_wire_result(task: Task, result: Tuple) -> None:
     (_, task.live_in_regs, task.live_in_mem, task.live_out_regs,
      task.live_out_mem, task.n_instrs, task.n_loads, task.end_state_pc,
      task.halted, task.faulted, task.overrun,
-     task.protected_access) = result
+     task.protected_access, task.exec_seconds) = result
     task.status = TaskStatus.COMPLETED

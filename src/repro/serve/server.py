@@ -44,7 +44,6 @@ from __future__ import annotations
 import hashlib
 import itertools
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
@@ -246,12 +245,21 @@ class EpisodeServer:
         self,
         config: Optional[ServeConfig] = None,
         mssp_config: Optional[MsspConfig] = None,
+        clock=None,
     ):
         self.config = config or ServeConfig()
         #: Engine configuration used for warmup episodes and by
         #: front-ends that accept requests without an explicit config.
         self.default_config = mssp_config or MsspConfig()
-        self.events = EventBus()
+        #: One time source for admission stamps, queue-wait accounting
+        #: and every event the server emits; injectable so a simulated
+        #: front-end can drive the server on virtual time.
+        if clock is None:
+            from repro.timing.clock import WallClock
+
+            clock = WallClock()
+        self.clock = clock
+        self.events = EventBus(clock=self.clock, actor="server")
         self.warm = WarmCache()
         self.engines = EnginePool()
         self.stats = ServerStats()
@@ -332,7 +340,7 @@ class EpisodeServer:
         if not self._started:
             self.start()
         handle = EpisodeHandle(next(self._rid), request)
-        entry = _Pending(handle=handle, submitted_at=time.perf_counter())
+        entry = _Pending(handle=handle, submitted_at=self.clock.now())
         with self._lock:
             if self._closed:
                 raise MsspError("episode server already closed")
@@ -497,7 +505,7 @@ class EpisodeServer:
             request_id=entry.handle.request_id, why=why
         ))
         request = entry.handle.request
-        now = time.perf_counter()
+        now = self.clock.now()
         entry.handle._resolve(EpisodeResponse(
             request_id=entry.handle.request_id, status="shed",
             workload=request.workload, digest=request.digest,
@@ -564,7 +572,7 @@ class EpisodeServer:
             turn = [first]
             while turn:
                 entry = turn.pop(0)
-                started = time.perf_counter()
+                started = self.clock.now()
                 try:
                     result = engine.run()
                     response = EpisodeResponse(
@@ -579,7 +587,7 @@ class EpisodeServer:
                         },
                         submitted_at=entry.submitted_at,
                         started_at=started,
-                        completed_at=time.perf_counter(),
+                        completed_at=self.clock.now(),
                     )
                 except Exception as error:  # noqa: BLE001
                     poisoned = True
@@ -643,7 +651,7 @@ class EpisodeServer:
         self, entry: _Pending, worker: int, error: Optional[str]
     ) -> EpisodeResponse:
         request = entry.handle.request
-        now = time.perf_counter()
+        now = self.clock.now()
         return EpisodeResponse(
             request_id=entry.handle.request_id, status="error",
             workload=request.workload, digest=request.digest,

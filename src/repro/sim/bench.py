@@ -1,0 +1,189 @@
+"""The ``repro sim`` sweep: speedup curves from replayed traces.
+
+Workflow (one call to :func:`run_sim_bench`):
+
+1. run the workload on the real (eager) engine with an ``EventLog``
+   subscribed — the captured, clock-stamped trace;
+2. run the identical workload on the ``sim`` runtime and check the
+   functional result is bit-identical to the real engine's;
+3. replay the captured trace through the discrete-event cluster at each
+   requested slave count, cross-checking every point against the
+   analytic :class:`~repro.timing.simulator.MsspTimingSimulator` at
+   matching parameters;
+4. replay scenario configurations no analytic model covers: transfer
+   contention on a bounded interconnect, heterogeneous slave speeds,
+   and a mid-episode slave failure/restart.
+
+The returned dict is the ``sim_bench`` section of
+``BENCH_summary.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.config import (
+    SEQUENTIAL_BASELINE,
+    MsspConfig,
+    TimingConfig,
+)
+from repro.mssp.engine import create_engine
+from repro.mssp.runtime.events import EventLog
+from repro.mssp.trace import TaskAttemptRecord
+from repro.timing.simulator import (
+    MsspTimingSimulator,
+    baseline_cycles,
+    records_from_events,
+)
+from repro.sim.cluster import ClusterConfig, ClusterSim, SlaveFailure
+
+__all__ = ["run_sim_bench", "AGREEMENT_TOLERANCE"]
+
+#: Maximum relative disagreement tolerated between the discrete-event
+#: replay and the analytic simulator at matching parameters.  The two
+#: implement the same recurrence, so observed disagreement is float
+#: noise; the tolerance is slack for accumulation order.
+AGREEMENT_TOLERANCE = 1e-6
+
+
+def _relative_gap(a: float, b: float) -> float:
+    scale = max(abs(a), abs(b), 1.0)
+    return abs(a - b) / scale
+
+
+def _identical(eager, sim) -> bool:
+    return (
+        sim.counters == eager.counters
+        and sim.halted == eager.halted
+        and sim.records == eager.records
+        and sim.final_state.pc == eager.final_state.pc
+        and sim.final_state.diff(eager.final_state) == []
+    )
+
+
+def run_sim_bench(
+    workload: str = "compress",
+    slave_counts: Sequence[int] = (8, 16, 64),
+    size: Optional[int] = None,
+    mssp_config: Optional[MsspConfig] = None,
+    scenarios: bool = True,
+) -> dict:
+    """Capture, validate, and sweep one workload; the ``sim_bench`` row."""
+    from repro.experiments import prepare
+    from repro.workloads import get_workload
+
+    prepared = prepare(get_workload(workload), size=size)
+    base_config = mssp_config or MsspConfig()
+
+    # 1. Real run, trace captured off the EventBus.
+    log = EventLog()
+    eager_config = replace(base_config, runtime="eager")
+    with create_engine(
+        prepared.instance.program, prepared.distillation, eager_config
+    ) as engine:
+        engine.events.subscribe(log)
+        eager_result = engine.run()
+
+    # 2. Functional bit-identity of the simulated runtime.
+    sim_config = replace(base_config, runtime="sim")
+    with create_engine(
+        prepared.instance.program, prepared.distillation, sim_config
+    ) as engine:
+        sim_result = engine.run()
+    bit_identical = _identical(eager_result, sim_result)
+
+    records = records_from_events(log.events)
+    task_records = [
+        r for r in records if isinstance(r, TaskAttemptRecord)
+    ]
+    total_instrs = eager_result.counters.total_instrs
+    reference = baseline_cycles(total_instrs, SEQUENTIAL_BASELINE)
+
+    # 3. Slave-count sweep, analytic cross-check at every point.
+    sweep: List[dict] = []
+    for n_slaves in slave_counts:
+        timing = TimingConfig(n_slaves=n_slaves)
+        analytic = MsspTimingSimulator(timing).simulate_records(records)
+        replayed = ClusterSim(ClusterConfig.from_timing(timing)).replay(
+            records
+        )
+        gap = _relative_gap(
+            replayed.total_cycles, analytic.total_cycles
+        )
+        sweep.append({
+            "n_slaves": n_slaves,
+            "sim_cycles": replayed.total_cycles,
+            "analytic_cycles": analytic.total_cycles,
+            "agreement_gap": gap,
+            "agrees": gap <= AGREEMENT_TOLERANCE,
+            "speedup": (
+                reference / replayed.total_cycles
+                if replayed.total_cycles > 0 else 0.0
+            ),
+            "master_stall_cycles": replayed.master_stall_cycles,
+            "commit_bound_tasks": replayed.commit_bound_tasks,
+        })
+
+    section = {
+        "workload": prepared.name,
+        "tasks_replayed": len(task_records),
+        "records_replayed": len(records),
+        "total_instrs": total_instrs,
+        "baseline_cycles": reference,
+        "bit_identical": bit_identical,
+        "agreement_tolerance": AGREEMENT_TOLERANCE,
+        "sweep": sweep,
+    }
+
+    # 4. Cluster scenarios beyond the analytic model's reach.
+    if scenarios:
+        mid = slave_counts[len(slave_counts) // 2]
+        timing = TimingConfig(n_slaves=mid)
+        plain = ClusterSim(ClusterConfig.from_timing(timing)).replay(
+            records
+        )
+        horizon = plain.total_cycles
+
+        def scenario(name: str, **overrides) -> dict:
+            cluster = ClusterConfig.from_timing(timing, **overrides)
+            replayed = ClusterSim(cluster).replay(records)
+            return {
+                "scenario": name,
+                "n_slaves": mid,
+                "sim_cycles": replayed.total_cycles,
+                "slowdown_vs_ideal": (
+                    replayed.total_cycles / horizon
+                    if horizon > 0 else 0.0
+                ),
+                "speedup": (
+                    reference / replayed.total_cycles
+                    if replayed.total_cycles > 0 else 0.0
+                ),
+            }
+
+        section["scenarios"] = [
+            scenario(
+                "contended-link",
+                link_channels=1,
+                interconnect_latency=50.0,
+            ),
+            scenario(
+                "heterogeneous-slaves",
+                slave_speeds=tuple(
+                    1.0 if slot % 2 == 0 else 0.5 for slot in range(mid)
+                ),
+            ),
+            scenario(
+                "slave-failure",
+                failures=(
+                    SlaveFailure(
+                        slot=0,
+                        at=horizon * 0.25,
+                        downtime=horizon * 0.25,
+                    ),
+                ),
+            ),
+        ]
+
+    return section

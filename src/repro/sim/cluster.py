@@ -1,0 +1,360 @@
+"""The MSSP cluster as a discrete-event model: master, slaves, verify.
+
+:class:`ClusterSim` replays a captured trace-record stream (from a live
+run's ``EventLog`` or a JSONL trace file) under a simulated cluster
+configuration.  The actors:
+
+* the **master** walks the record stream: for each task attempt it
+  acquires an in-flight token (checkpoint-buffer backpressure), waits
+  for the earliest-free slave, retires the task's distilled instructions
+  (the closing fork), and — because the trace only contains *judged*
+  attempts — blocks at squashed records until the squash resolves, and
+  at failure/recovery records until verification drains;
+* each dispatched task runs as a **worker** actor: checkpoint transfer
+  over the interconnect (optionally through a bounded set of link
+  channels — transfer contention), then execution at the slot's relative
+  speed, paused across any configured slave outage on that slot;
+* the **verify unit** is a chain of actors (one per task) serialized by
+  the previous task's commit event: in-order verify/commit, squash
+  penalties, and the cycle accounting.
+
+With no contention, homogeneous slaves and no failures, the model is
+*provably* the same recurrence as the analytic
+:class:`~repro.timing.simulator.MsspTimingSimulator` — the pool resumes
+the master at ``max(master_clock, min slave free time, commit gate)``,
+which is exactly the analytic ``spawn_ready`` — and the agreement tests
+pin the two together numerically.  The knobs the analytic model cannot
+express (interconnect latency, link contention, heterogeneous speeds,
+mid-episode slave failure/restart) are what the discrete-event engine
+buys.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TimingError
+from repro.mssp.trace import (
+    MasterFailureRecord,
+    RecoveryRecord,
+    TaskAttemptRecord,
+    TraceRecord,
+)
+from repro.timing.clock import CostModel
+from repro.timing.simulator import (
+    MsspTimingSimulator,
+    ScheduleEntry,
+    TimingBreakdown,
+    records_from_events,
+)
+from repro.sim.core import Acquire, Hold, Resource, SimEvent, Simulator, Wait
+
+__all__ = ["ClusterConfig", "ClusterSim", "SlaveFailure"]
+
+
+@dataclass(frozen=True)
+class SlaveFailure:
+    """One slave outage: ``slot`` is down for ``[at, at + downtime)``.
+
+    Execution in progress on the slot pauses across the outage and
+    resumes where it left off (restart-with-checkpoint); work dispatched
+    during the outage waits for the restart.
+    """
+
+    slot: int
+    at: float
+    downtime: float
+
+    @property
+    def end(self) -> float:
+        return self.at + self.downtime
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One simulated cluster: resources, latencies, and degradations."""
+
+    n_slaves: int = 8
+    cost: CostModel = field(default_factory=CostModel)
+    #: Checkpoint-buffer depth (None = unbounded): a task's fork waits
+    #: until the task this-many positions back has committed.
+    max_inflight: Optional[int] = None
+    #: Extra one-way latency added to every checkpoint transfer.
+    interconnect_latency: float = 0.0
+    #: Concurrent checkpoint transfers the interconnect carries
+    #: (0 = unlimited; a bounded value models transfer contention).
+    link_channels: int = 0
+    #: Relative execution speed per slot (missing slots default to 1.0;
+    #: 0.5 = half speed).  Heterogeneous clusters slow some slots down.
+    slave_speeds: Tuple[float, ...] = ()
+    #: Mid-episode slave outages.
+    failures: Tuple[SlaveFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_slaves < 1:
+            raise ValueError("n_slaves must be positive")
+        if self.link_channels < 0:
+            raise ValueError("link_channels must be >= 0 (0 = unlimited)")
+        if any(s <= 0 for s in self.slave_speeds):
+            raise ValueError("slave speeds must be positive")
+        if any(
+            f.slot < 0 or f.slot >= self.n_slaves or f.downtime < 0
+            for f in self.failures
+        ):
+            raise ValueError("failure outside the cluster's slots")
+
+    def speed(self, slot: int) -> float:
+        if slot < len(self.slave_speeds):
+            return self.slave_speeds[slot]
+        return 1.0
+
+    @classmethod
+    def from_timing(cls, timing, **overrides) -> "ClusterConfig":
+        """The cluster matching a :class:`~repro.config.TimingConfig` —
+        the configuration under which :class:`ClusterSim` and the
+        analytic simulator must agree."""
+        params = dict(
+            n_slaves=timing.n_slaves,
+            cost=CostModel.from_timing(timing),
+            max_inflight=timing.max_inflight,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+
+class _SlavePool:
+    """Idle slots as a ``(freed_at, slot)`` min-heap; FIFO waiters.
+
+    Popping the earliest-freed idle slot is what makes the pool
+    equivalent to the analytic model's ``argmin`` over slave free times
+    (busy slots always free later than any idle slot's ``freed_at``).
+    """
+
+    __slots__ = ("_idle", "_waiters")
+
+    def __init__(self, n_slaves: int):
+        self._idle: List[Tuple[float, int]] = [
+            (0.0, slot) for slot in range(n_slaves)
+        ]
+        heapq.heapify(self._idle)
+        self._waiters: Deque[SimEvent] = deque()
+
+    def request(self) -> SimEvent:
+        """An event that fires (with the slot) once a slave is free."""
+        event = SimEvent()
+        if self._idle:
+            event.fire(heapq.heappop(self._idle)[1])
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, slot: int, freed_at: float) -> None:
+        if self._waiters:
+            self._waiters.popleft().fire(slot)
+        else:
+            heapq.heappush(self._idle, (freed_at, slot))
+
+
+class ClusterSim:
+    """Replay trace records through the discrete-event cluster model."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        by_slot: Dict[int, List[SlaveFailure]] = {}
+        for failure in self.config.failures:
+            by_slot.setdefault(failure.slot, []).append(failure)
+        self._failures = {
+            slot: sorted(outages, key=lambda f: f.at)
+            for slot, outages in by_slot.items()
+        }
+
+    # -- public API ---------------------------------------------------------
+
+    def replay(
+        self, records: Sequence[TraceRecord], schedule: bool = False
+    ) -> TimingBreakdown:
+        """Cycle accounting of ``records`` under this cluster."""
+        cfg = self.config
+        cost = cfg.cost
+        sim = Simulator()
+        breakdown = TimingBreakdown()
+        pool = _SlavePool(cfg.n_slaves)
+        link = Resource(cfg.link_channels) if cfg.link_channels else None
+        inflight = (
+            Resource(cfg.max_inflight) if cfg.max_inflight else None
+        )
+        finish = [0.0]
+
+        def note_finish(t: float) -> None:
+            if t > finish[0]:
+                finish[0] = t
+
+        def worker(record, slot, close, completion_ev):
+            # Checkpoint transfer starts at spawn (the master's closing
+            # fork overlaps it); contention queues on the link channels.
+            transfer = (
+                cost.transfer_time(record.checkpoint_words)
+                + cfg.interconnect_latency
+            )
+            if link is not None:
+                yield Acquire(link)
+                yield Hold(transfer)
+                link.release()
+            else:
+                yield Hold(transfer)
+            slave_start = sim.now
+            work = (
+                cost.slave_time(record.n_instrs, record.n_loads)
+                / cfg.speed(slot)
+            )
+            yield Hold(self._outage_done(slot, slave_start, work)
+                       - slave_start)
+            slave_done = sim.now
+            # A task cannot complete before its closing fork defined it.
+            if close > slave_done:
+                yield Hold(close - slave_done)
+            completion = sim.now
+            pool.release(slot, completion)
+            completion_ev.fire((slave_start, slave_done, completion))
+
+        def verify(record, slot, close, prev_ev, completion_ev,
+                   chain_ev, squash_ev):
+            # Serialize on the previous task's commit (in-order verify),
+            # then on this task's completion; waits on fired events do
+            # not advance time, so resumption lands at
+            # max(completion, last_commit) — the analytic verify_start.
+            yield Wait(prev_ev)
+            payload = yield Wait(completion_ev)
+            slave_start, slave_done, completion = payload
+            verify_start = sim.now
+            yield Hold(cost.verify)
+            commit_done = sim.now
+            note_finish(commit_done)
+            MsspTimingSimulator._classify(
+                breakdown, close, slave_done, verify_start, completion
+            )
+            if schedule:
+                breakdown.schedule.append(
+                    ScheduleEntry(
+                        kind="task", tid=record.tid, slot=slot,
+                        spawn=close - cost.master_time(
+                            record.master_instrs, record.master_loads
+                        ),
+                        close=close, start=slave_start, done=slave_done,
+                        commit=commit_done, committed=record.committed,
+                    )
+                )
+            if record.committed:
+                breakdown.committed_tasks += 1
+                if inflight is not None:
+                    inflight.release()
+                chain_ev.fire(commit_done)
+            else:
+                breakdown.squashed_tasks += 1
+                breakdown.wasted_slave_cycles += slave_done - slave_start
+                yield Hold(cost.squash)
+                squash_done = sim.now
+                breakdown.squash_overhead_cycles += cost.squash
+                note_finish(squash_done)
+                if inflight is not None:
+                    inflight.release()
+                chain_ev.fire(squash_done)
+                squash_ev.fire(squash_done)
+
+        def master():
+            # Chain head: "time zero has committed".
+            prev_ev = SimEvent()
+            prev_ev.fire(0.0)
+            for record in records:
+                if isinstance(record, TaskAttemptRecord):
+                    t0 = sim.now
+                    if inflight is not None:
+                        yield Acquire(inflight)
+                    slot = yield Wait(pool.request())
+                    spawn_ready = sim.now
+                    breakdown.master_stall_cycles += spawn_ready - t0
+                    close = spawn_ready + cost.master_time(
+                        record.master_instrs, record.master_loads
+                    )
+                    completion_ev = SimEvent()
+                    chain_ev = SimEvent()
+                    squash_ev = SimEvent()
+                    sim.process(
+                        worker(record, slot, close, completion_ev)
+                    )
+                    sim.process(
+                        verify(record, slot, close, prev_ev,
+                               completion_ev, chain_ev, squash_ev)
+                    )
+                    prev_ev = chain_ev
+                    yield Hold(close - sim.now)
+                    if not record.committed:
+                        # The trace holds only judged attempts: nothing
+                        # past a squash was in flight, so the master
+                        # resumes when the squash resolves.
+                        yield Wait(squash_ev)
+                elif isinstance(record, MasterFailureRecord):
+                    yield Hold(
+                        cost.master_time(record.master_instrs)
+                        + cost.squash
+                    )
+                    breakdown.squash_overhead_cycles += cost.squash
+                    note_finish(sim.now)
+                    # Verify-drained barrier: recovery cannot reseed
+                    # before outstanding commits land.
+                    yield Wait(prev_ev)
+                elif isinstance(record, RecoveryRecord):
+                    yield Wait(prev_ev)
+                    breakdown.squash_overhead_cycles += cost.restart
+                    work = cost.slave_time(record.n_instrs, record.n_loads)
+                    start = sim.now + cost.restart
+                    yield Hold(cost.restart + work)
+                    done = sim.now
+                    breakdown.recovery_cycles += work
+                    note_finish(done)
+                    if schedule:
+                        breakdown.schedule.append(
+                            ScheduleEntry(
+                                kind="recovery", tid=-1, slot=0,
+                                spawn=start, close=start, start=start,
+                                done=done, commit=done, committed=True,
+                            )
+                        )
+                    chain_ev = SimEvent()
+                    chain_ev.fire(done)
+                    prev_ev = chain_ev
+                else:  # pragma: no cover - future record kinds
+                    raise TimingError(f"unknown trace record {record!r}")
+
+        sim.process(master())
+        sim.run()
+        breakdown.total_cycles = finish[0]
+        return breakdown
+
+    def replay_events(
+        self, events: Iterable, schedule: bool = False
+    ) -> TimingBreakdown:
+        """Replay a captured (stamped) event stream directly."""
+        return self.replay(records_from_events(events), schedule=schedule)
+
+    # -- internals ----------------------------------------------------------
+
+    def _outage_done(self, slot: int, start: float, work: float) -> float:
+        """Completion time of ``work`` starting at ``start`` on ``slot``,
+        paused across every configured outage window on that slot."""
+        t = start
+        remaining = work
+        for failure in self._failures.get(slot, ()):
+            if failure.end <= t:
+                continue
+            if failure.at <= t:
+                t = failure.end
+            elif failure.at < t + remaining:
+                remaining -= failure.at - t
+                t = failure.end
+            else:
+                break
+        return t + remaining

@@ -1,0 +1,192 @@
+"""A minimal process-style discrete-event simulation engine.
+
+The SimPy shape without the dependency: actors are plain generators
+that ``yield`` scheduling requests to the :class:`Simulator`:
+
+* ``yield Hold(dt)`` — resume ``dt`` simulated time later;
+* ``yield Wait(event)`` — resume when the :class:`SimEvent` fires (an
+  already-fired event resumes the actor without advancing time), the
+  event's value is sent back into the generator;
+* ``yield Acquire(resource)`` — resume once one unit of the
+  :class:`Resource` is granted (FIFO).
+
+The simulator is a single heap of ``(time, seq, fn)`` callbacks; ``seq``
+breaks ties in schedule order, which keeps runs deterministic — a
+property the replay tests rely on.  No wall time, no threads, no
+randomness: everything the model does is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+
+__all__ = [
+    "Acquire",
+    "Hold",
+    "Process",
+    "Resource",
+    "SimEvent",
+    "Simulator",
+    "Wait",
+]
+
+
+class Hold:
+    """Scheduling request: advance this actor by ``dt`` simulated time."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"cannot hold for negative time {dt!r}")
+        self.dt = dt
+
+
+class Wait:
+    """Scheduling request: resume when ``event`` fires."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "SimEvent"):
+        self.event = event
+
+
+class Acquire:
+    """Scheduling request: resume once ``resource`` grants one unit."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+
+class SimEvent:
+    """A one-shot level-triggered event carrying an optional value.
+
+    Actors waiting before the fire are resumed at fire time; actors that
+    wait after the fire resume without advancing time.  Both receive
+    ``value``.
+    """
+
+    __slots__ = ("fired", "value", "_waiters")
+
+    def __init__(self) -> None:
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Callable[[], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            raise RuntimeError("SimEvent fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            resume()
+
+
+class Resource:
+    """A counting resource with FIFO granting (capacity ≥ 1 units)."""
+
+    __slots__ = ("capacity", "in_use", "_queue")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("resource capacity must be >= 1")
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: Deque[Callable[[], None]] = deque()
+
+    def _try_acquire(self, resume: Callable[[], None]) -> None:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            resume()
+        else:
+            self._queue.append(resume)
+
+    def release(self) -> None:
+        """Free one unit; the longest-waiting acquirer (if any) gets it."""
+        if self._queue:
+            # The unit transfers straight to the next waiter.
+            self._queue.popleft()()
+        else:
+            if self.in_use <= 0:
+                raise RuntimeError("release without a matching acquire")
+            self.in_use -= 1
+
+
+class Process:
+    """One running actor: a generator stepped by the simulator."""
+
+    __slots__ = ("sim", "_gen", "finished")
+
+    def __init__(self, sim: "Simulator", gen: Generator):
+        self.sim = sim
+        self._gen = gen
+        #: Fires (with the generator's return value) when the actor ends.
+        self.finished = SimEvent()
+
+    def _step(self, send_value: Any = None) -> None:
+        try:
+            request = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.finished.fire(stop.value)
+            return
+        sim = self.sim
+        if isinstance(request, Hold):
+            sim.schedule(request.dt, self._step)
+        elif isinstance(request, Wait):
+            event = request.event
+            if event.fired:
+                sim.schedule(0.0, lambda: self._step(event.value))
+            else:
+                event._waiters.append(
+                    lambda: sim.schedule(
+                        0.0, lambda: self._step(event.value)
+                    )
+                )
+        elif isinstance(request, Acquire):
+            request.resource._try_acquire(
+                lambda: sim.schedule(0.0, self._step)
+            )
+        else:
+            raise TypeError(
+                f"actor yielded {request!r}; expected Hold/Wait/Acquire"
+            )
+
+
+class Simulator:
+    """The event heap: schedule callbacks, spawn actors, run to empty."""
+
+    __slots__ = ("now", "_heap", "_seq")
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay!r} into the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+
+    def process(self, gen: Generator) -> Process:
+        """Spawn an actor; its first step runs at the current time."""
+        proc = Process(self, gen)
+        self.schedule(0.0, proc._step)
+        return proc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the heap (or stop once ``until`` is reached); returns
+        the final simulated time."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return self.now
+            at, _, fn = heapq.heappop(self._heap)
+            self.now = at
+            fn()
+        return self.now

@@ -1,7 +1,15 @@
 """Task-level timing model of the MSSP chip multiprocessor.
 
-Replays the functional engine's trace (which fixed *what happened*) onto
-a resource model (which decides *how long it took*):
+Replays the functional engine's trace — either an :class:`MsspResult`
+or, since the virtual-clock refactor, a *stamped event stream* straight
+off the EventBus (:meth:`MsspTimingSimulator.simulate_events`) — onto a
+resource model (which decides *how long it took*).  All pricing goes
+through one :class:`~repro.timing.clock.CostModel`
+(:meth:`CostModel.from_timing`), the same model the discrete-event
+cluster replay in :mod:`repro.sim` uses; the two agreeing at matching
+parameters is an acceptance test.
+
+The resource model:
 
 * the **master** retires distilled instructions at ``master_cpi`` and
   stalls when no slave is free to receive the next checkpoint;
@@ -25,7 +33,7 @@ slave count, task size and interconnect latency — and its invariants
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.config import BaselineConfig, TimingConfig
 from repro.errors import TimingError
@@ -34,7 +42,24 @@ from repro.mssp.trace import (
     MasterFailureRecord,
     RecoveryRecord,
     TaskAttemptRecord,
+    TraceRecord,
+    TraceRecorder,
 )
+from repro.timing.clock import CostModel
+
+
+def records_from_events(events: Iterable) -> List[TraceRecord]:
+    """Rebuild the trace-record stream from a captured event stream.
+
+    Feeds the events through a :class:`~repro.mssp.trace.TraceRecorder`
+    — the exact subscriber the engine uses — so a stamped ``EventLog``
+    (live or imported from JSONL) replays into the same records an
+    :class:`MsspResult` would carry.
+    """
+    recorder = TraceRecorder()
+    for event in events:
+        recorder(event)
+    return recorder.records
 
 
 @dataclass(frozen=True)
@@ -97,10 +122,17 @@ class TimingBreakdown:
 
 
 class MsspTimingSimulator:
-    """Discrete replay of an MSSP trace onto the machine resources."""
+    """Analytic replay of an MSSP trace onto the machine resources.
+
+    All work is priced through one :class:`CostModel` derived from the
+    :class:`TimingConfig` — the exact model the discrete-event cluster
+    replay (:class:`repro.sim.cluster.ClusterSim`) uses, so the two
+    simulators can be cross-validated at matching parameters.
+    """
 
     def __init__(self, config: Optional[TimingConfig] = None):
         self.config = config or TimingConfig()
+        self.cost = CostModel.from_timing(self.config)
 
     def simulate(
         self, result: MsspResult, schedule: bool = False
@@ -110,7 +142,27 @@ class MsspTimingSimulator:
         With ``schedule=True`` the breakdown also carries a per-record
         :class:`ScheduleEntry` list (for timeline rendering/debugging).
         """
+        return self.simulate_records(result.records, schedule=schedule)
+
+    def simulate_events(
+        self, events: Iterable, schedule: bool = False
+    ) -> TimingBreakdown:
+        """Cycle accounting of a captured (stamped) event stream.
+
+        The stream — a live ``EventLog`` or one imported from JSONL —
+        is reduced to its trace records with :func:`records_from_events`
+        and replayed exactly like an :class:`MsspResult`, so the timing
+        layer consumes the EventBus seam directly.
+        """
+        return self.simulate_records(
+            records_from_events(events), schedule=schedule
+        )
+
+    def simulate_records(
+        self, records: Sequence[TraceRecord], schedule: bool = False
+    ) -> TimingBreakdown:
         cfg = self.config
+        cost = self.cost
         breakdown = TimingBreakdown()
         slaves: List[float] = [0.0] * cfg.n_slaves
         master_clock = 0.0
@@ -119,7 +171,7 @@ class MsspTimingSimulator:
         # Commit times of recent tasks, for checkpoint-buffer backpressure.
         commit_history: List[float] = []
 
-        for record in result.records:
+        for record in records:
             if isinstance(record, TaskAttemptRecord):
                 slot = min(range(len(slaves)), key=slaves.__getitem__)
                 spawn_ready = max(master_clock, slaves[slot])
@@ -133,26 +185,19 @@ class MsspTimingSimulator:
                         spawn_ready, commit_history[-cfg.max_inflight]
                     )
                 breakdown.master_stall_cycles += spawn_ready - master_clock
-                close = (
-                    spawn_ready
-                    + record.master_instrs * cfg.master_cpi
-                    + record.master_loads * cfg.load_penalty
+                close = spawn_ready + cost.master_time(
+                    record.master_instrs, record.master_loads
                 )
-                transfer = (
-                    cfg.spawn_latency
-                    + record.checkpoint_words * cfg.checkpoint_word_latency
-                )
+                transfer = cost.transfer_time(record.checkpoint_words)
                 slave_start = spawn_ready + transfer
-                slave_done = (
-                    slave_start
-                    + record.n_instrs * cfg.slave_cpi
-                    + record.n_loads * cfg.load_penalty
+                slave_done = slave_start + cost.slave_time(
+                    record.n_instrs, record.n_loads
                 )
                 completion = max(slave_done, close)
                 slaves[slot] = completion
                 master_clock = close
                 verify_start = max(completion, last_commit)
-                commit_done = verify_start + cfg.commit_latency
+                commit_done = verify_start + cost.verify
                 last_commit = commit_done
                 if cfg.max_inflight is not None:
                     commit_history.append(commit_done)
@@ -175,29 +220,26 @@ class MsspTimingSimulator:
                 else:
                     breakdown.squashed_tasks += 1
                     breakdown.wasted_slave_cycles += slave_done - slave_start
-                    squash_done = commit_done + cfg.squash_penalty
-                    breakdown.squash_overhead_cycles += cfg.squash_penalty
+                    squash_done = commit_done + cost.squash
+                    breakdown.squash_overhead_cycles += cost.squash
                     master_clock = squash_done
                     last_commit = squash_done
                     slaves = [min(s, squash_done) for s in slaves]
                     commit_history.clear()  # squash drains the buffer
                     finish = max(finish, squash_done)
             elif isinstance(record, MasterFailureRecord):
-                wasted = record.master_instrs * cfg.master_cpi
-                fail_time = master_clock + wasted + cfg.squash_penalty
-                breakdown.squash_overhead_cycles += cfg.squash_penalty
+                wasted = cost.master_time(record.master_instrs)
+                fail_time = master_clock + wasted + cost.squash
+                breakdown.squash_overhead_cycles += cost.squash
                 master_clock = fail_time
                 last_commit = max(last_commit, fail_time)
                 slaves = [min(s, fail_time) for s in slaves]
                 commit_history.clear()
                 finish = max(finish, fail_time)
             elif isinstance(record, RecoveryRecord):
-                start = max(master_clock, last_commit) + cfg.restart_latency
-                breakdown.squash_overhead_cycles += cfg.restart_latency
-                work = (
-                    record.n_instrs * cfg.slave_cpi
-                    + record.n_loads * cfg.load_penalty
-                )
+                start = max(master_clock, last_commit) + cost.restart
+                breakdown.squash_overhead_cycles += cost.restart
+                work = cost.slave_time(record.n_instrs, record.n_loads)
                 done = start + work
                 breakdown.recovery_cycles += work
                 if schedule:

@@ -34,6 +34,8 @@ def render_timeline(
     into; each cell shows what its time slice mostly contained.
     """
     entries = breakdown.schedule
+    if width < 1:
+        raise TimingError("timeline width must be positive")
     if not entries:
         raise TimingError(
             "breakdown has no schedule; simulate with schedule=True"

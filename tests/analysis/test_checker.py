@@ -743,6 +743,90 @@ class TestCheckRuntimeEvents:
 # -- catalogue integrity ----------------------------------------------------
 
 
+def _stamp(event, at, actor="runtime"):
+    object.__setattr__(event, "at", at)
+    object.__setattr__(event, "actor", actor)
+    return event
+
+
+class TestClockStamps:
+    """SIM001: per-actor clock monotonicity on stamped streams."""
+
+    def test_stamped_stream_is_clean(self):
+        events = [
+            _stamp(_fork(0), 1.0), _stamp(_fork(1), 2.0),
+            _stamp(_commit(0), 3.0), _stamp(_commit(1), 3.0),
+        ]
+        report = check_runtime_events(events)
+        assert report.ok and not report.findings
+
+    def test_unstamped_stream_is_clean(self):
+        # Hand-built events all read the t=0 class default.
+        report = check_runtime_events([_fork(0), _commit(0)])
+        assert report.ok and not report.findings
+
+    def test_seeded_backwards_stamp_is_sim001(self):
+        # Seeded mutation: wind one stamp backwards mid-stream and the
+        # lint must catch the clock running in reverse.
+        events = [
+            _stamp(_fork(0), 1.0), _stamp(_fork(1), 2.0),
+            _stamp(_commit(0), 3.0), _stamp(_commit(1), 4.0),
+        ]
+        assert check_runtime_events(events).ok
+        _stamp(events[2], 1.5)
+        report = check_runtime_events(events)
+        assert "SIM001" in error_ids(report)
+
+    def test_distinct_actors_have_independent_clocks(self):
+        # A server stream interleaved with a runtime stream: each
+        # actor's stamps are monotone on its own clock.
+        events = [
+            _stamp(_fork(0), 100.0, actor="runtime"),
+            _stamp(_fork(1), 5.0, actor="server"),
+            _stamp(_commit(0), 101.0, actor="runtime"),
+            _stamp(_commit(1), 6.0, actor="server"),
+        ]
+        report = check_runtime_events(events)
+        assert report.ok and not report.findings
+
+    def test_missing_stamp_is_sim001(self):
+        broken = _fork(1)
+        object.__setattr__(broken, "at", None)
+        report = check_runtime_events(
+            [_stamp(_fork(0), 1.0), broken, _stamp(_commit(0), 2.0),
+             _stamp(_commit(1), 3.0)]
+        )
+        assert "SIM001" in error_ids(report)
+
+    def test_live_stream_from_real_run_is_clean(self):
+        from repro.config import DistillConfig, MsspConfig
+        from repro.distill.distiller import Distiller
+        from repro.mssp.engine import create_engine
+        from repro.mssp.runtime.events import EventLog
+        from repro.profiling import profile_program
+
+        source = """
+        main:   li r1, 60
+        loop:   addi r1, r1, -1
+                add r2, r2, r1
+                bne r1, zero, loop
+                halt
+        """
+        program = assemble(source)
+        distillation = Distiller(DistillConfig(target_task_size=20)).distill(
+            program, profile_program(program)
+        )
+        log = EventLog()
+        with create_engine(
+            program, distillation,
+            MsspConfig(runtime="thread", num_slaves=2),
+        ) as engine:
+            engine.events.subscribe(log)
+            engine.run()
+        report = check_runtime_events(log.events)
+        assert report.ok, report.render()
+
+
 class TestCatalogue:
     def test_pass_invariants_reference_registered_checks(self):
         for stage, ids in PASS_INVARIANTS.items():

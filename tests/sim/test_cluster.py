@@ -1,0 +1,189 @@
+"""Tests for the discrete-event cluster replay (agreement + scenarios)."""
+
+import pytest
+
+from repro.config import DistillConfig, TimingConfig
+from repro.distill import Distiller
+from repro.isa.asm import assemble
+from repro.mssp import MsspEngine
+from repro.mssp.trace import RecoveryRecord, TaskAttemptRecord
+from repro.profiling import profile_program
+from repro.sim.cluster import ClusterConfig, ClusterSim, SlaveFailure
+from repro.timing.clock import CostModel
+from repro.timing.simulator import MsspTimingSimulator
+
+SOURCE = """
+main:   li r1, 120
+loop:   addi r1, r1, -1
+        add r2, r2, r1
+        lw r3, 500(zero)
+        add r2, r2, r3
+        bne r1, zero, loop
+        sw r2, 0x900(zero)
+        halt
+        .data 500
+        .word 3
+"""
+
+
+@pytest.fixture(scope="module")
+def records():
+    program = assemble(SOURCE)
+    profile = profile_program(program)
+    distillation = Distiller(DistillConfig(target_task_size=25)).distill(
+        program, profile
+    )
+    return MsspEngine(program, distillation).run().records
+
+
+def synthetic_records(n_tasks=12, n_instrs=100, checkpoint_words=4):
+    return [
+        TaskAttemptRecord(
+            tid=tid, start_pc=0, end_pc=10, n_instrs=n_instrs,
+            master_instrs=20, committed=True,
+            checkpoint_words=checkpoint_words,
+        )
+        for tid in range(n_tasks)
+    ]
+
+
+class TestAnalyticAgreement:
+    @pytest.mark.parametrize("n_slaves", [1, 2, 4, 8])
+    def test_matches_analytic_recurrence(self, records, n_slaves):
+        timing = TimingConfig(n_slaves=n_slaves)
+        analytic = MsspTimingSimulator(timing).simulate_records(records)
+        replayed = ClusterSim(ClusterConfig.from_timing(timing)).replay(
+            records
+        )
+        assert replayed.total_cycles == pytest.approx(
+            analytic.total_cycles, rel=1e-9
+        )
+        assert replayed.committed_tasks == analytic.committed_tasks
+        assert replayed.squashed_tasks == analytic.squashed_tasks
+        assert replayed.master_stall_cycles == pytest.approx(
+            analytic.master_stall_cycles, rel=1e-9, abs=1e-9
+        )
+
+    def test_matches_analytic_with_inflight_bound(self, records):
+        timing = TimingConfig(n_slaves=4, max_inflight=2)
+        analytic = MsspTimingSimulator(timing).simulate_records(records)
+        replayed = ClusterSim(ClusterConfig.from_timing(timing)).replay(
+            records
+        )
+        assert replayed.total_cycles == pytest.approx(
+            analytic.total_cycles, rel=1e-9
+        )
+
+    def test_schedule_matches_analytic(self, records):
+        timing = TimingConfig(n_slaves=4)
+        analytic = MsspTimingSimulator(timing).simulate_records(
+            records, schedule=True
+        )
+        replayed = ClusterSim(ClusterConfig.from_timing(timing)).replay(
+            records, schedule=True
+        )
+        assert len(replayed.schedule) == len(analytic.schedule)
+        for ours, theirs in zip(replayed.schedule, analytic.schedule):
+            assert ours.kind == theirs.kind
+            assert ours.slot == theirs.slot
+            assert ours.start == pytest.approx(theirs.start, rel=1e-9)
+            assert ours.done == pytest.approx(theirs.done, rel=1e-9)
+            assert ours.commit == pytest.approx(theirs.commit, rel=1e-9)
+
+    def test_recovery_records_accounted(self):
+        records = synthetic_records(4) + [
+            RecoveryRecord(n_instrs=50, halted=False, resumed_at=10)
+        ]
+        timing = TimingConfig(n_slaves=2)
+        analytic = MsspTimingSimulator(timing).simulate_records(records)
+        replayed = ClusterSim(ClusterConfig.from_timing(timing)).replay(
+            records
+        )
+        assert replayed.recovery_cycles > 0
+        assert replayed.total_cycles == pytest.approx(
+            analytic.total_cycles, rel=1e-9
+        )
+
+
+class TestScenarios:
+    def test_contended_link_slows_the_run(self):
+        records = synthetic_records(16, checkpoint_words=8)
+        cost = CostModel(checkpoint_word=5.0)
+        ideal = ClusterSim(
+            ClusterConfig(n_slaves=8, cost=cost)
+        ).replay(records)
+        contended = ClusterSim(
+            ClusterConfig(n_slaves=8, cost=cost, link_channels=1,
+                          interconnect_latency=50.0)
+        ).replay(records)
+        assert contended.total_cycles > ideal.total_cycles
+
+    def test_heterogeneous_slaves_slow_the_run(self):
+        records = synthetic_records(16)
+        even = ClusterSim(ClusterConfig(n_slaves=4)).replay(records)
+        uneven = ClusterSim(
+            ClusterConfig(n_slaves=4, slave_speeds=(0.25, 0.25, 0.25, 0.25))
+        ).replay(records)
+        assert uneven.total_cycles > even.total_cycles
+
+    def test_slave_failure_delays_completion(self):
+        records = synthetic_records(8)
+        plain = ClusterSim(ClusterConfig(n_slaves=1)).replay(records)
+        failed = ClusterSim(ClusterConfig(
+            n_slaves=1,
+            failures=(SlaveFailure(slot=0, at=plain.total_cycles / 4,
+                                   downtime=plain.total_cycles),),
+        )).replay(records)
+        assert failed.total_cycles >= (
+            plain.total_cycles + plain.total_cycles / 2
+        )
+
+    def test_failure_after_the_run_is_free(self):
+        records = synthetic_records(8)
+        plain = ClusterSim(ClusterConfig(n_slaves=2)).replay(records)
+        late = ClusterSim(ClusterConfig(
+            n_slaves=2,
+            failures=(SlaveFailure(slot=0, at=plain.total_cycles + 1.0,
+                                   downtime=1000.0),),
+        )).replay(records)
+        assert late.total_cycles == pytest.approx(plain.total_cycles)
+
+    def test_outage_pauses_and_resumes_work(self):
+        sim = ClusterSim(ClusterConfig(
+            n_slaves=1,
+            failures=(SlaveFailure(slot=0, at=10.0, downtime=5.0),),
+        ))
+        # Work started before the outage pauses across it.
+        assert sim._outage_done(0, 8.0, 4.0) == 8.0 + 4.0 + 5.0
+        # Work landing in the outage waits for the restart.
+        assert sim._outage_done(0, 12.0, 4.0) == 15.0 + 4.0
+        # Work on an unaffected slot is untouched.
+        assert sim._outage_done(1, 8.0, 4.0) == 12.0
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_slaves(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_slaves=0)
+
+    def test_rejects_negative_link_channels(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(link_channels=-1)
+
+    def test_rejects_nonpositive_speeds(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(slave_speeds=(1.0, 0.0))
+
+    def test_rejects_failure_outside_cluster(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(
+                n_slaves=2,
+                failures=(SlaveFailure(slot=5, at=0.0, downtime=1.0),),
+            )
+
+    def test_from_timing_matches_cost_model(self):
+        timing = TimingConfig(n_slaves=3)
+        cluster = ClusterConfig.from_timing(timing)
+        assert cluster.n_slaves == 3
+        assert cluster.cost == CostModel.from_timing(timing)
+        assert cluster.max_inflight == timing.max_inflight

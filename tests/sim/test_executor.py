@@ -1,0 +1,95 @@
+"""Tests for the ``sim`` runtime backend: bit-identity on a virtual clock."""
+
+import pytest
+
+from repro.config import DistillConfig, MsspConfig
+from repro.distill import Distiller
+from repro.isa.asm import assemble
+from repro.mssp.engine import create_engine
+from repro.mssp.runtime.events import EventLog
+from repro.profiling import profile_program
+from repro.timing.clock import VirtualClock, WallClock
+
+SOURCE = """
+main:   li r1, 150
+loop:   addi r1, r1, -1
+        add r2, r2, r1
+        lw r3, 500(zero)
+        add r2, r2, r3
+        bne r1, zero, loop
+        sw r2, 0x900(zero)
+        halt
+        .data 500
+        .word 3
+"""
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    program = assemble(SOURCE)
+    profile = profile_program(program)
+    distillation = Distiller(DistillConfig(target_task_size=25)).distill(
+        program, profile
+    )
+    return program, distillation
+
+
+def run(prepared, runtime, log=None):
+    program, distillation = prepared
+    with create_engine(
+        program, distillation, MsspConfig(runtime=runtime)
+    ) as engine:
+        if log is not None:
+            engine.events.subscribe(log)
+        return engine.run(), engine
+
+
+class TestBitIdentity:
+    def test_sim_matches_eager(self, prepared):
+        eager, _ = run(prepared, "eager")
+        sim, _ = run(prepared, "sim")
+        assert sim.counters == eager.counters
+        assert sim.halted == eager.halted
+        assert sim.records == eager.records
+        assert sim.final_state.pc == eager.final_state.pc
+        assert sim.final_state.diff(eager.final_state) == []
+
+    def test_sim_matches_thread(self, prepared):
+        thread, _ = run(prepared, "thread")
+        sim, _ = run(prepared, "sim")
+        assert sim.counters == thread.counters
+        assert sim.final_state.diff(thread.final_state) == []
+
+
+class TestVirtualTime:
+    def test_sim_engine_gets_a_virtual_clock(self, prepared):
+        _, engine = run(prepared, "sim")
+        assert isinstance(engine.clock, VirtualClock)
+
+    def test_eager_engine_gets_a_wall_clock(self, prepared):
+        _, engine = run(prepared, "eager")
+        assert isinstance(engine.clock, WallClock)
+
+    def test_virtual_clock_advances_over_the_run(self, prepared):
+        _, engine = run(prepared, "sim")
+        assert engine.clock.now() > 0.0
+
+    def test_events_stamped_with_virtual_time(self, prepared):
+        log = EventLog()
+        _, engine = run(prepared, "sim", log)
+        stamps = [event.at for event in log.events]
+        assert stamps, "sim run emitted no events"
+        assert stamps == sorted(stamps)
+        assert stamps[-1] <= engine.clock.now()
+        # Virtual stamps are simulated cycles-in-seconds, far from the
+        # wall clock's perf_counter epoch.
+        assert all(at < 1e6 for at in stamps)
+
+    def test_priced_exec_seconds_on_records(self, prepared):
+        log = EventLog()
+        run(prepared, "sim", log)
+        costs = [
+            event.cost for event in log.events
+            if event.kind == "task_executed"
+        ]
+        assert costs and all(cost > 0.0 for cost in costs)

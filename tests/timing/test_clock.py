@@ -1,0 +1,141 @@
+"""Tests for the clock seam: Clock protocol, VirtualClock, CostModel."""
+
+import time
+
+import pytest
+
+from repro.config import TimingConfig
+from repro.mssp.runtime.events import (
+    EventBus,
+    ResultAdopted,
+    TaskExecuted,
+    TaskForked,
+)
+from repro.timing.clock import Clock, CostModel, VirtualClock, WallClock
+
+
+class TestClocks:
+    def test_wall_clock_advances(self):
+        clock = WallClock()
+        first = clock.now()
+        time.sleep(0.001)
+        assert clock.now() > first
+
+    def test_virtual_clock_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_virtual_clock_advance(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        clock.advance(0.5)
+        assert clock.now() == 3.0
+
+    def test_virtual_clock_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_virtual_clock_advance_to_never_rewinds(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        clock.advance_to(4.0)
+        assert clock.now() == 10.0
+
+    def test_both_satisfy_protocol(self):
+        assert isinstance(WallClock(), Clock)
+        assert isinstance(VirtualClock(), Clock)
+
+
+class TestCostModel:
+    def test_master_cheaper_than_slave(self):
+        cost = CostModel()
+        assert cost.master_time(100) < cost.slave_time(100)
+
+    def test_transfer_scales_with_checkpoint(self):
+        cost = CostModel(checkpoint_word=2.0, dispatch=10.0)
+        assert cost.transfer_time(0) == 10.0
+        assert cost.transfer_time(5) == 20.0
+
+    def test_scaled_multiplies_every_rate(self):
+        cost = CostModel().scaled(2.0)
+        base = CostModel()
+        assert cost.slave_instr == 2 * base.slave_instr
+        assert cost.verify == 2 * base.verify
+        assert cost.squash == 2 * base.squash
+
+    def test_from_timing_matches_config(self):
+        timing = TimingConfig()
+        cost = CostModel.from_timing(timing)
+        assert cost.master_instr == timing.master_cpi
+        assert cost.slave_instr == timing.slave_cpi
+        assert cost.verify == timing.commit_latency
+        assert cost.squash == timing.squash_penalty
+
+    def test_calibrate_fits_measured_rate(self):
+        events = [
+            TaskExecuted(task=_FakeTask(1000), cost=2e-3),
+            TaskExecuted(task=_FakeTask(1000), cost=2e-3),
+        ]
+        cost = CostModel.calibrate(events)
+        assert cost.slave_instr == pytest.approx(2e-6)
+        # The whole model scales together: ratios are preserved.
+        base = CostModel()
+        assert cost.verify / cost.slave_instr == pytest.approx(
+            base.verify / base.slave_instr
+        )
+
+    def test_calibrate_ignores_other_kinds(self):
+        events = [
+            TaskForked(tid=0, start_pc=0, end_pc=None),
+            ResultAdopted(tid=0, cost=5e-3),
+            TaskExecuted(task=_FakeTask(500), cost=1e-3),
+        ]
+        cost = CostModel.calibrate(events)
+        assert cost.slave_instr == pytest.approx(2e-6)
+
+    def test_calibrate_rejects_unmeasured_trace(self):
+        with pytest.raises(ValueError):
+            CostModel.calibrate([TaskForked(tid=0, start_pc=0, end_pc=None)])
+
+
+class _FakeTask:
+    def __init__(self, n_instrs):
+        self.n_instrs = n_instrs
+        self.n_loads = 0
+
+
+class TestEventStamping:
+    def test_emit_stamps_time_and_actor(self):
+        bus = EventBus(clock=VirtualClock(), actor="test-actor")
+        bus.clock.advance(7.0)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit(TaskForked(tid=0, start_pc=0, end_pc=None))
+        assert seen[0].at == 7.0
+        assert seen[0].actor == "test-actor"
+
+    def test_emit_preserves_producer_actor(self):
+        bus = EventBus(actor="bus")
+        event = TaskForked(tid=0, start_pc=0, end_pc=None)
+        object.__setattr__(event, "actor", "producer")
+        bus.emit(event)
+        assert event.actor == "producer"
+
+    def test_unemitted_events_read_time_zero(self):
+        event = TaskForked(tid=0, start_pc=0, end_pc=None)
+        assert event.at == 0.0
+        assert event.actor == ""
+
+    def test_stamps_do_not_affect_equality(self):
+        a = TaskForked(tid=1, start_pc=2, end_pc=3)
+        b = TaskForked(tid=1, start_pc=2, end_pc=3)
+        EventBus(clock=VirtualClock()).emit(a)
+        assert a == b
+
+    def test_wall_stamps_monotone(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        for tid in range(50):
+            bus.emit(TaskForked(tid=tid, start_pc=0, end_pc=None))
+        stamps = [event.at for event in seen]
+        assert stamps == sorted(stamps)

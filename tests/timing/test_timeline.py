@@ -109,6 +109,91 @@ class TestRendering:
         assert full != early
 
 
+class TestEdgeCases:
+    """Hand-built schedules probing the renderer's corners."""
+
+    @staticmethod
+    def breakdown(entries, total):
+        from repro.timing.simulator import TimingBreakdown
+
+        made = TimingBreakdown(total_cycles=total)
+        made.schedule.extend(entries)
+        return made
+
+    @staticmethod
+    def entry(**overrides):
+        from repro.timing.simulator import ScheduleEntry
+
+        fields = dict(
+            kind="task", tid=0, slot=0, spawn=0.0, close=10.0,
+            start=10.0, done=20.0, commit=25.0, committed=True,
+        )
+        fields.update(overrides)
+        return ScheduleEntry(**fields)
+
+    def test_zero_duration_task_paints_one_cell(self):
+        made = self.breakdown(
+            [self.entry(start=50.0, done=50.0, commit=50.0)], 100.0
+        )
+        text = render_timeline(made, width=50)
+        slave = next(l for l in text.splitlines() if "slave 0" in l)
+        assert slave.count("#") == 1
+
+    def test_all_zero_duration_entries_render(self):
+        entries = [
+            self.entry(tid=t, spawn=5.0 * t, close=5.0 * t,
+                       start=5.0 * t, done=5.0 * t, commit=5.0 * t)
+            for t in range(4)
+        ]
+        text = render_timeline(self.breakdown(entries, 20.0), width=40)
+        assert "master" in text and "commit" in text
+
+    def test_recovery_lane_overlapping_squash_window(self):
+        entries = [
+            self.entry(tid=0, start=10.0, done=30.0, commit=35.0,
+                       committed=False),
+            self.entry(kind="recovery", tid=-1, spawn=20.0, close=20.0,
+                       start=20.0, done=60.0, commit=60.0),
+        ]
+        text = render_timeline(self.breakdown(entries, 80.0), width=40)
+        lines = text.splitlines()
+        slave = next(l for l in lines if "slave 0" in l)
+        recovery = next(l for l in lines if "recovery" in l)
+        assert "x" in slave
+        # Overlap: some columns carry both the squashed task and the
+        # recovery stretch.
+        squash_cols = {i for i, c in enumerate(slave) if c == "x"}
+        recovery_cols = {i for i, c in enumerate(recovery) if c == "r"}
+        assert squash_cols & recovery_cols
+
+    def test_more_than_sixteen_slave_lanes(self):
+        entries = [
+            self.entry(tid=t, slot=t, spawn=t, close=t + 1.0,
+                       start=t + 1.0, done=t + 2.0, commit=t + 3.0)
+            for t in range(20)
+        ]
+        text = render_timeline(self.breakdown(entries, 30.0), width=40)
+        lines = text.splitlines()
+        assert sum(1 for l in lines if "slave" in l) == 20
+        assert "slave 19" in text
+        # The label gutter stays aligned even for two-digit lanes.
+        assert len({len(l) for l in lines[1:]}) == 1
+
+    def test_width_narrower_than_label_gutter(self):
+        made = self.breakdown([self.entry()], 30.0)
+        text = render_timeline(made, width=4)
+        lines = text.splitlines()[1:]
+        assert len({len(l) for l in lines}) == 1
+        assert all("|" in l for l in lines)
+
+    def test_nonpositive_width_rejected(self):
+        made = self.breakdown([self.entry()], 30.0)
+        with pytest.raises(TimingError):
+            render_timeline(made, width=0)
+        with pytest.raises(TimingError):
+            render_timeline(made, width=-5)
+
+
 class TestUtilization:
     def test_in_unit_interval(self, run):
         config = TimingConfig(n_slaves=4)
